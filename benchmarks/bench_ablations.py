@@ -1,0 +1,92 @@
+"""A3/A4 (ablations of design choices the paper calls out).
+
+* **A3 — the vfree hash table** (§3.2): "To speed up the default vfree
+  function we have added a hash table to store the information about
+  virtual memory buffers."  Measured: vfree cost with the hash vs. the
+  stock linear vm_struct walk, across allocation counts.
+
+* **A4 — splay-tree locality** (§3.5): "This results in nearly optimal
+  performance when there is reference locality.  However, when multiple
+  threads make use of the same splay tree, the splay tree is no longer as
+  efficient, because different threads have less locality."  Measured:
+  splay node visits per lookup for a single hot thread vs. two interleaved
+  threads with disjoint working sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable
+from repro.kernel.memory.vmalloc import VmallocAllocator
+from repro.safety.kgcc import ObjectMap
+
+
+def _vfree_cost(use_hash: bool, nareas: int) -> float:
+    kernel = fresh_kernel("ramfs")
+    alloc = VmallocAllocator(kernel.physmem, kernel.kernel_pt, kernel.clock,
+                             kernel.costs, use_vfree_hash=use_hash)
+    addrs = [alloc.vmalloc(64) for _ in range(nareas)]
+    before = kernel.clock.system
+    # LIFO frees (the common kernel pattern): the stock walk must scan past
+    # every older area to find the most recent one.
+    for addr in reversed(addrs):
+        alloc.vfree(addr)
+    return (kernel.clock.system - before) / nareas
+
+
+def test_vfree_hash_ablation(run_once):
+    results = run_once(lambda: {
+        n: (_vfree_cost(False, n), _vfree_cost(True, n))
+        for n in (16, 64, 256)
+    })
+    table = ComparisonTable("A3", "vfree with vs without the hash table (§3.2)")
+    for n, (stock, hashed) in results.items():
+        speedup = stock / hashed
+        table.add(f"{n:4d} live areas", "hash table speeds up vfree",
+                  f"{speedup:.1f}x faster ({stock:.0f} -> {hashed:.0f} "
+                  f"cycles/vfree)", holds=speedup > 1.2)
+    grows = results[256][0] > results[16][0]
+    table.add("stock cost grows with area count", "linear walk",
+              "yes" if grows else "no", holds=grows)
+    table.print()
+    assert table.all_hold
+
+
+def _splay_visits(interleaved: bool, lookups: int = 2000) -> float:
+    rng = np.random.default_rng(7)
+    omap = ObjectMap()
+    # two disjoint working sets ("threads")
+    set_a = [omap.register(0x1000 + i * 0x100, 64, "heap").base
+             for i in range(64)]
+    set_b = [omap.register(0x900000 + i * 0x100, 64, "heap").base
+             for i in range(64)]
+    tree = omap._tree
+    before = tree.visits
+    for i in range(lookups):
+        if interleaved:
+            pool = set_a if i % 2 == 0 else set_b   # threads alternate
+        else:
+            pool = set_a                             # one thread, hot set
+        # each thread has locality *within* its own set
+        base = pool[int(rng.zipf(2.0)) % len(pool)]
+        omap.lookup(base + 3)
+    return (tree.visits - before) / lookups
+
+
+def test_splay_locality_ablation(run_once):
+    single, interleaved = run_once(
+        lambda: (_splay_visits(False), _splay_visits(True)))
+    table = ComparisonTable(
+        "A4", "splay-tree locality: one thread vs interleaved threads (§3.5)")
+    table.add("single thread, hot set", "near-optimal (splay to root)",
+              f"{single:.1f} node visits/lookup", holds=single < 15)
+    table.add("two interleaved threads", "locality destroyed, deeper walks",
+              f"{interleaved:.1f} node visits/lookup",
+              holds=interleaved > single)
+    table.add("degradation factor", "motivates per-thread structures",
+              f"{interleaved / single:.2f}x", holds=True)
+    table.print()
+    assert table.all_hold

@@ -1,0 +1,94 @@
+"""E1b (§2.2): the other consolidated syscalls.
+
+Besides readdirplus, §2.2 reports implementing open-read-close,
+open-write-close, and open-fstat: "The main savings for the first three
+combinations would be the reduced number of context switches."  The paper
+gives no per-call numbers for them, so the shape to hold is its stated
+mechanism: each consolidated call does the work of its 2–3-call sequence
+with exactly one boundary crossing, and wins by roughly the eliminated
+crossings' share of the sequence's cost.
+"""
+
+from __future__ import annotations
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable
+from repro.kernel.vfs.file import O_CREAT, O_RDONLY, O_WRONLY
+
+N = 200
+FILE_BYTES = 2048
+
+
+def _measure() -> dict[str, tuple[float, int, int]]:
+    out = {}
+
+    # --- open-read-close ---------------------------------------------------
+    k = fresh_kernel("ramfs")
+    for i in range(N):
+        k.sys.open_write_close(f"/f{i}", b"r" * FILE_BYTES)
+    with k.measure() as m_seq:
+        for i in range(N):
+            fd = k.sys.open(f"/f{i}", O_RDONLY)
+            k.sys.read(fd, FILE_BYTES)
+            k.sys.close(fd)
+    with k.measure() as m_con:
+        for i in range(N):
+            k.sys.open_read_close(f"/f{i}")
+    out["open-read-close"] = (_improvement(m_seq, m_con),
+                              m_seq.syscalls, m_con.syscalls)
+
+    # --- open-write-close --------------------------------------------------
+    k = fresh_kernel("ramfs")
+    payload = b"w" * FILE_BYTES
+    with k.measure() as m_seq:
+        for i in range(N):
+            fd = k.sys.open(f"/s{i}", O_CREAT | O_WRONLY)
+            k.sys.write(fd, payload)
+            k.sys.close(fd)
+    with k.measure() as m_con:
+        for i in range(N):
+            k.sys.open_write_close(f"/c{i}", payload)
+    out["open-write-close"] = (_improvement(m_seq, m_con),
+                               m_seq.syscalls, m_con.syscalls)
+
+    # --- open-fstat ---------------------------------------------------------
+    k = fresh_kernel("ramfs")
+    for i in range(N):
+        k.sys.open_write_close(f"/f{i}", b"z" * (i % 97))
+    with k.measure() as m_seq:
+        for i in range(N):
+            fd = k.sys.open(f"/f{i}", O_RDONLY)
+            k.sys.fstat(fd)
+            k.sys.close(fd)
+    with k.measure() as m_con:
+        for i in range(N):
+            fd, st = k.sys.open_fstat(f"/f{i}")
+            k.sys.close(fd)
+    out["open-fstat"] = (_improvement(m_seq, m_con),
+                         m_seq.syscalls, m_con.syscalls)
+    return out
+
+
+def _improvement(m_seq, m_con) -> float:
+    return 100.0 * (m_seq.timings.elapsed - m_con.timings.elapsed) \
+        / m_seq.timings.elapsed
+
+
+def test_consolidated_suite(run_once):
+    results = run_once(_measure)
+    table = ComparisonTable(
+        "E1b", f"the other §2.2 consolidated syscalls ({N} iterations)")
+    expected_calls = {"open-read-close": (3, 1), "open-write-close": (3, 1),
+                      "open-fstat": (3, 2)}
+    for name, (improvement, seq_calls, con_calls) in results.items():
+        seq_per, con_per = expected_calls[name]
+        table.add(f"{name} improvement",
+                  "reduced context switches",
+                  f"{improvement:.1f}% ({seq_per}->{con_per if name != 'open-fstat' else 2} traps/op)",
+                  holds=improvement > 10.0)
+        assert seq_calls == N * seq_per
+        # open_fstat leaves the fd open, so a close op remains
+        assert con_calls == N * (2 if name == "open-fstat" else 1)
+    table.print()
+    assert table.all_hold

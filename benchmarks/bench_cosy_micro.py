@@ -1,0 +1,129 @@
+"""E3 (§2.3): Cosy micro-benchmarks — individual syscalls in a loop.
+
+Paper: "Our micro-benchmarks show that individual system calls are sped
+up by 40-90% for common CPU-bound user applications."
+
+Each micro-benchmark executes N invocations of one syscall, as a plain
+user-level loop vs. as a single compound; the speedup comes from paying
+one trap instead of N and from zero-copy buffers.
+"""
+
+from __future__ import annotations
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable
+from repro.core.cosy import CosyGCC, CosyKernelExtension, CosyLib
+from repro.kernel.vfs.file import O_CREAT, O_RDONLY, O_WRONLY
+
+N = 300
+
+_MICROS = {
+    # name -> (user-loop function, cosy source)
+    "getpid": (
+        lambda k: [k.sys.getpid() for _ in range(N)][-1],
+        """
+        int main() {
+            COSY_START();
+            int p = 0;
+            for (int i = 0; i < %(n)d; i++) p = getpid();
+            return p;
+            COSY_END();
+            return 0;
+        }
+        """,
+    ),
+    "lseek": (
+        lambda k: [k.sys.lseek(3, i % 512) for i in range(N)][-1],
+        """
+        int main() {
+            COSY_START();
+            int r = 0;
+            for (int i = 0; i < %(n)d; i++) r = lseek(3, i %% 512, 0);
+            return r;
+            COSY_END();
+            return 0;
+        }
+        """,
+    ),
+    "read-small": (
+        lambda k: sum(len(k.sys.pread(3, 64, (i * 64) % 4096))
+                      for i in range(N)),
+        """
+        int main() {
+            COSY_START();
+            char buf[64];
+            int total = 0;
+            for (int i = 0; i < %(n)d; i++) {
+                total += pread(3, buf, 64, (i * 64) %% 4096);
+            }
+            return total;
+            COSY_END();
+            return 0;
+        }
+        """,
+    ),
+    "write-small": (
+        lambda k: sum(k.sys.pwrite(4, b"y" * 64, (i * 64) % 4096)
+                      for i in range(N)),
+        """
+        int main() {
+            COSY_START();
+            char buf[64];
+            int total = 0;
+            for (int i = 0; i < %(n)d; i++) {
+                total += pwrite(4, buf, 64, (i * 64) %% 4096);
+            }
+            return total;
+            COSY_END();
+            return 0;
+        }
+        """,
+    ),
+}
+
+
+def _setup_kernel():
+    k = fresh_kernel("ramfs")
+    fd = k.sys.open("/data", O_CREAT | O_WRONLY)   # fd 0
+    k.sys.write(fd, b"z" * 8192)
+    k.sys.close(fd)
+    k.sys.open("/a", O_CREAT | O_WRONLY)           # fds 0..2 as fillers
+    k.sys.open("/b", O_CREAT | O_WRONLY)
+    k.sys.open("/c", O_CREAT | O_WRONLY)
+    fd_in = k.sys.open("/data", O_RDONLY)          # fd 3
+    assert fd_in == 3
+    fd_out = k.sys.open("/out", O_CREAT | O_WRONLY)  # fd 4
+    assert fd_out == 4
+    return k
+
+
+def _measure_all() -> dict[str, tuple[float, int, int]]:
+    results = {}
+    for name, (user_fn, src) in _MICROS.items():
+        k = _setup_kernel()
+        ext = CosyKernelExtension(k)
+        lib = CosyLib(k, ext)
+        installed = lib.install(k.current,
+                                CosyGCC().compile(src % {"n": N}))
+        with k.measure() as m_user:
+            expect = user_fn(k)
+        with k.measure() as m_cosy:
+            got = installed.run().value
+        assert got == expect, f"{name}: compound result mismatch"
+        speedup = 100.0 * (m_user.delta.elapsed - m_cosy.delta.elapsed) \
+            / m_user.delta.elapsed
+        results[name] = (speedup, m_user.syscalls, m_cosy.syscalls)
+    return results
+
+
+def test_cosy_micro(run_once):
+    results = run_once(_measure_all)
+    table = ComparisonTable(
+        "E3", f"Cosy micro-benchmarks ({N} invocations per syscall)")
+    for name, (speedup, user_calls, cosy_calls) in results.items():
+        table.add(f"{name} speedup", "40-90%", f"{speedup:.1f}%",
+                  holds=30.0 <= speedup <= 95.0)
+        table.note(f"{name}: {user_calls} traps -> {cosy_calls} trap")
+    table.print()
+    assert table.all_hold

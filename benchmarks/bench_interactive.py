@@ -1,0 +1,68 @@
+"""E2 (§2.2): projected readdirplus savings under an interactive workload.
+
+Paper: a ~15-minute interactive trace moved 51,807,520 bytes across the
+boundary in 171,975 calls; with readdirplus it would have moved 32,250,041
+bytes in 17,251 calls — about 28.15 seconds saved per hour.
+
+Shape to hold: replacing readdir-stat runs cuts boundary bytes by a
+substantial fraction (paper: ~38%) and calls by an order of magnitude
+(paper: ~10x), yielding a small-but-real per-hour time saving.
+"""
+
+from __future__ import annotations
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable, fmt_bytes
+from repro.core.consolidation import SyscallTracer, project_readdirplus_savings
+from repro.workloads import InteractiveConfig, InteractiveSession
+
+
+def _run_session():
+    kernel = fresh_kernel("ramfs")
+    session = InteractiveSession(kernel, InteractiveConfig(
+        commands=250, ndirs=10, files_per_dir=120, avg_file_bytes=1200))
+    session.prepare()
+    tracer = SyscallTracer(kernel)
+    with tracer, kernel.measure() as m:
+        session.run()
+    return kernel, tracer, m
+
+
+def test_interactive_savings(run_once):
+    kernel, tracer, m = run_once(_run_session)
+    savings = project_readdirplus_savings(tracer)
+    costs = kernel.costs
+    # time saved: each removed call saves a boundary crossing + stub; each
+    # removed byte saves the per-byte copy cost
+    saved_cycles = (savings.calls_saved
+                    * (costs.syscall_trap + costs.syscall_dispatch
+                       + costs.user_syscall_stub)
+                    + int(savings.bytes_saved * costs.uaccess_per_byte))
+    trace_seconds = m.timings.elapsed
+    saved_per_hour = (kernel.clock.seconds(saved_cycles)
+                      / trace_seconds * 3600 if trace_seconds else 0.0)
+
+    table = ComparisonTable("E2", "interactive workload: readdirplus projection")
+    byte_ratio = savings.projected_bytes / savings.observed_bytes
+    call_ratio = savings.observed_calls / max(savings.projected_calls, 1)
+    table.add("bytes user<->kernel",
+              "51,807,520 -> 32,250,041 (x0.62)",
+              f"{fmt_bytes(savings.observed_bytes)} -> "
+              f"{fmt_bytes(savings.projected_bytes)} (x{byte_ratio:.2f})",
+              holds=byte_ratio < 0.90)
+    table.add("syscalls",
+              "171,975 -> 17,251 (10.0x fewer)",
+              f"{savings.observed_calls:,} -> {savings.projected_calls:,} "
+              f"({call_ratio:.1f}x fewer)",
+              holds=call_ratio > 2.0)
+    table.add("time saved per hour", "~28.15 s (small but real)",
+              f"{saved_per_hour:.3f} s",
+              holds=0.0 < saved_per_hour < 120)
+    table.note(f"{savings.instances} readdir-stat runs replaced; trace "
+               f"covered {trace_seconds:.1f} simulated seconds incl. think time")
+    table.note("our per-hour saving is smaller than the paper's 28.15 s: the "
+               "simulated stat path is warm-dcache/ramfs (no disk), and our "
+               "accounting keeps attribute bytes crossing the boundary once")
+    table.print()
+    assert table.all_hold

@@ -1,0 +1,62 @@
+"""E5 (§3.2): Kefence overhead — Am-utils-like compile over Wrapfs.
+
+Paper: "We compiled the Am-utils package over Wrapfs and compared the
+time overhead of the instrumented version of Wrapfs with vanilla Wrapfs.
+The instrumented version of Wrapfs had an overhead of 1.4% elapsed time
+over normal Wrapfs."  Also reported: the maximum number of outstanding
+allocated pages was 2,085 and the average allocation was 80 bytes.
+
+Shape to hold: Kefence's guard-page allocation makes the same module a
+few percent slower on a compile workload — small enough for production
+debugging use — while every allocation is now overflow-protected.
+"""
+
+from __future__ import annotations
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable
+from repro.kernel.fs import Ext2SuperBlock, WrapfsSuperBlock
+from repro.safety.kefence import Kefence, KefenceMode
+from repro.workloads import CompileBench, CompileBenchConfig
+
+CFG = CompileBenchConfig(nfiles=30, headers=20)
+
+
+def _run(instrumented: bool):
+    kernel = fresh_kernel("ramfs")  # root only hosts the mountpoints
+    kernel.sys.mkdir("/lower")
+    kernel.sys.mkdir("/mnt")
+    lower = Ext2SuperBlock(kernel)
+    kefence = Kefence(kernel, KefenceMode.CRASH) if instrumented else None
+    allocator = kefence if instrumented else kernel.kma
+    wrapfs = WrapfsSuperBlock(kernel, lower, allocator)
+    kernel.vfs.mount("/mnt", wrapfs)
+    cfg = CompileBenchConfig(**{**CFG.__dict__,
+                                "srcdir": "/mnt/src", "objdir": "/mnt/obj"})
+    bench = CompileBench(kernel, cfg)
+    bench.prepare()
+    result = bench.run()
+    stats = kefence.stats() if kefence else None
+    return result, stats
+
+
+def test_kefence_wrapfs_compile(run_once):
+    (vanilla, _), (instrumented, stats) = run_once(
+        lambda: (_run(False), _run(True)))
+    overhead = instrumented.timings.overhead_over(vanilla.timings)
+    table = ComparisonTable("E5", "Kefence-instrumented Wrapfs, compile workload")
+    table.add("elapsed overhead", "1.4%", f"{overhead['elapsed']:.2f}%",
+              holds=0.0 <= overhead["elapsed"] < 8.0)
+    table.add("overflows during normal run", "0",
+              str(stats.overflows_detected), holds=stats.overflows_detected == 0)
+    table.add("peak outstanding pages", "2,085 (430-file Am-utils)",
+              f"{stats.peak_outstanding_pages:,} ({CFG.nfiles}-file tree)",
+              holds=stats.peak_outstanding_pages > 0)
+    table.add("average allocation size", "80 bytes",
+              f"{stats.avg_alloc_size:.0f} bytes",
+              holds=stats.avg_alloc_size < 4096)
+    table.note("overhead sources match §3.2: vmalloc/vfree slower than "
+               "kmalloc/kfree, plus page-granularity TLB pressure")
+    table.print()
+    assert table.all_hold

@@ -1,0 +1,98 @@
+"""E6 + Figure 1 (§3.3): event-monitor overheads under PostMark.
+
+Paper, instrumenting ``dcache_lock`` under PostMark (85.4 s runs, ~8,805
+lock hits/second):
+
+* dispatcher + ring buffer alone:         3.9% overhead
+* + user-space polling logger (no disk):   61% overhead
+* + the logger writing to a SCSI log disk: 103% overhead
+* system time effectively constant -> "the inefficiencies did not arise
+  from the kernel infrastructure"
+
+Shape to hold: in-kernel dispatch is cheap (single-digit %); the polling
+user-space consumer is an order of magnitude more expensive; adding disk
+logging costs more still; the extra time is user/IO, not kernel time.
+"""
+
+from __future__ import annotations
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable
+from repro.kernel.costs import SCSI_15KRPM
+from repro.kernel.fs import Ext2SuperBlock
+from repro.safety.monitor import (EventCharDevice, EventDispatcher,
+                                  UserSpaceLogger)
+from repro.workloads import PostMark, PostMarkConfig
+
+PM = PostMarkConfig(nfiles=60, transactions=1000)
+
+
+def _run_config(config: str):
+    kernel = fresh_kernel("ext2")
+    kernel.vfs.dcache_lock.instrumented = True
+    dispatcher = chardev = logger = None
+    if config != "vanilla":
+        dispatcher = EventDispatcher(kernel, ring_capacity=65536).attach()
+        dispatcher.enable_ring()
+    if config in ("logger", "logger+disk"):
+        chardev = EventCharDevice(kernel, dispatcher)
+        log_path = None
+        if config == "logger+disk":
+            # the paper used a separate SCSI drive (Quantum Atlas 15K) to
+            # hold log data; a small cache forces real write-back traffic
+            from repro.kernel.fs.disk import Disk
+            kernel.sys.mkdir("/log")
+            log_disk = Disk(kernel, nblocks=1 << 18, name="sda",
+                            profile=SCSI_15KRPM)
+            log_sb = Ext2SuperBlock(kernel, log_disk, name="logfs",
+                                    cache_blocks=8)
+            kernel.vfs.mount("/log", log_sb)
+            log_path = "/log/events.log"
+        logger = UserSpaceLogger(kernel, chardev, log_path=log_path,
+                                 poll_interval_cycles=120_000)
+    checkpoint = (lambda: logger.pump()) if logger is not None else None
+    pm = PostMark(kernel, PM, checkpoint=checkpoint)
+    result = pm.run()
+    if logger is not None:
+        logger.drain()
+        logger.close()
+    events = dispatcher.events_dispatched if dispatcher else 0
+    return result, events
+
+
+def test_monitor_overheads(run_once):
+    results = run_once(lambda: {c: _run_config(c) for c in
+                                ("vanilla", "dispatcher", "logger",
+                                 "logger+disk")})
+    base, _ = results["vanilla"]
+    table = ComparisonTable("E6", "event monitoring under PostMark (Figure 1)")
+
+    hits_per_s = base.dcache_lock_hits / base.timings.elapsed
+    table.add("dcache_lock hits/second", "8,805", f"{hits_per_s:,.0f}",
+              holds=hits_per_s > 1000)
+
+    overheads = {}
+    for config in ("dispatcher", "logger", "logger+disk"):
+        r, _ = results[config]
+        overheads[config] = r.timings.overhead_over(base.timings)
+    table.add("dispatcher + ring buffer", "3.9%",
+              f"{overheads['dispatcher']['elapsed']:.1f}%",
+              holds=0.0 <= overheads["dispatcher"]["elapsed"] < 12.0)
+    table.add("+ user-space logger (no disk)", "61%",
+              f"{overheads['logger']['elapsed']:.1f}%",
+              holds=overheads["logger"]["elapsed"] > 25.0)
+    table.add("+ logger writing to log disk", "103%",
+              f"{overheads['logger+disk']['elapsed']:.1f}%",
+              holds=(overheads["logger+disk"]["elapsed"]
+                     > overheads["logger"]["elapsed"]))
+    sys_const = overheads["logger"]["system"] < 30.0
+    table.add("system time ~constant", "yes",
+              f"logger system +{overheads['logger']['system']:.1f}%",
+              holds=sys_const)
+    _, events = results["dispatcher"]
+    table.note(f"{events:,} events dispatched; overhead ladder shows the "
+               f"user/kernel interface (polling), not the kernel "
+               f"infrastructure, dominates — the paper's conclusion")
+    table.print()
+    assert table.all_hold

@@ -1,0 +1,41 @@
+"""Benchmark fixtures.
+
+Every benchmark runs a workload on the simulated kernel exactly once
+inside ``benchmark.pedantic`` (the interesting numbers are *simulated*
+cycles, which are deterministic — re-running only burns wall time), prints
+a paper-vs-measured :class:`~repro.analysis.report.ComparisonTable`, and
+records the simulated metrics in ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock
+
+
+def fresh_kernel(fs: str = "ramfs", **kernel_kwargs) -> Kernel:
+    """A booted kernel with one task, on the requested root filesystem."""
+    k = Kernel(**kernel_kwargs)
+    if fs == "ramfs":
+        k.mount_root(RamfsSuperBlock(k))
+    elif fs == "ext2":
+        k.mount_root(Ext2SuperBlock(k))
+    else:
+        raise ValueError(fs)
+    k.spawn("bench")
+    return k
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a thunk exactly once under pytest-benchmark; returns its result."""
+
+    def _run(thunk, **extra_info):
+        result = benchmark.pedantic(thunk, rounds=1, iterations=1,
+                                    warmup_rounds=0)
+        benchmark.extra_info.update(extra_info)
+        return result
+
+    return _run

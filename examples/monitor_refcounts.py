@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The event-monitoring framework end to end (§3.3, Figure 1).
+
+Reproduces the figure's structure live:
+
+    log_event -> dispatcher -> in-kernel monitor callbacks
+                     |
+                     +-> lock-free ring buffer -> chardev -> libkernevents
+
+and then uses the refcount monitor to catch a planted leak: a "driver"
+that takes inode references but forgets one put.
+
+Run:  python examples/monitor_refcounts.py
+"""
+
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.kernel.vfs import O_CREAT, O_WRONLY
+from repro.safety.monitor import (EventCharDevice, EventDispatcher,
+                                  LockProfiler, RefcountMonitor,
+                                  SpinlockMonitor, UserSpaceLogger)
+
+
+def main() -> None:
+    kernel = Kernel()
+    kernel.mount_root(RamfsSuperBlock(kernel))
+    kernel.spawn("workload")
+
+    # ---- Figure 1 wiring ----------------------------------------------------
+    dispatcher = EventDispatcher(kernel).attach()
+    refmon = RefcountMonitor()
+    lockmon = SpinlockMonitor()
+    lockprof = LockProfiler()
+    dispatcher.register_callback(refmon)      # in-kernel, synchronous
+    dispatcher.register_callback(lockmon)
+    dispatcher.register_callback(lockprof)    # §3.5 bottleneck analysis
+    dispatcher.enable_ring()                  # user-space path
+    chardev = EventCharDevice(kernel, dispatcher)
+    logger = UserSpaceLogger(kernel, chardev, log_path="/kernevents.log")
+
+    # instrument: every new refcount + the dcache lock
+    kernel.instrument_all_refcounts = True
+    kernel.vfs.dcache_lock.instrumented = True
+
+    # ---- a correct workload --------------------------------------------------
+    kernel.sys.mkdir("/data")
+    for i in range(10):
+        fd = kernel.sys.open(f"/data/f{i}", O_CREAT | O_WRONLY)
+        kernel.sys.write(fd, b"payload")
+        kernel.sys.close(fd)
+        kernel.sys.stat(f"/data/f{i}")
+    logger.pump()
+
+    # ---- the buggy driver: takes two refs, drops one --------------------------
+    dentry = kernel.vfs.path_walk("/data/f3")
+    dentry.inode.i_count.get("buggy_driver.c:51")
+    dentry.inode.i_count.get("buggy_driver.c:60")
+    dentry.inode.i_count.put("buggy_driver.c:77")
+    logger.drain()
+    logger.close()
+
+    # ---- what the monitors saw -------------------------------------------------
+    print(dispatcher.describe())
+    print()
+    print(f"dispatcher: {dispatcher.events_dispatched} events "
+          f"({lockmon.events_seen} lock, {refmon.events_seen} refcount)")
+    print(f"ring buffer: {dispatcher.ring.total_pushed} pushed, "
+          f"{dispatcher.ring.overruns} dropped")
+    print(f"user logger: {logger.events_logged} records to /kernevents.log "
+          f"({kernel.sys.stat('/kernevents.log').size} bytes), "
+          f"{logger.polls} polls ({logger.empty_polls} empty)")
+
+    print("\n" + lockprof.report(hz=kernel.clock.hz, n=2))
+
+    print("\nspinlock audit:", "clean" if not lockmon.violations and
+          not lockmon.held() else lockmon.violations or lockmon.held())
+
+    leaks = refmon.report_asymmetries()
+    print("refcount audit:")
+    for violation in leaks:
+        print(f"  LEAK obj={violation.obj_id:#x} {violation.detail}; "
+              f"sites: {violation.site}")
+    assert leaks, "the planted leak must be detected"
+    assert any("buggy_driver" in v.site for v in leaks), \
+        "the leak report names the offending sites"
+
+
+if __name__ == "__main__":
+    main()

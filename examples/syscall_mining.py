@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Finding consolidation candidates in syscall traces (§2.2's methodology).
+
+1. trace a workload (here: a synthetic interactive session plus server
+   traces), 2. build the weighted syscall graph, 3. mine heavy paths and
+   known sequences, 4. project what readdirplus would save.
+
+Run:  python examples/syscall_mining.py
+"""
+
+from repro.core.consolidation import (SyscallGraph, SyscallTracer,
+                                      find_heavy_paths, find_sequences,
+                                      project_readdirplus_savings)
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.workloads import (InteractiveConfig, InteractiveSession,
+                             synth_mail_server_trace, synth_web_server_trace)
+
+
+def main() -> None:
+    kernel = Kernel()
+    kernel.mount_root(RamfsSuperBlock(kernel))
+    kernel.spawn("user")
+
+    # ---- 1. collect a trace (strace/audit equivalent) ----------------------
+    session = InteractiveSession(kernel, InteractiveConfig(
+        commands=80, ndirs=5, files_per_dir=40, think_time_mean_s=0))
+    session.prepare()
+    tracer = SyscallTracer(kernel)
+    with tracer:
+        session.run()
+    summary = tracer.summary()
+    print(f"traced {summary.total_calls:,} syscalls, "
+          f"{summary.total_bytes:,} bytes across the boundary")
+    print("hottest syscalls:", ", ".join(
+        f"{name} x{count}" for name, count in summary.top_calls(6)))
+
+    # ---- 2. the weighted syscall graph --------------------------------------
+    graph = SyscallGraph.from_sequence(tracer.name_sequence())
+    graph.add_sequence(synth_web_server_trace(200))
+    graph.add_sequence(synth_mail_server_trace(100))
+    print("\nheaviest graph edges:")
+    for src, dst, weight in graph.heaviest_edges(5):
+        print(f"  {src} -> {dst}   weight {weight}")
+
+    # ---- 3. mine candidates ---------------------------------------------------
+    print("\nheavy paths (consolidation candidates):")
+    for path, weight in find_heavy_paths(graph, max_len=4, top=5):
+        print(f"  {' -> '.join(path)}   (weight {weight})")
+
+    matches = find_sequences(tracer)
+    by_pattern: dict[str, int] = {}
+    for m in matches:
+        by_pattern[m.pattern] = by_pattern.get(m.pattern, 0) + 1
+    print("\nknown sequence instances in the trace:")
+    for pattern, count in sorted(by_pattern.items()):
+        print(f"  {pattern:18s} x{count}")
+
+    # ---- 4. project the savings ------------------------------------------------
+    savings = project_readdirplus_savings(tracer)
+    print(f"\nif readdirplus replaced the readdir-stat runs:")
+    print(f"  calls: {savings.observed_calls:,} -> {savings.projected_calls:,}")
+    print(f"  bytes: {savings.observed_bytes:,} -> {savings.projected_bytes:,}")
+    print(f"  ({savings.instances} runs replaced)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — reproduction of *Efficient and Safe Execution of User-Level Code
+in the Kernel* (Zadok, Callanan, Rai, Sivathanu, Traeger; NSF NGS Workshop /
+IPDPS 2005).
+
+The package has four layers:
+
+* :mod:`repro.kernel` — a simulated Linux-2.6-style kernel with an explicit
+  cycle cost model (the substrate everything runs on);
+* :mod:`repro.cminus` — a C-subset toolchain (lexer/parser/interpreter) used
+  by both Cosy-GCC and KGCC;
+* :mod:`repro.core` — the paper's performance systems: syscall consolidation
+  (§2.2) and Cosy compound syscalls (§2.3);
+* :mod:`repro.safety` — the paper's safety systems: Kefence (§3.2), the
+  event-monitoring framework (§3.3), and KGCC (§3.4).
+
+Workload generators used by the evaluation live in :mod:`repro.workloads`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.kernel import Kernel, CostModel, Mode, Timings
+
+__all__ = ["Kernel", "CostModel", "Mode", "Timings", "__version__"]

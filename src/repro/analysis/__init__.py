@@ -1,0 +1,6 @@
+"""Result formatting and comparison against the paper's published numbers."""
+
+from repro.analysis.report import (Row, ComparisonTable, pct, fmt_bytes,
+                                   fmt_seconds)
+
+__all__ = ["Row", "ComparisonTable", "pct", "fmt_bytes", "fmt_seconds"]

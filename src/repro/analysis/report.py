@@ -1,0 +1,87 @@
+"""Paper-vs-measured comparison tables.
+
+Every benchmark prints one of these so EXPERIMENTS.md can record, for each
+table/figure in the paper, the published value next to what this
+reproduction measures — and whether the *shape* (who wins, by roughly what
+factor) holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def pct(new: float, old: float) -> float:
+    """Percentage improvement of new over old (positive = new faster)."""
+    return 0.0 if old == 0 else 100.0 * (old - new) / old
+
+
+def fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:,.1f} {unit}" if unit != "B" else f"{n:,.0f} B"
+        n /= 1024
+    return f"{n:,.1f} GB"
+
+
+def fmt_seconds(s: float) -> str:
+    if s >= 1:
+        return f"{s:,.3f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:,.3f} ms"
+    return f"{s * 1e6:,.1f} µs"
+
+
+@dataclass
+class Row:
+    label: str
+    paper: str
+    measured: str
+    holds: bool | None = None  # None = informational row
+
+    @property
+    def verdict(self) -> str:
+        if self.holds is None:
+            return ""
+        return "OK" if self.holds else "MISS"
+
+
+@dataclass
+class ComparisonTable:
+    """One experiment's paper-vs-measured table."""
+
+    experiment: str
+    title: str
+    rows: list[Row] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, paper: str, measured: str,
+            holds: bool | None = None) -> None:
+        self.rows.append(Row(label, paper, measured, holds))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(r.holds for r in self.rows if r.holds is not None)
+
+    def render(self) -> str:
+        width_label = max([len(r.label) for r in self.rows] + [len("metric")])
+        width_paper = max([len(r.paper) for r in self.rows] + [len("paper")])
+        width_meas = max([len(r.measured) for r in self.rows] + [len("measured")])
+        lines = [
+            f"== {self.experiment}: {self.title} ==",
+            f"{'metric':<{width_label}}  {'paper':<{width_paper}}  "
+            f"{'measured':<{width_meas}}  shape",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.label:<{width_label}}  {r.paper:<{width_paper}}  "
+                f"{r.measured:<{width_meas}}  {r.verdict}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render())

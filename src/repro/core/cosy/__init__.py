@@ -1,0 +1,41 @@
+"""Cosy — Compound System Calls (§2.3).
+
+Three components, exactly as the paper describes:
+
+* **Cosy-GCC** (:mod:`cosy_gcc`) — parses a C function whose bottleneck
+  region is marked with ``COSY_START(); ... COSY_END();`` and compiles the
+  marked statements into the Cosy intermediate language, resolving
+  dependencies between operation parameters and identifying zero-copy
+  buffer opportunities.
+* **Cosy-Lib** (:mod:`lib`) — forms the *compound*: encodes operations
+  into the compound buffer shared with the kernel, binds runtime input
+  values, and decodes outputs after execution.
+* **Cosy kernel extension** (:mod:`kernel_ext`) — decodes the compound in
+  kernel mode and executes operation by operation: syscalls run through
+  the same handlers as normal processes (all checks intact) but without
+  per-call traps or user-copy costs; user functions run confined to x86
+  segments; a preemption watchdog bounds kernel time.
+"""
+
+from repro.core.cosy.ops import (Op, Arg, ArgKind, OpCode, MATH_OPS,
+                                 COSY_MAGIC)
+from repro.core.cosy.compound import CompoundBuilder, decode_compound, encode_compound
+from repro.core.cosy.shared_buffer import SharedBuffer
+from repro.core.cosy.safety import (CosyProtection, CosyWatchdog,
+                                    FunctionIsolation)
+from repro.core.cosy.kernel_ext import CosyKernelExtension
+from repro.core.cosy.cosy_gcc import CosyGCC, CompiledRegion, UnsupportedConstruct
+from repro.core.cosy.lib import CosyLib
+from repro.core.cosy.autoprofile import (CandidateRegion, auto_compile,
+                                         auto_mark, find_candidate_regions)
+from repro.core.cosy.trust import TrustManager
+
+__all__ = [
+    "Op", "Arg", "ArgKind", "OpCode", "MATH_OPS", "COSY_MAGIC",
+    "CompoundBuilder", "decode_compound", "encode_compound",
+    "SharedBuffer", "CosyProtection", "CosyWatchdog", "FunctionIsolation",
+    "CosyKernelExtension", "CosyGCC", "CompiledRegion",
+    "UnsupportedConstruct", "CosyLib",
+    "CandidateRegion", "auto_compile", "auto_mark",
+    "find_candidate_regions", "TrustManager",
+]

@@ -1,0 +1,156 @@
+"""Compound building, encoding, and decoding.
+
+:class:`CompoundBuilder` is the op-level API (used directly by tests and by
+Cosy-Lib): append operations, reference forward labels, then ``encode()``
+into the byte format of :mod:`repro.core.cosy.ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cosy.ops import (Arg, HEADER_SIZE, MATH_OPS, MAX_SLOTS, Op,
+                                 OpCode, pack_header, unpack_header)
+from repro.errors import CosyError
+from repro.kernel.syscalls.table import SYSCALL_NRS
+
+
+def encode_compound(ops: list[Op], nslots: int) -> bytes:
+    """Serialize ops into compound-buffer bytes."""
+    return pack_header(len(ops), nslots) + b"".join(op.pack() for op in ops)
+
+
+def decode_compound(data: bytes) -> tuple[list[Op], int]:
+    """Parse compound-buffer bytes; returns (ops, nslots).
+
+    Raises :class:`CosyError` on any malformation — this is the kernel-side
+    validation pass, so it must never trust its input.
+    """
+    nops, nslots = unpack_header(data)
+    ops: list[Op] = []
+    offset = HEADER_SIZE
+    for _ in range(nops):
+        op, offset = Op.unpack(data, offset)
+        ops.append(op)
+    # Validate jump targets and slot references up front.
+    for i, op in enumerate(ops):
+        if op.opcode in (OpCode.JMP, OpCode.JZ) and not (0 <= op.extra <= nops):
+            raise CosyError(f"op {i}: jump target {op.extra} out of range")
+        if op.dst >= max(nslots, 1) and op.opcode in (
+                OpCode.SYSCALL, OpCode.MOV, OpCode.MATH, OpCode.CALLF):
+            raise CosyError(f"op {i}: dst slot {op.dst} >= nslots {nslots}")
+        for arg in op.args:
+            if arg.kind.name == "SLOT" and arg.value >= max(nslots, 1):
+                raise CosyError(f"op {i}: slot arg {arg.value} >= nslots")
+    return ops, nslots
+
+
+@dataclass
+class Label:
+    """A forward-referencable jump target."""
+
+    name: str
+    index: int | None = None
+
+
+class CompoundBuilder:
+    """Append-only builder with slots and labels."""
+
+    def __init__(self) -> None:
+        self.ops: list[Op] = []
+        self._slot_names: dict[str, int] = {}
+        self._labels: list[Label] = []
+        self._fixups: list[tuple[int, Label]] = []
+
+    # --------------------------------------------------------------- slots
+
+    def slot(self, name: str) -> int:
+        """Get-or-create a named slot (an i64 register in the kernel)."""
+        idx = self._slot_names.get(name)
+        if idx is None:
+            idx = len(self._slot_names)
+            if idx >= MAX_SLOTS:
+                raise CosyError("too many slots in compound")
+            self._slot_names[name] = idx
+        return idx
+
+    def temp_slot(self) -> int:
+        return self.slot(f"__tmp{len(self._slot_names)}")
+
+    @property
+    def nslots(self) -> int:
+        return max(1, len(self._slot_names))
+
+    @property
+    def slot_names(self) -> dict[str, int]:
+        return dict(self._slot_names)
+
+    # ---------------------------------------------------------------- ops
+
+    def _append(self, op: Op) -> int:
+        self.ops.append(op)
+        return len(self.ops) - 1
+
+    def syscall(self, name: str, *args: Arg, out: int | None = None) -> int:
+        """Append a syscall op.  ``name`` must be in the syscall table."""
+        nr = SYSCALL_NRS.get(name)
+        if nr is None:
+            raise CosyError(f"unknown syscall '{name}' in compound")
+        return self._append(Op(OpCode.SYSCALL, dst=out if out is not None else 0,
+                               extra=nr, args=tuple(args)))
+
+    def mov(self, dst: int, src: Arg) -> int:
+        return self._append(Op(OpCode.MOV, dst=dst, args=(src,)))
+
+    def math(self, op: str, dst: int, a: Arg, b: Arg) -> int:
+        code = MATH_OPS.get(op)
+        if code is None:
+            raise CosyError(f"unsupported math op '{op}'")
+        return self._append(Op(OpCode.MATH, dst=dst, extra=code, args=(a, b)))
+
+    def callf(self, func_id: int, *args: Arg, out: int | None = None) -> int:
+        return self._append(Op(OpCode.CALLF, dst=out if out is not None else 0,
+                               extra=func_id, args=tuple(args)))
+
+    # -------------------------------------------------------------- labels
+
+    def label(self, name: str = "") -> Label:
+        lbl = Label(name or f"L{len(self._labels)}")
+        self._labels.append(lbl)
+        return lbl
+
+    def place(self, label: Label) -> None:
+        """Bind a label to the current position."""
+        if label.index is not None:
+            raise CosyError(f"label {label.name} placed twice")
+        label.index = len(self.ops)
+
+    def jmp(self, label: Label) -> int:
+        idx = self._append(Op(OpCode.JMP, extra=label.index or 0))
+        if label.index is None:
+            self._fixups.append((idx, label))
+        return idx
+
+    def jz(self, cond: Arg, label: Label) -> int:
+        idx = self._append(Op(OpCode.JZ, extra=label.index or 0,
+                              args=(cond,)))
+        if label.index is None:
+            self._fixups.append((idx, label))
+        return idx
+
+    # -------------------------------------------------------------- output
+
+    def end(self) -> int:
+        return self._append(Op(OpCode.END))
+
+    def encode(self) -> bytes:
+        """Resolve labels and serialize.  Appends a final END if missing."""
+        if not self.ops or self.ops[-1].opcode is not OpCode.END:
+            self.end()
+        for idx, label in self._fixups:
+            if label.index is None:
+                raise CosyError(f"label {label.name} never placed")
+            old = self.ops[idx]
+            self.ops[idx] = Op(old.opcode, old.dst, label.index, old.args)
+        self._fixups.clear()
+        return encode_compound(self.ops, self.nslots)

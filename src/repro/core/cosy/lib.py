@@ -1,0 +1,123 @@
+"""Cosy-Lib: the user-level runtime that forms and runs compounds.
+
+"The second component of Cosy, Cosy-Lib, provides utility functions to
+create a compound ...  The functioning of Cosy-Lib and the internal
+structure of the compound buffer are entirely transparent to the user."
+
+Responsibilities here:
+
+* install a :class:`~repro.core.cosy.cosy_gcc.CompiledRegion` for a task —
+  map the two shared buffers (compound buffer + data buffer), pre-place
+  string literals, and register helper functions with the kernel extension;
+* per run, bind input values, encode the compound *into the shared
+  compound buffer* (a user-mode copy into shared memory — the only copy
+  the whole mechanism ever makes), and invoke ``cosy_exec``;
+* decode results: every region variable's final value, the region's return
+  value, and zero-copy views of its shared data buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.cosy.cosy_gcc import (CompiledRegion, RETURN_SLOT_NAME,
+                                      _TaggedCallf)
+from repro.core.cosy.kernel_ext import CosyKernelExtension
+from repro.core.cosy.ops import Op
+from repro.core.cosy.shared_buffer import SharedBuffer
+from repro.errors import CosyError
+from repro.kernel.clock import Mode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+    from repro.kernel.process import Task
+
+
+@dataclass
+class CosyResult:
+    """Outcome of one compound execution."""
+
+    values: dict[str, int]        # final value of every region variable
+    shared: SharedBuffer          # the data buffer (zero-copy views)
+    layout: dict[str, tuple[int, int]]
+
+    @property
+    def value(self) -> int:
+        """The region's return value (0 if the region never returned)."""
+        return self.values.get(RETURN_SLOT_NAME, 0)
+
+    def buffer(self, name: str) -> bytes:
+        """Contents of a region-local char buffer after execution."""
+        if name not in self.layout:
+            raise CosyError(f"no shared buffer named '{name}'")
+        offset, size = self.layout[name]
+        return self.shared.read_user(offset, size)
+
+
+class InstalledRegion:
+    """A compiled region bound to a task: buffers mapped, helpers registered."""
+
+    def __init__(self, lib: "CosyLib", task: "Task", region: CompiledRegion):
+        self.lib = lib
+        self.task = task
+        # Own copy: CALLF ids are per-extension, so the shared CompiledRegion
+        # must stay untouched (it may be installed into other kernels too).
+        self.region = CompiledRegion(
+            ops=list(region.ops), nslots=region.nslots,
+            slot_map=dict(region.slot_map),
+            input_prologue=dict(region.input_prologue),
+            shared_layout=dict(region.shared_layout),
+            shared_literals=list(region.shared_literals),
+            shared_size=region.shared_size,
+            functions=dict(region.functions),
+            source_name=region.source_name,
+        )
+        region = self.region
+        kernel = lib.kernel
+        data_size = max(region.shared_size * 2, 64 * 1024)
+        self.data_buf = SharedBuffer(kernel, task, data_size)
+        self.compound_buf = SharedBuffer(kernel, task, 256 * 1024)
+        # Pre-place string literals once; they are immutable across runs.
+        for offset, raw in region.shared_literals:
+            self.data_buf.write_user(offset, raw)
+        # Reserve the compiled layout so in-kernel function heaps start past it.
+        self.data_buf._cursor = region.shared_size
+        # Register helper functions, rewriting tagged CALLF ops to real ids.
+        ids: dict[str, int] = {}
+        for name, program in region.functions.items():
+            ids[name] = lib.ext.register_function(program, name)
+        for i, op in enumerate(region.ops):
+            if isinstance(op, _TaggedCallf):
+                region.ops[i] = Op(op.opcode, op.dst, ids[op.func_name],
+                                   op.args)
+
+    def run(self, inputs: dict[str, int] | None = None) -> CosyResult:
+        """Encode with ``inputs`` bound and execute; returns the results."""
+        kernel = self.lib.kernel
+        encoded = self.region.encode(inputs)
+        if len(encoded) > self.compound_buf.size:
+            raise CosyError(f"compound of {len(encoded)} bytes exceeds "
+                            f"the compound buffer")
+        # Forming the compound is user-level work: Cosy-Lib writes the ops
+        # into the shared compound buffer (this is the only copy).
+        kernel.clock.charge(
+            int(len(encoded) * kernel.costs.user_touch_per_byte), Mode.USER)
+        self.compound_buf.write_user(0, encoded)
+        slots = self.lib.ext.execute(self.task, encoded, self.data_buf)
+        values = {name: slots[idx]
+                  for name, idx in self.region.slot_map.items()
+                  if not name.startswith("__tmp")}
+        return CosyResult(values=values, shared=self.data_buf,
+                          layout=dict(self.region.shared_layout))
+
+
+class CosyLib:
+    """Facade tying Cosy-GCC output to the kernel extension."""
+
+    def __init__(self, kernel: "Kernel", ext: CosyKernelExtension):
+        self.kernel = kernel
+        self.ext = ext
+
+    def install(self, task: "Task", region: CompiledRegion) -> InstalledRegion:
+        return InstalledRegion(self, task, region)

@@ -1,0 +1,71 @@
+"""Heuristic authentication of untrusted code (§2.4, implemented).
+
+"We plan to explore heuristic approaches to authenticate untrusted code.
+The behavior of untrusted code will be observed for some specific time
+period and once the untrusted code is considered safe, the security
+checks will be dynamically turned off."
+
+:class:`TrustManager` watches user functions executing under Cosy's
+expensive FULL_ISOLATION mode; after ``threshold`` consecutive clean
+executions a function is *promoted* to DATA_ONLY (near-zero call
+overhead).  Any protection fault — ever — demotes the function back to
+full isolation and pins it there (a function that tried to escape once is
+never trusted again).
+
+This is the Cosy-level twin of KGCC's dynamic deinstrumentation
+(:mod:`repro.safety.kgcc.deinstrument`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.core.cosy.safety import CosyProtection
+from repro.errors import HardwareFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cosy.kernel_ext import CosyKernelExtension
+
+
+class TrustManager:
+    """Per-function promotion from FULL_ISOLATION to DATA_ONLY."""
+
+    def __init__(self, ext: "CosyKernelExtension", *, threshold: int = 100):
+        if threshold <= 0:
+            raise ValueError("trust threshold must be positive")
+        self.ext = ext
+        self.threshold = threshold
+        self.clean_runs: Counter = Counter()
+        self.promoted: set[int] = set()
+        self.pinned: set[int] = set()
+        ext.trust_manager = self
+
+    # -------------------------------------------------------------- policy
+
+    def protection_for(self, func_id: int) -> CosyProtection:
+        if func_id in self.pinned:
+            return CosyProtection.FULL_ISOLATION
+        if func_id in self.promoted:
+            return CosyProtection.DATA_ONLY
+        return CosyProtection.FULL_ISOLATION
+
+    def record_clean(self, func_id: int) -> None:
+        if func_id in self.pinned or func_id in self.promoted:
+            return
+        self.clean_runs[func_id] += 1
+        if self.clean_runs[func_id] >= self.threshold:
+            self.promoted.add(func_id)
+
+    def record_fault(self, func_id: int, fault: HardwareFault) -> None:
+        """An escape attempt: demote and never trust again."""
+        self.promoted.discard(func_id)
+        self.pinned.add(func_id)
+        self.clean_runs[func_id] = 0
+
+    def status(self, func_id: int) -> str:
+        if func_id in self.pinned:
+            return "pinned-isolated"
+        if func_id in self.promoted:
+            return "trusted"
+        return f"observing ({self.clean_runs[func_id]}/{self.threshold})"

@@ -1,0 +1,176 @@
+"""Exception hierarchy for the simulated kernel and safety tools.
+
+The simulator distinguishes three classes of failure:
+
+* **Hardware traps** (:class:`HardwareFault` subtypes) — events a real CPU
+  would raise synchronously: page faults, segmentation protection faults.
+  These are *mechanisms*; the kernel's fault handlers decide policy.
+* **Kernel errors** (:class:`KernelError` subtypes) — conditions the kernel
+  detects in software: bad file descriptors, exhausted memory, watchdog
+  expiry.  Syscall handlers translate most of these into errno-style return
+  values; they escape as exceptions only for programming errors in the
+  simulation itself.
+* **Safety violations** (:class:`SafetyViolation` subtypes) — what the
+  paper's tools (Kefence, KGCC, the event monitors) exist to detect.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+# ---------------------------------------------------------------- hardware
+
+class HardwareFault(ReproError):
+    """A synchronous CPU trap (page fault, protection fault)."""
+
+
+class PageFault(HardwareFault):
+    """Raised by the MMU when a translation fails or permissions deny access.
+
+    Attributes mirror the x86 page-fault error-code information: the faulting
+    virtual address, the access kind (``'r'``/``'w'``/``'x'``), and whether a
+    PTE was present at all.
+    """
+
+    def __init__(self, vaddr: int, access: str, present: bool, *, guard: bool = False):
+        self.vaddr = vaddr
+        self.access = access
+        self.present = present
+        self.guard = guard
+        kind = "guard-page" if guard else ("protection" if present else "not-present")
+        super().__init__(f"page fault ({kind}) at {vaddr:#x} on '{access}' access")
+
+
+class ProtectionFault(HardwareFault):
+    """Raised by segmentation checks on out-of-segment or privilege errors."""
+
+    def __init__(self, selector: int, offset: int, reason: str):
+        self.selector = selector
+        self.offset = offset
+        self.reason = reason
+        super().__init__(f"protection fault: selector={selector} offset={offset:#x}: {reason}")
+
+
+# ------------------------------------------------------------------ kernel
+
+class KernelError(ReproError):
+    """Software-detected kernel error."""
+
+
+class Errno(KernelError):
+    """An errno-style syscall failure (negative return in real Linux)."""
+
+    def __init__(self, errno: int, name: str, msg: str = ""):
+        self.errno = errno
+        self.name = name
+        super().__init__(f"{name} ({errno}){': ' + msg if msg else ''}")
+
+
+# errno values follow asm-generic/errno-base.h
+EPERM, ENOENT, EIO, EBADF, ENOMEM, EACCES, EFAULT, EEXIST = 1, 2, 5, 9, 12, 13, 14, 17
+ENOTDIR, EISDIR, EINVAL, ENFILE, EMFILE, ENOSPC, ERANGE = 20, 21, 22, 23, 24, 28, 34
+ENOTEMPTY, ETIME = 39, 62
+
+_ERRNO_NAMES = {
+    EPERM: "EPERM", ENOENT: "ENOENT", EIO: "EIO", EBADF: "EBADF",
+    ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT", EEXIST: "EEXIST",
+    ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL", ENFILE: "ENFILE",
+    EMFILE: "EMFILE", ENOSPC: "ENOSPC", ERANGE: "ERANGE",
+    ENOTEMPTY: "ENOTEMPTY", ETIME: "ETIME",
+}
+
+
+def errno_name(errno: int) -> str:
+    """Symbolic name for an errno value (``'E???'`` if unknown)."""
+    return _ERRNO_NAMES.get(errno, f"E?{errno}")
+
+
+def raise_errno(errno: int, msg: str = "") -> None:
+    """Raise :class:`Errno` with its symbolic name attached."""
+    raise Errno(errno, errno_name(errno), msg)
+
+
+class OutOfMemory(KernelError):
+    """An allocator could not satisfy a request."""
+
+
+class WatchdogExpired(KernelError):
+    """A Cosy compound exceeded its maximum allowed kernel time (§2.3)."""
+
+    def __init__(self, pid: int, used_cycles: int, limit_cycles: int):
+        self.pid = pid
+        self.used_cycles = used_cycles
+        self.limit_cycles = limit_cycles
+        super().__init__(
+            f"pid {pid} exceeded kernel-time budget: {used_cycles} > {limit_cycles} cycles"
+        )
+
+
+# ------------------------------------------------------------------ safety
+
+class SafetyViolation(ReproError):
+    """Base for violations detected by the paper's safety tools."""
+
+
+class BufferOverflow(SafetyViolation):
+    """Kefence detected an access past the end (or start) of a buffer (§3.2)."""
+
+    def __init__(self, vaddr: int, buf_base: int, buf_size: int, access: str,
+                 site: str = "?"):
+        self.vaddr = vaddr
+        self.buf_base = buf_base
+        self.buf_size = buf_size
+        self.access = access
+        self.site = site
+        super().__init__(
+            f"buffer overflow: {access}-access at {vaddr:#x}, buffer "
+            f"[{buf_base:#x}, {buf_base + buf_size:#x}) allocated at {site}"
+        )
+
+
+class BoundsError(SafetyViolation):
+    """KGCC detected an out-of-bounds pointer dereference (§3.4)."""
+
+    def __init__(self, addr: int, msg: str, site: str = "?"):
+        self.addr = addr
+        self.site = site
+        super().__init__(f"bounds violation at {addr:#x} ({site}): {msg}")
+
+
+class InvalidPointer(SafetyViolation):
+    """KGCC detected arithmetic or a dereference on an unknown pointer."""
+
+    def __init__(self, addr: int, msg: str = "pointer does not reference a live object"):
+        self.addr = addr
+        super().__init__(f"invalid pointer {addr:#x}: {msg}")
+
+
+class AllocatorMisuse(SafetyViolation):
+    """Double free, free of a non-allocated address, or mismatched allocator."""
+
+
+class InvariantViolation(SafetyViolation):
+    """An event monitor detected a broken higher-level invariant (§3.3):
+    unbalanced spinlocks, asymmetric reference counts, IRQs left disabled."""
+
+    def __init__(self, rule: str, detail: str):
+        self.rule = rule
+        self.detail = detail
+        super().__init__(f"invariant '{rule}' violated: {detail}")
+
+
+class CosyError(ReproError):
+    """Malformed compound, unsupported construct, or decode failure (§2.3)."""
+
+
+class CMinusError(ReproError):
+    """Lex/parse/type/runtime error in the C-subset toolchain."""
+
+    def __init__(self, msg: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        where = f" at line {line}" if line else ""
+        super().__init__(f"{msg}{where}")

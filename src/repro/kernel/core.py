@@ -1,0 +1,173 @@
+"""The :class:`Kernel`: wiring for the whole simulated machine.
+
+One ``Kernel`` is one booted machine: clock + cost model, physical memory,
+the shared kernel page table and MMU, the kmalloc/vmalloc allocators, a GDT,
+the VFS, the scheduler, the syscall interface, syslog, and the event-hook
+socket the §3.3 monitoring framework plugs into.
+
+Typical setup::
+
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    task = k.spawn("app")
+    fd = k.sys.open("/hello", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"hi")
+    k.sys.close(fd)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.kernel.clock import Clock, Mode
+from repro.kernel.costs import DEFAULT_COSTS, CostModel
+from repro.kernel.memory.kmalloc import KmallocAllocator
+from repro.kernel.memory.mmu import MMU
+from repro.kernel.memory.paging import PageTable
+from repro.kernel.memory.physmem import PhysicalMemory
+from repro.kernel.memory.vmalloc import VmallocAllocator
+from repro.kernel.process import Task
+from repro.kernel.sched import Scheduler
+from repro.kernel.segments import SegmentTable
+from repro.kernel.syscalls.interface import SyscallInterface
+from repro.kernel.syslog import KERN_INFO, Syslog
+from repro.kernel.vfs.namei import VFS
+from repro.kernel.vfs.super import SuperBlock
+
+#: signature of the event hook: (obj, event_type, site) — see §3.3.
+EventHook = Callable[[Any, int, str], None]
+
+
+class KmallocFacade:
+    """Adapter giving Wrapfs-style modules a malloc/free view of kmalloc."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+
+    def malloc(self, size: int, site: str = "?") -> int:
+        return self._kernel.kmalloc.kmalloc(size)
+
+    def free(self, addr: int) -> None:
+        self._kernel.kmalloc.kfree(addr)
+
+
+class Kernel:
+    """A booted simulated machine."""
+
+    def __init__(self, costs: CostModel | None = None,
+                 ram_bytes: int = 884 * 1024 * 1024):
+        self.costs = costs if costs is not None else DEFAULT_COSTS
+        self.clock = Clock(hz=self.costs.hz)
+        self.physmem = PhysicalMemory(ram_bytes)
+        self.kernel_pt = PageTable()
+        self.mmu = MMU(self.physmem, self.clock, self.costs)
+        self.kmalloc = KmallocAllocator(self.physmem, self.kernel_pt,
+                                        self.clock, self.costs)
+        self.vmalloc = VmallocAllocator(self.physmem, self.kernel_pt,
+                                        self.clock, self.costs, mmu=self.mmu)
+        self.gdt = SegmentTable()
+        self.syslog = Syslog()
+        self.vfs = VFS(self)
+        self.sched = Scheduler(self)
+        self.sys = SyscallInterface(self)
+        self.kma = KmallocFacade(self)
+        self.tasks: list[Task] = []
+        #: event dispatcher socket (§3.3); None = instrumentation compiled out.
+        self.event_hook: EventHook | None = None
+        #: compile-time-style switches: newly created locks/refcounts emit
+        #: events when these are set (the §3.3 "instrumented kernel" builds).
+        self.instrument_all_locks = False
+        self.instrument_all_refcounts = False
+        self.printk(KERN_INFO, "kernel booted")
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def current(self) -> Task | None:
+        return self.sched.current
+
+    def spawn(self, name: str) -> Task:
+        """Create a task and put it on the runqueue."""
+        task = Task(self, name)
+        task.cwd = self.vfs.root
+        self.tasks.append(task)
+        self.sched.add_task(task)
+        return task
+
+    def exit_task(self, task: Task) -> None:
+        for fd in list(task.fds):
+            file = task.fds.pop(fd)
+            file.inode.release_file(file)
+            file.inode.i_count.put("exit")
+        self.sched.remove_task(task)
+
+    def mount_root(self, sb: SuperBlock):
+        root = self.vfs.mount_root(sb)
+        for task in self.tasks:
+            if task.cwd is None:
+                task.cwd = root
+        return root
+
+    def printk(self, level: int, message: str) -> None:
+        self.syslog.printk(level, message, self.clock.now)
+
+    # ------------------------------------------------------ event hook (§3.3)
+
+    def log_event(self, obj: Any, event_type: int, site: str = "?") -> None:
+        """The kernel-wide ``log_event`` call of Figure 1.
+
+        With no dispatcher attached this is free — matching a kernel built
+        without instrumentation; the monitor framework attaches a dispatcher
+        to make events observable.
+        """
+        hook = self.event_hook
+        if hook is None:
+            return
+        hook(obj, event_type, site)
+
+    def attach_event_dispatcher(self, hook: EventHook) -> None:
+        if self.event_hook is not None:
+            raise RuntimeError("an event dispatcher is already attached")
+        self.event_hook = hook
+
+    def detach_event_dispatcher(self) -> None:
+        self.event_hook = None
+
+    # ----------------------------------------------------------- measurement
+
+    def measure(self):
+        """Context manager measuring elapsed/system/user over a block::
+
+            with k.measure() as m:
+                workload()
+            print(m.timings.elapsed)
+        """
+        return _Measurement(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Kernel(cycles={self.clock.now}, tasks={len(self.tasks)}, "
+                f"syscalls={self.sys.total_syscalls})")
+
+
+class _Measurement:
+    """Result holder for :meth:`Kernel.measure`."""
+
+    def __init__(self, kernel: Kernel):
+        self._kernel = kernel
+        self.timings = None
+        self.delta = None
+        self.copies = None
+
+    def __enter__(self):
+        self._clock_snap = self._kernel.clock.snapshot()
+        self._copy_snap = self._kernel.sys.ucopy.stats.snapshot()
+        self._syscalls0 = self._kernel.sys.total_syscalls
+        return self
+
+    def __exit__(self, *exc):
+        from repro.kernel.clock import Timings
+        self.delta = self._kernel.clock.since(self._clock_snap)
+        self.timings = Timings.from_delta(self._kernel.clock, self.delta)
+        self.copies = self._kernel.sys.ucopy.stats.since(self._copy_snap)
+        self.syscalls = self._kernel.sys.total_syscalls - self._syscalls0
+        return False

@@ -1,0 +1,185 @@
+"""Cost model: cycle prices for every mechanism the simulator charges.
+
+The paper's results are driven by a handful of hardware costs — the
+user/kernel boundary crossing, per-byte copies across that boundary, page
+faults, segment loads, TLB pressure, and disk latency.  This module collects
+them into one dataclass so experiments can vary them explicitly and so
+DESIGN.md §5 has a single calibration point.
+
+Defaults are calibrated to the paper's testbed (1.7 GHz Pentium 4, IDE
+7200 RPM disk, Linux 2.6) using contemporary measurements of trap costs
+(~1000–1500 cycles for int 0x80 entry+exit on the P4's long pipeline) and
+memcpy bandwidth.  Absolute values need only be plausible; the experiments'
+*shapes* depend on the ratios (trap cost ≫ per-byte copy cost ≫ ALU op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class DiskProfile:
+    """Seek/rotation/transfer model for one disk, in seconds and bytes/s."""
+
+    name: str
+    avg_seek_s: float
+    half_rotation_s: float
+    transfer_bps: float
+
+    def access_seconds(self, nbytes: int, *, sequential: bool) -> float:
+        """Service time for one request.  Sequential requests skip the seek
+        and rotational delay (the head is already positioned)."""
+        t = nbytes / self.transfer_bps
+        if not sequential:
+            t += self.avg_seek_s + self.half_rotation_s
+        return t
+
+
+#: The paper's §3.2/§3.3 test disks.
+IDE_7200RPM = DiskProfile("ide-7200rpm", avg_seek_s=8.5e-3,
+                          half_rotation_s=4.17e-3, transfer_bps=40e6)
+SCSI_15KRPM = DiskProfile("scsi-15krpm", avg_seek_s=3.8e-3,
+                          half_rotation_s=2.0e-3, transfer_bps=70e6)
+
+
+@dataclass
+class CostModel:
+    """All cycle prices used by the simulated kernel.
+
+    Attributes are grouped by subsystem; each is the number of cycles charged
+    per event unless the name says ``per_byte`` or ``per_page``.
+    """
+
+    # -- CPU / trap costs ---------------------------------------------------
+    #: one user→kernel→user boundary crossing (trap entry + exit + register
+    #: save/restore + cache/TLB disturbance).  The paper calls these
+    #: "context switches"; on a P4 this is on the order of 1200 cycles.
+    syscall_trap: int = 1200
+    #: fixed in-kernel dispatch overhead per syscall (table lookup, audit).
+    syscall_dispatch: int = 150
+    #: full process context switch (scheduler, address-space switch).
+    context_switch: int = 4000
+    #: page-fault trap + handler entry.
+    page_fault: int = 2200
+    #: loading a segment register / far call into an isolated segment.
+    segment_load: int = 120
+    #: far call + return between segments (Cosy full-isolation mode, §2.3).
+    far_call: int = 340
+    #: TLB miss refill.
+    tlb_miss: int = 90
+
+    # -- copy costs ----------------------------------------------------------
+    #: per-byte cost of copy_{to,from}_user (boundary copy with access_ok).
+    uaccess_per_byte: float = 0.55
+    #: fixed cost per copy_{to,from}_user call.
+    uaccess_setup: int = 90
+    #: per-byte in-kernel memcpy.
+    memcpy_per_byte: float = 0.25
+
+    # -- allocators ----------------------------------------------------------
+    kmalloc: int = 90
+    kfree: int = 70
+    #: vmalloc is much dearer: page allocation + page-table edits, per page.
+    vmalloc_base: int = 450
+    vmalloc_per_page: int = 400
+    vfree_base: int = 350
+    vfree_per_page: int = 260
+    #: vunmap must invalidate the freed range in the TLB (shootdown).
+    vfree_tlb_flush: int = 950
+    #: stock vfree walks the vm_struct list linearly; cost per area
+    #: examined (the Kefence hash table removes this walk entirely, §3.2).
+    vfree_walk_per_area: int = 55
+    #: Kefence guardian-PTE installation/removal, per allocation.
+    guard_page_setup: int = 160
+    #: extra TLB pressure for page-granular allocations, charged per access
+    #: to a vmalloc'ed object (the §3.2 "TLB contention" effect).
+    vmalloc_access_tlb_penalty: int = 14
+
+    # -- scheduler -----------------------------------------------------------
+    #: scheduler tick quantum in cycles (100 Hz timer at 1.7 GHz).
+    sched_quantum: int = 17_000_000
+    #: cost of one timer-tick/preemption check.
+    sched_tick: int = 300
+
+    # -- VFS / FS ------------------------------------------------------------
+    #: path-component lookup in the dcache (hash + compare), per component.
+    dcache_lookup: int = 220
+    #: spinlock acquire+release pair (uncontended).
+    spinlock_pair: int = 48
+    #: inode stat fill-in.
+    stat_fill: int = 260
+    #: per-dirent formatting cost in readdir/getdents.
+    dirent_emit: int = 95
+    #: per-block FS mapping logic (bmap).
+    block_map: int = 130
+    #: buffer-cache hash lookup.
+    bcache_lookup: int = 110
+
+    # -- user-level application modelling ------------------------------------
+    #: user-space overhead wrapped around each syscall invocation (libc stub,
+    #: errno handling, loop bookkeeping in the calling program).
+    user_syscall_stub: int = 260
+    #: per-byte cost for user code to *process* data it read (checksum, parse).
+    user_touch_per_byte: float = 0.3
+
+    # -- C-subset execution ---------------------------------------------------
+    #: cost of one C-subset AST operation.  The tree-walking interpreter
+    #: visits roughly one node per simple machine instruction a compiler
+    #: would emit, so one cycle per visit keeps interpreted "application
+    #: compute" in a realistic ratio to trap/copy costs.
+    cminus_op: int = 1
+    #: extra per-op decode cost when the op arrives encoded in a Cosy compound.
+    cosy_decode_op: int = 40
+    #: Cosy compound fixed setup (buffer validation, watchdog arm).
+    cosy_setup: int = 500
+
+    # -- KGCC runtime ---------------------------------------------------------
+    #: fixed cost of one bounds check.  BCC-style checks are out-of-line
+    #: calls into the runtime (argument setup, spills, branchy validation),
+    #: not single inline compares — hundreds of cycles on the P4.
+    kgcc_check: int = 200
+    #: per-node cost of a splay-tree access during a check.
+    kgcc_splay_node: int = 30
+    #: cost of registering/unregistering an object in the address map.
+    kgcc_register: int = 260
+
+    # -- event monitor (§3.3) --------------------------------------------------
+    #: log_event fast path when no dispatcher is attached (compiled-out).
+    monitor_disabled: int = 0
+    #: event dispatch (indirect call to callbacks).
+    monitor_dispatch: int = 40
+    #: ring-buffer enqueue (lock-free reserve + commit).
+    monitor_ring_enqueue: int = 60
+    #: per-record cost for the chardev read path (copy_to_user of one record
+    #: is charged separately via uaccess costs).
+    monitor_chardev_record: int = 40
+    #: user-space polling loop iteration with no data available.
+    monitor_poll_empty: int = 700
+
+    # -- disk -----------------------------------------------------------------
+    disk: DiskProfile = field(default_factory=lambda: IDE_7200RPM)
+    #: CPU frequency used to convert disk seconds into iowait cycles.
+    hz: float = 1.7e9
+
+    # ------------------------------------------------------------------ utils
+
+    def uaccess_cost(self, nbytes: int) -> int:
+        """Cycles for one user↔kernel copy of ``nbytes``."""
+        return self.uaccess_setup + int(nbytes * self.uaccess_per_byte)
+
+    def memcpy_cost(self, nbytes: int) -> int:
+        """Cycles for one in-kernel memcpy of ``nbytes``."""
+        return int(nbytes * self.memcpy_per_byte)
+
+    def disk_cycles(self, nbytes: int, *, sequential: bool) -> int:
+        """I/O-wait cycles for one disk request."""
+        return int(self.disk.access_seconds(nbytes, sequential=sequential) * self.hz)
+
+    def with_(self, **overrides) -> "CostModel":
+        """A copy of this model with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Default model used by ``Kernel()`` when none is passed.
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,135 @@
+"""Block device with a seek/rotate/transfer latency model, plus a buffer cache.
+
+Disk service time comes from the :class:`~repro.kernel.costs.DiskProfile` in
+the cost model and is charged to the clock's IOWAIT bucket — this is what
+separates "system time" from "elapsed time" in the I/O-bound experiments
+(PostMark in §3.3/§3.4), where the paper observes system time constant while
+elapsed time balloons.
+
+The :class:`BufferCache` is a write-back LRU cache of blocks; sequential
+access is detected per-device so streaming transfers skip the seek penalty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.errors import EIO, raise_errno
+from repro.kernel.clock import Mode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+BLOCK_SIZE = 4096
+
+
+class Disk:
+    """A block device: fixed-size blocks, latency charged per request.
+
+    ``profile`` overrides the cost model's default disk (e.g. a SCSI log
+    drive alongside the IDE data drive, as in the paper's §3.3 setup).
+    """
+
+    def __init__(self, kernel: "Kernel", nblocks: int, *, name: str = "hda",
+                 profile=None):
+        self.kernel = kernel
+        self.nblocks = nblocks
+        self.name = name
+        self.profile = profile
+        self._blocks: dict[int, bytes] = {}
+        self._last_block = -2  # sequential-access detection
+        self.reads = 0
+        self.writes = 0
+
+    def _charge(self, block: int) -> None:
+        sequential = block == self._last_block + 1
+        self._last_block = block
+        profile = self.profile or self.kernel.costs.disk
+        seconds = profile.access_seconds(BLOCK_SIZE, sequential=sequential)
+        self.kernel.clock.charge(int(seconds * self.kernel.costs.hz),
+                                 Mode.IOWAIT)
+
+    def read_block(self, block: int) -> bytes:
+        if not (0 <= block < self.nblocks):
+            raise_errno(EIO, f"read of block {block} beyond device {self.name}")
+        self.reads += 1
+        self._charge(block)
+        return self._blocks.get(block, bytes(BLOCK_SIZE))
+
+    def write_block(self, block: int, data: bytes) -> None:
+        if not (0 <= block < self.nblocks):
+            raise_errno(EIO, f"write of block {block} beyond device {self.name}")
+        if len(data) != BLOCK_SIZE:
+            raise ValueError(f"block write must be {BLOCK_SIZE} bytes, got {len(data)}")
+        self.writes += 1
+        self._charge(block)
+        self._blocks[block] = bytes(data)
+
+
+class BufferCache:
+    """Write-back LRU block cache in front of a :class:`Disk`."""
+
+    def __init__(self, kernel: "Kernel", disk: Disk, capacity_blocks: int = 8192):
+        self.kernel = kernel
+        self.disk = disk
+        self.capacity = capacity_blocks
+        self._cache: OrderedDict[int, bytearray] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def _evict_if_needed(self) -> None:
+        while len(self._cache) > self.capacity:
+            block, data = self._cache.popitem(last=False)
+            if block in self._dirty:
+                self._dirty.discard(block)
+                self.disk.write_block(block, bytes(data))
+
+    def read(self, block: int) -> bytearray:
+        """Return the cached block (read-through on miss)."""
+        self.kernel.clock.charge(self.kernel.costs.bcache_lookup, Mode.SYSTEM)
+        buf = self._cache.get(block)
+        if buf is not None:
+            self._cache.move_to_end(block)
+            self.hits += 1
+            return buf
+        self.misses += 1
+        buf = bytearray(self.disk.read_block(block))
+        self._cache[block] = buf
+        self._evict_if_needed()
+        return buf
+
+    def write(self, block: int, data: bytes, offset: int = 0) -> None:
+        """Write into the cached block, marking it dirty (write-back)."""
+        if offset + len(data) > BLOCK_SIZE:
+            raise ValueError("write crosses block boundary")
+        # A full overwrite need not read the old contents from disk.
+        if offset == 0 and len(data) == BLOCK_SIZE and block not in self._cache:
+            self.kernel.clock.charge(self.kernel.costs.bcache_lookup, Mode.SYSTEM)
+            self.misses += 1
+            self._cache[block] = bytearray(data)
+            self._evict_if_needed()
+        else:
+            buf = self.read(block)
+            buf[offset:offset + len(data)] = data
+        self._dirty.add(block)
+
+    def adopt_zeroed(self, block: int) -> None:
+        """Install a freshly-allocated block as zero-filled, without a disk
+        read — the filesystem knows a new block's old contents are dead."""
+        self.kernel.clock.charge(self.kernel.costs.bcache_lookup, Mode.SYSTEM)
+        if block not in self._cache:
+            self._cache[block] = bytearray(BLOCK_SIZE)
+            self._evict_if_needed()
+
+    def invalidate(self, block: int) -> None:
+        """Drop a block without writeback (after its file was deleted)."""
+        self._cache.pop(block, None)
+        self._dirty.discard(block)
+
+    def sync(self) -> None:
+        """Flush all dirty blocks, in block order (elevator-style)."""
+        for block in sorted(self._dirty):
+            self.disk.write_block(block, bytes(self._cache[block]))
+        self._dirty.clear()

@@ -1,0 +1,233 @@
+"""An ext2-like block filesystem over the simulated disk.
+
+Files own lists of data blocks allocated from a free-block bitmap; all data
+access goes through the buffer cache, so cold reads pay disk latency (IOWAIT)
+and warm reads pay only CPU.  Directory entries and inode metadata are kept
+as in-memory structures but charged block-mapping CPU costs, which is the
+level of fidelity the paper's experiments need (they compare instrumented
+vs. vanilla modules *on the same FS*).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import (EEXIST, EISDIR, ENOENT, ENOSPC, ENOTDIR, ENOTEMPTY,
+                          raise_errno)
+from repro.kernel.clock import Mode
+from repro.kernel.fs.disk import BLOCK_SIZE, BufferCache, Disk
+from repro.kernel.vfs.inode import DT_DIR, DT_REG, DirEntry, Inode
+from repro.kernel.vfs.stat import S_IFDIR, S_IFREG
+from repro.kernel.vfs.super import SuperBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+
+class Ext2Inode(Inode):
+    """An inode whose file data lives in disk blocks."""
+
+    def __init__(self, sb: "Ext2SuperBlock", ino: int, mode: int):
+        super().__init__(sb, ino, mode)
+        self.blocks_list: list[int] = [] if self.is_reg else []
+        self.entries: dict[str, Ext2Inode] | None = {} if self.is_dir else None
+        self.ext2_sb: "Ext2SuperBlock" = sb
+
+    # -------------------------------------------------- directory operations
+
+    def _require_dir(self) -> dict[str, "Ext2Inode"]:
+        if self.entries is None:
+            raise_errno(ENOTDIR, f"inode {self.ino} is not a directory")
+        return self.entries
+
+    def _charge_dirop(self) -> None:
+        self.sb.kernel.clock.charge(self.sb.kernel.costs.block_map, Mode.SYSTEM)
+
+    def lookup(self, name: str) -> "Ext2Inode | None":
+        self._charge_dirop()
+        return self._require_dir().get(name)
+
+    def create(self, name: str, mode: int) -> "Ext2Inode":
+        entries = self._require_dir()
+        if name in entries:
+            raise_errno(EEXIST, name)
+        self._charge_dirop()
+        inode = Ext2Inode(self.ext2_sb, self.sb.alloc_ino(), mode | S_IFREG)
+        self.sb.register_inode(inode)
+        entries[name] = inode
+        self.touch_mtime()
+        return inode
+
+    def mkdir(self, name: str) -> "Ext2Inode":
+        entries = self._require_dir()
+        if name in entries:
+            raise_errno(EEXIST, name)
+        self._charge_dirop()
+        inode = Ext2Inode(self.ext2_sb, self.sb.alloc_ino(), S_IFDIR | 0o755)
+        self.sb.register_inode(inode)
+        entries[name] = inode
+        self.nlink += 1
+        self.touch_mtime()
+        return inode
+
+    def unlink(self, name: str) -> None:
+        entries = self._require_dir()
+        child = entries.get(name)
+        if child is None:
+            raise_errno(ENOENT, name)
+        if child.is_dir:
+            raise_errno(EISDIR, name)
+        self._charge_dirop()
+        del entries[name]
+        child.nlink -= 1
+        if child.nlink == 0:
+            self.sb.drop_inode(child)
+        self.touch_mtime()
+
+    def rmdir(self, name: str) -> None:
+        entries = self._require_dir()
+        child = entries.get(name)
+        if child is None:
+            raise_errno(ENOENT, name)
+        if not child.is_dir:
+            raise_errno(ENOTDIR, name)
+        if child.entries:
+            raise_errno(ENOTEMPTY, name)
+        self._charge_dirop()
+        del entries[name]
+        self.nlink -= 1
+        self.sb.drop_inode(child)
+        self.touch_mtime()
+
+    def rename(self, old_name: str, new_dir: Inode, new_name: str) -> None:
+        entries = self._require_dir()
+        child = entries.get(old_name)
+        if child is None:
+            raise_errno(ENOENT, old_name)
+        if not isinstance(new_dir, Ext2Inode):
+            raise_errno(ENOTDIR, "cross-filesystem rename")
+        self._charge_dirop()
+        target = new_dir._require_dir()
+        existing = target.get(new_name)
+        if existing is not None and existing.is_dir:
+            raise_errno(EISDIR, new_name)
+        del entries[old_name]
+        if existing is not None:
+            existing.nlink -= 1
+            if existing.nlink == 0:
+                self.sb.drop_inode(existing)
+        target[new_name] = child
+        self.touch_mtime()
+        new_dir.touch_mtime()
+
+    def readdir(self) -> list[DirEntry]:
+        entries = self._require_dir()
+        # Reading a directory touches its blocks (one per ~128 entries).
+        nblocks = max(1, (len(entries) + 127) // 128)
+        for _ in range(nblocks):
+            self._charge_dirop()
+        return [
+            DirEntry(name, child.ino, DT_DIR if child.is_dir else DT_REG)
+            for name, child in entries.items()
+        ]
+
+    # -------------------------------------------------------- data operations
+
+    def _block_for(self, index: int, *, allocate: bool) -> int | None:
+        """Logical block index -> physical block, optionally allocating."""
+        self.sb.kernel.clock.charge(self.sb.kernel.costs.block_map, Mode.SYSTEM)
+        while allocate and index >= len(self.blocks_list):
+            self.blocks_list.append(self.ext2_sb.alloc_block())
+        if index < len(self.blocks_list):
+            return self.blocks_list[index]
+        return None
+
+    def read(self, offset: int, size: int) -> bytes:
+        if self.is_dir:
+            raise_errno(EISDIR, "read of a directory")
+        size = max(0, min(size, self.size - offset))
+        out = bytearray()
+        pos = offset
+        while len(out) < size:
+            bidx, boff = divmod(pos, BLOCK_SIZE)
+            phys = self._block_for(bidx, allocate=False)
+            n = min(size - len(out), BLOCK_SIZE - boff)
+            if phys is None:
+                out += bytes(n)  # hole
+            else:
+                out += self.ext2_sb.bcache.read(phys)[boff:boff + n]
+            pos += n
+        self.sb.kernel.clock.charge(
+            self.sb.kernel.costs.memcpy_cost(len(out)), Mode.SYSTEM)
+        self.touch_atime()
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> int:
+        if self.is_dir:
+            raise_errno(EISDIR, "write of a directory")
+        pos = offset
+        view = memoryview(data)
+        while len(view) > 0:
+            bidx, boff = divmod(pos, BLOCK_SIZE)
+            phys = self._block_for(bidx, allocate=True)
+            n = min(len(view), BLOCK_SIZE - boff)
+            self.ext2_sb.bcache.write(phys, bytes(view[:n]), boff)
+            pos += n
+            view = view[n:]
+        self.size = max(self.size, offset + len(data))
+        self.sb.kernel.clock.charge(
+            self.sb.kernel.costs.memcpy_cost(len(data)), Mode.SYSTEM)
+        self.touch_mtime()
+        return len(data)
+
+    def truncate(self, size: int) -> None:
+        if self.is_dir:
+            raise_errno(EISDIR, "truncate of a directory")
+        needed = (size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        while len(self.blocks_list) > needed:
+            self.ext2_sb.free_block(self.blocks_list.pop())
+        self.size = size
+        self.touch_mtime()
+
+
+class Ext2SuperBlock(SuperBlock):
+    """An ext2-like filesystem instance over a disk."""
+
+    def __init__(self, kernel: "Kernel", disk: Disk | None = None,
+                 name: str = "ext2", *, cache_blocks: int = 8192):
+        super().__init__(kernel, name)
+        self.disk = disk if disk is not None else Disk(kernel, nblocks=1 << 20)
+        self.bcache = BufferCache(kernel, self.disk, capacity_blocks=cache_blocks)
+        self._free_blocks = list(range(self.disk.nblocks - 1, -1, -1))
+        root = Ext2Inode(self, self.alloc_ino(), S_IFDIR | 0o755)
+        self.register_inode(root)
+        self.root_inode = root
+
+    def alloc_block(self) -> int:
+        if not self._free_blocks:
+            raise_errno(ENOSPC, "filesystem full")
+        block = self._free_blocks.pop()
+        # A fresh block's prior contents are dead: no read-modify-write.
+        self.bcache.adopt_zeroed(block)
+        return block
+
+    def free_block(self, block: int) -> None:
+        self.bcache.invalidate(block)
+        self._free_blocks.append(block)
+
+    def drop_inode(self, inode: Inode) -> None:
+        if isinstance(inode, Ext2Inode):
+            for block in inode.blocks_list:
+                self.free_block(block)
+            inode.blocks_list.clear()
+        super().drop_inode(inode)
+
+    def statfs(self) -> dict:
+        return {
+            "files": len(self.inodes),
+            "blocks": self.disk.nblocks,
+            "bfree": len(self._free_blocks),
+        }
+
+    def sync(self) -> None:
+        self.bcache.sync()

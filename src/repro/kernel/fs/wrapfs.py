@@ -1,0 +1,220 @@
+"""Wrapfs: a stackable pass-through filesystem (FiST-style, §3.2).
+
+Wrapfs redirects every operation to a lower filesystem, but — like the real
+Wrapfs the paper instruments — it allocates dynamic kernel memory as it
+works: per-object private data for each wrapped inode and file, a copy of
+each file name it looks up, and temporary page buffers that file data is
+staged through.  That allocation pattern (many small, short-lived buffers;
+the paper measured an 80-byte average) is exactly what the Kefence
+evaluation exercises.
+
+All allocation goes through a pluggable *allocator facade* (``malloc(size,
+site)`` / ``free(addr)``), so the same module runs over kmalloc ("vanilla
+Wrapfs") or over Kefence's guarded vmalloc ("instrumented Wrapfs") without
+code changes — the paper's compiler flag that rewrites kmalloc→vmalloc.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.kernel.clock import Mode
+from repro.kernel.fs.disk import BLOCK_SIZE
+from repro.kernel.vfs.inode import DirEntry, Inode
+from repro.kernel.vfs.stat import Stat
+from repro.kernel.vfs.super import SuperBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+INODE_PRIVATE_SIZE = 64
+FILE_PRIVATE_SIZE = 48
+
+
+class AllocatorFacade(Protocol):
+    """What Wrapfs needs from a memory allocator."""
+
+    def malloc(self, size: int, site: str = "?") -> int: ...
+    def free(self, addr: int) -> None: ...
+
+
+class WrapfsInode(Inode):
+    """Wraps a lower inode; every op is delegated after local bookkeeping."""
+
+    def __init__(self, sb: "WrapfsSuperBlock", lower: Inode):
+        super().__init__(sb, lower.ino, lower.mode)
+        self.lower = lower
+        self.wsb: "WrapfsSuperBlock" = sb
+        # Per-object private data, as real Wrapfs attaches to each inode.
+        self.private = sb.allocator.malloc(INODE_PRIVATE_SIZE, "wrapfs:inode_private")
+
+    # ------------------------------------------------------------- helpers
+
+    def _name_buffer(self, name: str) -> int:
+        """Allocate and fill a kernel copy of a file name (freed by caller)."""
+        buf = self.wsb.allocator.malloc(len(name) + 1, "wrapfs:name")
+        self.sb.kernel.clock.charge(
+            self.sb.kernel.costs.memcpy_cost(len(name) + 1), Mode.SYSTEM)
+        return buf
+
+    def _wrap(self, lower: Inode | None) -> "WrapfsInode | None":
+        return self.wsb.wrap_inode(lower)
+
+    # ------------------------------------------------- namespace operations
+
+    def lookup(self, name: str) -> "WrapfsInode | None":
+        buf = self._name_buffer(name)
+        try:
+            return self._wrap(self.lower.lookup(name))
+        finally:
+            self.wsb.allocator.free(buf)
+
+    def create(self, name: str, mode: int) -> "WrapfsInode":
+        buf = self._name_buffer(name)
+        try:
+            return self._wrap(self.lower.create(name, mode))
+        finally:
+            self.wsb.allocator.free(buf)
+
+    def mkdir(self, name: str) -> "WrapfsInode":
+        buf = self._name_buffer(name)
+        try:
+            return self._wrap(self.lower.mkdir(name))
+        finally:
+            self.wsb.allocator.free(buf)
+
+    def unlink(self, name: str) -> None:
+        buf = self._name_buffer(name)
+        try:
+            lower_child = self.lower.lookup(name)
+            self.lower.unlink(name)
+            if lower_child is not None:
+                self.wsb.unwrap_inode(lower_child)
+        finally:
+            self.wsb.allocator.free(buf)
+
+    def rmdir(self, name: str) -> None:
+        buf = self._name_buffer(name)
+        try:
+            lower_child = self.lower.lookup(name)
+            self.lower.rmdir(name)
+            if lower_child is not None:
+                self.wsb.unwrap_inode(lower_child)
+        finally:
+            self.wsb.allocator.free(buf)
+
+    def rename(self, old_name: str, new_dir: Inode, new_name: str) -> None:
+        if not isinstance(new_dir, WrapfsInode):
+            raise TypeError("rename target must be a Wrapfs directory")
+        buf1 = self._name_buffer(old_name)
+        buf2 = self._name_buffer(new_name)
+        try:
+            self.lower.rename(old_name, new_dir.lower, new_name)
+        finally:
+            self.wsb.allocator.free(buf2)
+            self.wsb.allocator.free(buf1)
+
+    def readdir(self) -> list[DirEntry]:
+        return self.lower.readdir()
+
+    # -------------------------------------------------------- data operations
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read via a temporary page buffer, as stackable FSes stage pages."""
+        out = bytearray()
+        pagebuf = self.wsb.allocator.malloc(BLOCK_SIZE, "wrapfs:page_buffer")
+        try:
+            pos = offset
+            remaining = size
+            while remaining > 0:
+                n = min(remaining, BLOCK_SIZE)
+                chunk = self.lower.read(pos, n)
+                self.sb.kernel.clock.charge(
+                    self.sb.kernel.costs.memcpy_cost(len(chunk)), Mode.SYSTEM)
+                out += chunk
+                if len(chunk) < n:
+                    break
+                pos += n
+                remaining -= n
+        finally:
+            self.wsb.allocator.free(pagebuf)
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> int:
+        pagebuf = self.wsb.allocator.malloc(BLOCK_SIZE, "wrapfs:page_buffer")
+        try:
+            pos = offset
+            view = memoryview(data)
+            written = 0
+            while len(view) > 0:
+                n = min(len(view), BLOCK_SIZE)
+                self.sb.kernel.clock.charge(
+                    self.sb.kernel.costs.memcpy_cost(n), Mode.SYSTEM)
+                written += self.lower.write(pos, bytes(view[:n]))
+                pos += n
+                view = view[n:]
+        finally:
+            self.wsb.allocator.free(pagebuf)
+        self.size = self.lower.size
+        return written
+
+    def truncate(self, size: int) -> None:
+        self.lower.truncate(size)
+        self.size = self.lower.size
+
+    def getattr(self) -> Stat:
+        st = self.lower.getattr()
+        return st
+
+    # ------------------------------------------------- open-file lifecycle
+
+    def open_file(self, file) -> None:
+        """Attach Wrapfs per-file private data, as the real module does."""
+        file.private = self.wsb.allocator.malloc(FILE_PRIVATE_SIZE,
+                                                 "wrapfs:file_private")
+
+    def release_file(self, file) -> None:
+        if file.private is not None:
+            self.wsb.allocator.free(file.private)
+            file.private = None
+
+
+class WrapfsSuperBlock(SuperBlock):
+    """A Wrapfs instance stacked over ``lower_sb``."""
+
+    def __init__(self, kernel: "Kernel", lower_sb: SuperBlock,
+                 allocator: AllocatorFacade, name: str = "wrapfs"):
+        super().__init__(kernel, name)
+        self.lower_sb = lower_sb
+        self.allocator = allocator
+        self._wrappers: dict[int, WrapfsInode] = {}
+        if lower_sb.root_inode is None:
+            raise ValueError("lower filesystem has no root")
+        self.root_inode = self.wrap_inode(lower_sb.root_inode)
+
+    def wrap_inode(self, lower: Inode | None) -> WrapfsInode | None:
+        """Get-or-create the wrapper for a lower inode (interning keeps
+        wrapper identity stable, like real Wrapfs's inode hash)."""
+        if lower is None:
+            return None
+        wrapper = self._wrappers.get(lower.ino)
+        if wrapper is None:
+            wrapper = WrapfsInode(self, lower)
+            self._wrappers[lower.ino] = wrapper
+            self.register_inode(wrapper)
+        return wrapper
+
+    def unwrap_inode(self, lower: Inode) -> None:
+        """Drop the wrapper of a deleted lower inode, freeing private data."""
+        wrapper = self._wrappers.pop(lower.ino, None)
+        if wrapper is not None:
+            if wrapper.private is not None:
+                self.allocator.free(wrapper.private)
+                wrapper.private = None
+            super().drop_inode(wrapper)
+
+    def sync(self) -> None:
+        self.lower_sb.sync()
+
+    def statfs(self) -> dict:
+        return self.lower_sb.statfs()

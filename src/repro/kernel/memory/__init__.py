@@ -1,0 +1,36 @@
+"""Simulated memory subsystem.
+
+Layout (32-bit-style, mirroring the Linux 2.6/x86 split the paper targets):
+
+====================  =========================  ===============================
+region                range                      managed by
+====================  =========================  ===============================
+user space            0x0000_0000 – 0xBFFF_FFFF  per-process ``AddressSpace``
+kernel direct map     0xC000_0000 – 0xEFFF_FFFF  :class:`KmallocAllocator`
+vmalloc area          0xF000_0000 – 0xFF7F_FFFF  :class:`VmallocAllocator`
+====================  =========================  ===============================
+
+All byte access flows through :class:`MMU`, which enforces PTE permissions
+and raises :class:`~repro.errors.PageFault` — the hook Kefence (§3.2) builds
+on.
+"""
+
+from repro.kernel.memory.layout import (
+    PAGE_SIZE, PAGE_SHIFT, USER_BASE, USER_END, KERNEL_BASE,
+    KMALLOC_BASE, KMALLOC_END, VMALLOC_BASE, VMALLOC_END,
+    page_align_down, page_align_up, vpn_of,
+)
+from repro.kernel.memory.physmem import PhysicalMemory
+from repro.kernel.memory.paging import PTE, PageTable, AddressSpace, PERM_R, PERM_W, PERM_X
+from repro.kernel.memory.mmu import MMU
+from repro.kernel.memory.kmalloc import KmallocAllocator
+from repro.kernel.memory.vmalloc import VmallocAllocator, VmallocArea
+
+__all__ = [
+    "PAGE_SIZE", "PAGE_SHIFT", "USER_BASE", "USER_END", "KERNEL_BASE",
+    "KMALLOC_BASE", "KMALLOC_END", "VMALLOC_BASE", "VMALLOC_END",
+    "page_align_down", "page_align_up", "vpn_of",
+    "PhysicalMemory", "PTE", "PageTable", "AddressSpace",
+    "PERM_R", "PERM_W", "PERM_X", "MMU",
+    "KmallocAllocator", "VmallocAllocator", "VmallocArea",
+]

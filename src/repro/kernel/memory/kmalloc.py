@@ -1,0 +1,111 @@
+"""kmalloc: slab-style size-class allocator over the kernel direct map.
+
+Like Linux's slab allocator, requests are rounded up to a size class and
+served from per-class freelists; backing pages are mapped into the shared
+kernel page table on demand.  kmalloc'ed objects are packed many-per-page —
+which is exactly why Kefence (§3.2) cannot protect them and requires the
+kmalloc→vmalloc conversion this module's ``convert_to_vmalloc`` flag enables
+at a Kernel level.
+
+Misuse (double free, free of an address never returned by kmalloc) raises
+:class:`AllocatorMisuse`, mirroring the slab poisoning checks of a debug
+kernel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocatorMisuse, OutOfMemory
+from repro.kernel.clock import Clock, Mode
+from repro.kernel.costs import CostModel
+from repro.kernel.memory.layout import KMALLOC_BASE, KMALLOC_END, PAGE_SIZE
+from repro.kernel.memory.paging import PERM_R, PERM_W, PTE, PageTable
+from repro.kernel.memory.physmem import PhysicalMemory
+
+#: Size classes matching Linux's kmalloc caches (32 bytes – 128 KiB).
+SIZE_CLASSES = [32, 64, 96, 128, 192, 256, 512, 1024, 2048,
+                4096, 8192, 16384, 32768, 65536, 131072]
+
+
+def size_class_for(size: int) -> int:
+    """Smallest size class that fits ``size``."""
+    for cls in SIZE_CLASSES:
+        if size <= cls:
+            return cls
+    raise OutOfMemory(f"kmalloc request too large: {size} bytes")
+
+
+class KmallocAllocator:
+    """Slab-like allocator in [KMALLOC_BASE, KMALLOC_END)."""
+
+    def __init__(self, physmem: PhysicalMemory, kernel_pt: PageTable,
+                 clock: Clock, costs: CostModel):
+        self.physmem = physmem
+        self.kernel_pt = kernel_pt
+        self.clock = clock
+        self.costs = costs
+        self._brk = KMALLOC_BASE
+        self._freelists: dict[int, list[int]] = {cls: [] for cls in SIZE_CLASSES}
+        #: addr -> (requested size, size class)
+        self.live: dict[int, tuple[int, int]] = {}
+        # statistics
+        self.total_allocs = 0
+        self.total_frees = 0
+        self.bytes_requested = 0
+
+    # ------------------------------------------------------------ mapping
+
+    def _grow(self, cls: int) -> int:
+        """Carve a fresh chunk of class ``cls`` from the brk, mapping pages."""
+        # Align chunks >= one page to page boundaries, as the slab does.
+        if cls >= PAGE_SIZE and self._brk % PAGE_SIZE:
+            self._brk = (self._brk + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+        addr = self._brk
+        end = addr + cls
+        if end > KMALLOC_END:
+            raise OutOfMemory("kmalloc region exhausted")
+        # Map any pages the chunk touches that are not yet mapped.
+        vpn = addr >> 12
+        last_vpn = (end - 1) >> 12
+        while vpn <= last_vpn:
+            if self.kernel_pt.lookup(vpn) is None:
+                frame = self.physmem.alloc_frame()
+                self.kernel_pt.map(vpn, PTE(frame, perms=PERM_R | PERM_W))
+            vpn += 1
+        self._brk = end
+        return addr
+
+    # ---------------------------------------------------------------- API
+
+    def kmalloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the kernel virtual address."""
+        if size <= 0:
+            raise AllocatorMisuse(f"kmalloc of non-positive size {size}")
+        cls = size_class_for(size)
+        self.clock.charge(self.costs.kmalloc, Mode.SYSTEM)
+        freelist = self._freelists[cls]
+        addr = freelist.pop() if freelist else self._grow(cls)
+        self.live[addr] = (size, cls)
+        self.total_allocs += 1
+        self.bytes_requested += size
+        return addr
+
+    def kfree(self, addr: int) -> None:
+        """Free a kmalloc'ed address; detects double/invalid frees."""
+        self.clock.charge(self.costs.kfree, Mode.SYSTEM)
+        entry = self.live.pop(addr, None)
+        if entry is None:
+            raise AllocatorMisuse(f"kfree of address {addr:#x} not allocated by kmalloc")
+        _, cls = entry
+        self._freelists[cls].append(addr)
+        self.total_frees += 1
+
+    def ksize(self, addr: int) -> int:
+        """Requested size of a live allocation."""
+        entry = self.live.get(addr)
+        if entry is None:
+            raise AllocatorMisuse(f"ksize of dead address {addr:#x}")
+        return entry[0]
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(size for size, _ in self.live.values())

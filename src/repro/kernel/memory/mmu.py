@@ -1,0 +1,148 @@
+"""The MMU: every simulated byte access goes through here.
+
+Responsibilities:
+
+* translate virtual addresses through an :class:`AddressSpace`,
+* enforce PTE permissions (raising :class:`PageFault`),
+* run the kernel's page-fault handler chain and retry resolved faults
+  (this is how Kefence's "auto-map a page on overflow" continue-mode works),
+* model a small TLB and charge miss costs,
+* charge the configured per-access penalty for vmalloc-area pages
+  (the §3.2 "TLB contention" effect of page-granular allocation).
+
+Fault handlers are callables ``handler(fault: PageFault) -> bool``; returning
+True means the fault was resolved and the access should be retried.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.errors import PageFault
+from repro.kernel.clock import Clock, Mode
+from repro.kernel.costs import CostModel
+from repro.kernel.memory.layout import PAGE_SIZE, VMALLOC_BASE, VMALLOC_END, vpn_of
+from repro.kernel.memory.paging import AddressSpace, PTE
+from repro.kernel.memory.physmem import PhysicalMemory
+
+FaultHandler = Callable[[PageFault], bool]
+
+
+class MMU:
+    """Byte-level memory access with translation, faults, and a TLB."""
+
+    def __init__(self, physmem: PhysicalMemory, clock: Clock, costs: CostModel,
+                 tlb_entries: int = 64):
+        self.physmem = physmem
+        self.clock = clock
+        self.costs = costs
+        self.tlb_entries = tlb_entries
+        self._tlb: OrderedDict[int, None] = OrderedDict()
+        self.fault_handlers: list[FaultHandler] = []
+        # statistics
+        self.tlb_misses = 0
+        self.tlb_hits = 0
+        self.faults_taken = 0
+        self.faults_resolved = 0
+
+    # -------------------------------------------------------------- faults
+
+    def add_fault_handler(self, handler: FaultHandler) -> None:
+        """Install a page-fault handler ahead of the default (which re-raises)."""
+        self.fault_handlers.append(handler)
+
+    def remove_fault_handler(self, handler: FaultHandler) -> None:
+        self.fault_handlers.remove(handler)
+
+    def _handle_fault(self, fault: PageFault) -> None:
+        """Run the handler chain; re-raise if nobody resolves the fault."""
+        self.faults_taken += 1
+        self.clock.charge(self.costs.page_fault, Mode.SYSTEM)
+        for handler in self.fault_handlers:
+            if handler(fault):
+                self.faults_resolved += 1
+                return
+        raise fault
+
+    # --------------------------------------------------------- translation
+
+    def _tlb_access(self, vpn: int) -> None:
+        if vpn in self._tlb:
+            self._tlb.move_to_end(vpn)
+            self.tlb_hits += 1
+            return
+        self.tlb_misses += 1
+        self.clock.charge(self.costs.tlb_miss)
+        self._tlb[vpn] = None
+        if len(self._tlb) > self.tlb_entries:
+            self._tlb.popitem(last=False)
+
+    def flush_tlb(self) -> None:
+        """Full TLB flush (charged by the scheduler on context switches)."""
+        self._tlb.clear()
+
+    def invalidate_tlb_page(self, vaddr: int) -> None:
+        self._tlb.pop(vpn_of(vaddr), None)
+
+    def translate(self, aspace: AddressSpace, vaddr: int, access: str) -> PTE:
+        """Translate one address, retrying after resolvable faults."""
+        while True:
+            pte = aspace.lookup(vaddr)
+            if pte is not None and pte.allows(access):
+                self._tlb_access(vpn_of(vaddr))
+                if VMALLOC_BASE <= vaddr < VMALLOC_END:
+                    self.clock.charge(self.costs.vmalloc_access_tlb_penalty)
+                return pte
+            present = pte is not None and pte.present
+            guard = pte is not None and pte.guard
+            self._handle_fault(PageFault(vaddr, access, present, guard=guard))
+            # handler resolved it: loop and re-translate
+
+    # --------------------------------------------------------------- bytes
+
+    def read(self, aspace: AddressSpace, vaddr: int, size: int) -> bytes:
+        """Read ``size`` bytes, page by page."""
+        out = bytearray()
+        addr = vaddr
+        remaining = size
+        while remaining > 0:
+            pte = self.translate(aspace, addr, "r")
+            off = addr & (PAGE_SIZE - 1)
+            n = min(remaining, PAGE_SIZE - off)
+            out += self.physmem.frame_bytes(pte.frame)[off:off + n]
+            addr += n
+            remaining -= n
+        return bytes(out)
+
+    def write(self, aspace: AddressSpace, vaddr: int, data: bytes) -> None:
+        """Write ``data``, page by page."""
+        addr = vaddr
+        view = memoryview(data)
+        while len(view) > 0:
+            pte = self.translate(aspace, addr, "w")
+            off = addr & (PAGE_SIZE - 1)
+            n = min(len(view), PAGE_SIZE - off)
+            self.physmem.frame_bytes(pte.frame)[off:off + n] = view[:n]
+            addr += n
+            view = view[n:]
+
+    # Fixed-width integer helpers (little-endian, like x86).
+
+    def read_u8(self, aspace: AddressSpace, vaddr: int) -> int:
+        return self.read(aspace, vaddr, 1)[0]
+
+    def write_u8(self, aspace: AddressSpace, vaddr: int, value: int) -> None:
+        self.write(aspace, vaddr, bytes([value & 0xFF]))
+
+    def read_u32(self, aspace: AddressSpace, vaddr: int) -> int:
+        return int.from_bytes(self.read(aspace, vaddr, 4), "little")
+
+    def write_u32(self, aspace: AddressSpace, vaddr: int, value: int) -> None:
+        self.write(aspace, vaddr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def read_i64(self, aspace: AddressSpace, vaddr: int) -> int:
+        return int.from_bytes(self.read(aspace, vaddr, 8), "little", signed=True)
+
+    def write_i64(self, aspace: AddressSpace, vaddr: int, value: int) -> None:
+        self.write(aspace, vaddr, value.to_bytes(8, "little", signed=True))

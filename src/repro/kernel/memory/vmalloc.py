@@ -1,0 +1,205 @@
+"""vmalloc: page-granular allocator in the vmalloc virtual area.
+
+Each allocation occupies whole pages of its own, which is what lets Kefence
+(§3.2) align a buffer against a page boundary and plant an unmapped/"guardian"
+PTE next to it.  The paper notes two performance consequences that this
+module models faithfully:
+
+* vmalloc/vfree are much slower than kmalloc/kfree (page-table edits per
+  page) — see the cost model;
+* stock vfree must *search* for the area descriptor; the authors "added a
+  hash table to store the information about virtual memory buffers" to speed
+  it up.  ``use_vfree_hash`` toggles between the two lookup paths so the
+  optimization is measurable.
+
+Alignment: ``align='end'`` places the buffer flush against the *end* of its
+page span (overflow detection — the common case per §3.2); ``align='start'``
+places it at the start (underflow detection).  When the size is a multiple
+of the page size, both boundaries land on page edges and guard pages on both
+sides catch overflow *and* underflow, as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocatorMisuse, OutOfMemory
+from repro.kernel.clock import Clock, Mode
+from repro.kernel.costs import CostModel
+from repro.kernel.memory.layout import PAGE_SIZE, VMALLOC_BASE, VMALLOC_END, vpn_of
+from repro.kernel.memory.paging import PERM_R, PERM_W, PTE, PageTable
+from repro.kernel.memory.physmem import PhysicalMemory
+
+
+@dataclass
+class VmallocArea:
+    """Descriptor of one vmalloc allocation."""
+
+    base: int              # address returned to the caller (buffer start)
+    size: int              # requested byte size
+    span_start: int        # first mapped address (page-aligned)
+    npages: int            # data pages mapped
+    guard_vpns: tuple[int, ...] = ()   # guardian PTE page numbers
+    frames: list[int] = field(default_factory=list)
+    site: str = "?"        # allocation site (file:line) for overflow reports
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class VmallocAllocator:
+    """Page-granular allocator with optional guardian PTEs."""
+
+    def __init__(self, physmem: PhysicalMemory, kernel_pt: PageTable,
+                 clock: Clock, costs: CostModel, *, use_vfree_hash: bool = True,
+                 mmu=None):
+        self.physmem = physmem
+        self.kernel_pt = kernel_pt
+        self.clock = clock
+        self.costs = costs
+        self.mmu = mmu  # for per-page TLB invalidation on vfree
+        self.use_vfree_hash = use_vfree_hash
+        self._cursor = VMALLOC_BASE
+        #: base address -> area (the Kefence "hash table")
+        self.areas: dict[int, VmallocArea] = {}
+        #: guardian vpn -> owning area, for fault attribution
+        self.guard_index: dict[int, VmallocArea] = {}
+        # statistics (the paper reports outstanding pages / avg alloc size)
+        self.total_allocs = 0
+        self.total_frees = 0
+        self.bytes_requested = 0
+        self.outstanding_pages = 0
+        self.peak_outstanding_pages = 0
+
+    # ---------------------------------------------------------------- alloc
+
+    def vmalloc(self, size: int, *, guard: bool = False, align: str = "end",
+                site: str = "?") -> int:
+        """Allocate ``size`` bytes on whole pages.
+
+        With ``guard=True``, guardian PTEs (present, permission-less) are
+        installed adjacent to the buffer per ``align``; this is the Kefence
+        allocation path.
+        """
+        if size <= 0:
+            raise AllocatorMisuse(f"vmalloc of non-positive size {size}")
+        if align not in ("end", "start"):
+            raise ValueError(f"align must be 'end' or 'start', not {align!r}")
+        npages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        nguard = 0
+        if guard:
+            # A guard on both sides is possible only for page-multiple sizes;
+            # otherwise one side is chosen by `align` (§3.2).
+            nguard = 2 if size % PAGE_SIZE == 0 else 1
+
+        span_start = self._cursor
+        total_pages = npages + nguard
+        span_end = span_start + total_pages * PAGE_SIZE
+        if span_end > VMALLOC_END:
+            raise OutOfMemory("vmalloc area exhausted")
+        self._cursor = span_end
+
+        self.clock.charge(
+            self.costs.vmalloc_base + self.costs.vmalloc_per_page * npages,
+            Mode.SYSTEM,
+        )
+
+        guard_vpns: list[int] = []
+        data_start = span_start
+        if guard and size % PAGE_SIZE == 0:
+            # guard | data... | guard
+            guard_vpns.append(vpn_of(span_start))
+            data_start = span_start + PAGE_SIZE
+            guard_vpns.append(vpn_of(data_start + npages * PAGE_SIZE))
+            base = data_start
+        elif guard and align == "end":
+            # data... | guard ; buffer flush against its last page's end
+            guard_vpns.append(vpn_of(span_start + npages * PAGE_SIZE))
+            base = data_start + npages * PAGE_SIZE - size
+        elif guard:  # align == 'start'
+            # guard | data... ; buffer starts on its first page
+            guard_vpns.append(vpn_of(span_start))
+            data_start = span_start + PAGE_SIZE
+            base = data_start
+        else:
+            base = span_start
+
+        frames: list[int] = []
+        for i in range(npages):
+            frame = self.physmem.alloc_frame()
+            frames.append(frame)
+            self.kernel_pt.map(vpn_of(data_start) + i,
+                               PTE(frame, perms=PERM_R | PERM_W))
+        area = VmallocArea(base=base, size=size, span_start=span_start,
+                           npages=npages, guard_vpns=tuple(guard_vpns),
+                           frames=frames, site=site)
+        for gv in guard_vpns:
+            self.clock.charge(self.costs.guard_page_setup, Mode.SYSTEM)
+            # Present but permission-less: any access traps, and `guard=True`
+            # lets the fault handler distinguish it from a stray unmapped hit.
+            self.kernel_pt.map(gv, PTE(frame=-1, perms=0, guard=True))
+            self.guard_index[gv] = area
+
+        self.areas[base] = area
+        self.total_allocs += 1
+        self.bytes_requested += size
+        self.outstanding_pages += npages
+        self.peak_outstanding_pages = max(self.peak_outstanding_pages,
+                                          self.outstanding_pages)
+        return base
+
+    # ----------------------------------------------------------------- free
+
+    def _lookup_for_free(self, addr: int) -> VmallocArea | None:
+        """Find the area for vfree.  The hash path is O(1); the stock path
+        models Linux's linear vm_struct list walk, charged per area
+        examined — which is exactly what the Kefence hash table removes."""
+        if self.use_vfree_hash:
+            return self.areas.get(addr)
+        for area in self.areas.values():
+            self.clock.charge(self.costs.vfree_walk_per_area, Mode.SYSTEM)
+            if area.base == addr:
+                return area
+        return None
+
+    def vfree(self, addr: int) -> None:
+        """Free a vmalloc'ed buffer, unmapping data and guardian pages."""
+        area = self._lookup_for_free(addr)
+        if area is None:
+            raise AllocatorMisuse(f"vfree of address {addr:#x} not allocated by vmalloc")
+        del self.areas[addr]
+        self.clock.charge(
+            self.costs.vfree_base + self.costs.vfree_per_page * area.npages
+            + self.costs.vfree_tlb_flush,  # vunmap TLB shootdown
+            Mode.SYSTEM,
+        )
+        data_vpn = vpn_of(area.base)
+        for i, frame in enumerate(area.frames):
+            self.kernel_pt.unmap(data_vpn + i)
+            if self.mmu is not None:
+                self.mmu.invalidate_tlb_page((data_vpn + i) << 12)
+            self.physmem.free_frame(frame)
+        for gv in area.guard_vpns:
+            self.kernel_pt.unmap(gv)
+            self.guard_index.pop(gv, None)
+        self.outstanding_pages -= area.npages
+        self.total_frees += 1
+
+    # ---------------------------------------------------------------- stats
+
+    def area_for_guard_vpn(self, vpn: int) -> VmallocArea | None:
+        """The area whose guardian PTE lives at ``vpn`` (fault attribution)."""
+        return self.guard_index.get(vpn)
+
+    def area_containing(self, addr: int) -> VmallocArea | None:
+        """The live area whose buffer range contains ``addr``, if any."""
+        for area in self.areas.values():
+            if area.base <= addr < area.end:
+                return area
+        return None
+
+    @property
+    def avg_alloc_size(self) -> float:
+        """Mean requested size over all allocations (paper: 80 bytes)."""
+        return self.bytes_requested / self.total_allocs if self.total_allocs else 0.0

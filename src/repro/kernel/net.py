@@ -1,0 +1,173 @@
+"""A minimal socket layer and the ``sendfile`` consolidated syscall.
+
+§2.1 motivates syscall consolidation with the canonical server hot path:
+"read a file from disk and send it over the network to a remote client.
+To speed up this common action, AIX and Linux created a system call called
+sendfile ... HTTP servers using these system calls report performance
+improvements ranging from 92% to 116%."  §2.4 plans "new system call
+suites that cater to [server] workloads".
+
+This module supplies the substrate: loopback socket pairs whose data
+lives in kernel buffers, plus ``sendfile(out, in, offset, count)`` — the
+file→socket path executed entirely in kernel mode, eliminating the
+read/write loop's extra traps and its user-space bounce buffer.
+
+Sockets live in the fd table like any file: :class:`SocketInode` is an
+inode whose ``read``/``write`` move bytes through the peer's in-kernel
+receive queue, so the generic read/write/close syscalls work unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import EINVAL, EPERM, raise_errno
+from repro.kernel.clock import Mode
+from repro.kernel.vfs.file import File, O_RDWR
+from repro.kernel.vfs.inode import Inode
+from repro.kernel.vfs.super import SuperBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+#: simulated NIC/loopback cost per byte moved into a socket buffer
+SOCK_COPY_PER_BYTE = 0.3
+SOCK_OP_COST = 220
+
+S_IFSOCK = 0o140000
+
+
+class SockFS(SuperBlock):
+    """The anonymous superblock socket inodes hang off (like Linux sockfs)."""
+
+    def __init__(self, kernel: "Kernel"):
+        super().__init__(kernel, "sockfs")
+
+
+class SocketInode(Inode):
+    """One endpoint of a connected (loopback) socket pair."""
+
+    def __init__(self, sb: SockFS):
+        super().__init__(sb, sb.alloc_ino(), S_IFSOCK | 0o600)
+        self.rx: deque[bytes] = deque()
+        self.rx_bytes = 0
+        self.peer: "SocketInode | None" = None
+        self.shutdown = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def _charge(self, nbytes: int) -> None:
+        self.sb.kernel.clock.charge(
+            SOCK_OP_COST + int(nbytes * SOCK_COPY_PER_BYTE), Mode.SYSTEM)
+
+    # ------------------------------------------------------------- data ops
+    # Offsets are meaningless on sockets; streams consume in order.
+
+    def read(self, offset: int, size: int) -> bytes:
+        if size < 0:
+            raise_errno(EINVAL, "negative socket read")
+        out = bytearray()
+        while self.rx and len(out) < size:
+            chunk = self.rx[0]
+            take = min(len(chunk), size - len(out))
+            out += chunk[:take]
+            if take == len(chunk):
+                self.rx.popleft()
+            else:
+                self.rx[0] = chunk[take:]
+        self.rx_bytes -= len(out)
+        self.bytes_received += len(out)
+        self._charge(len(out))
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> int:
+        peer = self.peer
+        if peer is None or peer.shutdown:
+            raise_errno(EPERM, "write on a disconnected socket")
+        peer.rx.append(bytes(data))
+        peer.rx_bytes += len(data)
+        self.bytes_sent += len(data)
+        self._charge(len(data))
+        return len(data)
+
+    def truncate(self, size: int) -> None:
+        raise_errno(EINVAL, "cannot truncate a socket")
+
+    @property
+    def pending(self) -> int:
+        """Bytes queued for reading on this endpoint."""
+        return self.rx_bytes
+
+    def close_endpoint(self) -> None:
+        self.shutdown = True
+
+
+class SocketLayer:
+    """Socket syscall extensions installed onto a kernel.
+
+    Installs ``socketpair`` and ``sendfile`` methods onto ``kernel.sys``
+    the way a loadable protocol module extends the syscall table.
+    """
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.sockfs = SockFS(kernel)
+        self.pairs_created = 0
+        sys = kernel.sys
+        sys.socketpair = self._socketpair_entry
+        sys.sendfile = self._sendfile_entry
+        sys.do_socketpair = self.do_socketpair
+        sys.do_sendfile = self.do_sendfile
+
+    # ------------------------------------------------------------ syscalls
+
+    def _socketpair_entry(self) -> tuple[int, int]:
+        return self.kernel.sys._dispatch("socketpair", self.do_socketpair, ())
+
+    def _sendfile_entry(self, out_fd: int, in_fd: int, offset: int,
+                        count: int) -> int:
+        return self.kernel.sys._dispatch(
+            "sendfile",
+            lambda: self.do_sendfile(out_fd, in_fd, offset, count),
+            (out_fd, in_fd, offset, count))
+
+    def do_socketpair(self) -> tuple[int, int]:
+        """Create a connected pair; returns two fds in the current task."""
+        task = self.kernel.current
+        a = SocketInode(self.sockfs)
+        b = SocketInode(self.sockfs)
+        a.peer, b.peer = b, a
+        self.sockfs.register_inode(a)
+        self.sockfs.register_inode(b)
+        self.pairs_created += 1
+        from repro.kernel.vfs.dentry import Dentry
+        fd_a = task.alloc_fd(File(Dentry(f"sock:{a.ino}", None, a), O_RDWR))
+        fd_b = task.alloc_fd(File(Dentry(f"sock:{b.ino}", None, b), O_RDWR))
+        return fd_a, fd_b
+
+    def do_sendfile(self, out_fd: int, in_fd: int, offset: int,
+                    count: int) -> int:
+        """file → socket entirely in kernel mode (one trap, no uaccess)."""
+        if count < 0 or offset < 0:
+            raise_errno(EINVAL, "negative sendfile offset/count")
+        sys = self.kernel.sys
+        src = sys._file_for(in_fd)
+        dst = sys._file_for(out_fd)
+        src.check_readable()
+        dst.check_writable()
+        if isinstance(src.inode, SocketInode):
+            raise_errno(EINVAL, "sendfile source must be a regular file")
+        sent = 0
+        pos = offset
+        while sent < count:
+            chunk = src.inode.read(pos, min(65536, count - sent))
+            if not chunk:
+                break
+            # in-kernel handoff: page-cache pages feed the socket directly
+            self.kernel.clock.charge(
+                self.kernel.costs.memcpy_cost(len(chunk)), Mode.SYSTEM)
+            dst.inode.write(0, chunk)
+            pos += len(chunk)
+            sent += len(chunk)
+        return sent

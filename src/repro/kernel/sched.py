@@ -1,0 +1,104 @@
+"""Preemptive scheduler with watchdog hooks.
+
+The simulation is cooperative (syscalls run inline), so "preemption" here
+means: at preemption points (syscall dispatch, long in-kernel loops such as
+Cosy compound execution), the scheduler checks whether the quantum expired
+and, if so, charges a context switch, flushes the TLB, and runs the
+registered *preempt hooks*.
+
+Cosy's safety design (§2.3) hangs off exactly this mechanism: "a preemptive
+kernel ... checks the running time of a Cosy process inside the kernel every
+time it is scheduled out", killing compounds that exceed their kernel-time
+budget.  The Cosy kernel extension registers such a hook.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.kernel.process import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+PreemptHook = Callable[[Task], None]
+
+
+class Scheduler:
+    """Round-robin scheduler over the kernel's task list."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self.runqueue: list[Task] = []
+        self.current: Task | None = None
+        self._last_switch = 0
+        self.preempt_hooks: list[PreemptHook] = []
+        self.context_switches = 0
+        self.preemptions = 0
+
+    # ------------------------------------------------------------- tasks
+
+    def add_task(self, task: Task) -> None:
+        self.runqueue.append(task)
+        if self.current is None:
+            self.current = task
+            task.state = TaskState.RUNNING
+
+    def remove_task(self, task: Task) -> None:
+        task.state = TaskState.ZOMBIE
+        if task in self.runqueue:
+            self.runqueue.remove(task)
+        if self.current is task:
+            self.current = self.runqueue[0] if self.runqueue else None
+
+    def switch_to(self, task: Task) -> None:
+        """Explicit context switch (charges full switch cost, flushes TLB)."""
+        if task is self.current:
+            return
+        if self.current is not None:
+            self.current.state = TaskState.READY
+        self.kernel.clock.charge(self.kernel.costs.context_switch)
+        self.kernel.mmu.flush_tlb()
+        self.context_switches += 1
+        self.current = task
+        task.state = TaskState.RUNNING
+        self._last_switch = self.kernel.clock.now
+
+    # --------------------------------------------------------- preemption
+
+    def add_preempt_hook(self, hook: PreemptHook) -> None:
+        self.preempt_hooks.append(hook)
+
+    def remove_preempt_hook(self, hook: PreemptHook) -> None:
+        self.preempt_hooks.remove(hook)
+
+    def maybe_preempt(self) -> bool:
+        """Preemption point.  Returns True if the quantum expired.
+
+        Hooks run with the outgoing task — this is the moment the Cosy
+        watchdog examines the task's in-kernel time.
+
+        The simulation executes tasks cooperatively (workload code *is* the
+        current task), so an expired quantum does not hand control to other
+        Python code; instead, when other tasks are runnable, the full cost
+        of being scheduled away and back — two context switches and the TLB
+        refill — is charged here, which is the performance-visible effect
+        of timesharing.  Explicit transfers use :meth:`switch_to`.
+        """
+        now = self.kernel.clock.now
+        if now - self._last_switch < self.kernel.costs.sched_quantum:
+            return False
+        self.kernel.clock.charge(self.kernel.costs.sched_tick)
+        self.preemptions += 1
+        task = self.current
+        if task is not None:
+            for hook in list(self.preempt_hooks):
+                hook(task)
+        others_ready = any(t is not task and t.state == TaskState.READY
+                           for t in self.runqueue)
+        if others_ready:
+            self.kernel.clock.charge(2 * self.kernel.costs.context_switch)
+            self.kernel.mmu.flush_tlb()
+            self.context_switches += 2
+        self._last_switch = self.kernel.clock.now
+        return True

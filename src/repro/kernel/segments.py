@@ -1,0 +1,122 @@
+"""x86-style segmentation: descriptors, a descriptor table, checked access.
+
+Cosy (§2.3) protects the kernel from user-supplied functions with
+segmentation rather than paging: the function's data (and, in the
+full-isolation mode, its code) is confined to a segment, and *any* reference
+outside the segment limit raises a protection fault in hardware.  This module
+provides exactly that mechanism: a :class:`SegmentDescriptor` with
+base/limit/permissions/DPL and a :func:`checked access <SegmentedView.read>`
+wrapper over the MMU.
+
+Two Cosy modes map onto it (see :mod:`repro.core.cosy.safety`):
+
+* **full isolation** — code and data in two disjoint segments; calling the
+  function costs a far call (:attr:`CostModel.far_call`) but self-modifying
+  code is impossible because the code segment is execute-only.
+* **data-only isolation** — only the data segment is switched; calls are
+  near calls (no extra cost) but the code runs in the kernel segment, so
+  protection depends on the code having come from Cosy-GCC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtectionFault
+from repro.kernel.memory.mmu import MMU
+from repro.kernel.memory.paging import AddressSpace
+
+SEG_READ = 1
+SEG_WRITE = 2
+SEG_EXEC = 4
+
+#: Descriptor privilege levels.
+DPL_KERNEL = 0
+DPL_USER = 3
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """One GDT/LDT entry: a base/limit window with access rights."""
+
+    base: int
+    limit: int            # segment size in bytes; valid offsets are [0, limit)
+    perms: int = SEG_READ | SEG_WRITE
+    dpl: int = DPL_KERNEL
+    name: str = "seg"
+
+    def check(self, offset: int, size: int, access: str, selector: int) -> int:
+        """Validate an ``access`` of ``size`` bytes at ``offset``; returns the
+        linear address.  Raises :class:`ProtectionFault` on violation —
+        the hardware check Cosy's isolation relies on."""
+        need = {"r": SEG_READ, "w": SEG_WRITE, "x": SEG_EXEC}[access]
+        if not (self.perms & need):
+            raise ProtectionFault(selector, offset,
+                                  f"segment '{self.name}' denies '{access}'")
+        if offset < 0 or size < 0 or offset + size > self.limit:
+            raise ProtectionFault(
+                selector, offset,
+                f"offset+size {offset}+{size} exceeds limit {self.limit} "
+                f"of segment '{self.name}'",
+            )
+        return self.base + offset
+
+
+class SegmentTable:
+    """A descriptor table; selectors are indices."""
+
+    def __init__(self) -> None:
+        self._descriptors: list[SegmentDescriptor | None] = [None]  # 0 = null
+
+    def install(self, desc: SegmentDescriptor) -> int:
+        """Add a descriptor, returning its selector."""
+        self._descriptors.append(desc)
+        return len(self._descriptors) - 1
+
+    def descriptor(self, selector: int) -> SegmentDescriptor:
+        if not (1 <= selector < len(self._descriptors)) or \
+                self._descriptors[selector] is None:
+            raise ProtectionFault(selector, 0, "null or out-of-range selector")
+        return self._descriptors[selector]  # type: ignore[return-value]
+
+    def remove(self, selector: int) -> None:
+        if 1 <= selector < len(self._descriptors):
+            self._descriptors[selector] = None
+
+
+class SegmentedView:
+    """Memory access through a segment: every read/write is limit-checked.
+
+    This is the only window Cosy gives a user-supplied function onto memory,
+    so "any reference outside the isolated segment generates a protection
+    fault" (§2.3) holds by construction.
+    """
+
+    def __init__(self, mmu: MMU, aspace: AddressSpace,
+                 table: SegmentTable, selector: int):
+        self.mmu = mmu
+        self.aspace = aspace
+        self.table = table
+        self.selector = selector
+
+    @property
+    def descriptor(self) -> SegmentDescriptor:
+        return self.table.descriptor(self.selector)
+
+    @property
+    def limit(self) -> int:
+        return self.descriptor.limit
+
+    def read(self, offset: int, size: int) -> bytes:
+        lin = self.descriptor.check(offset, size, "r", self.selector)
+        return self.mmu.read(self.aspace, lin, size)
+
+    def write(self, offset: int, data: bytes) -> None:
+        lin = self.descriptor.check(offset, len(data), "w", self.selector)
+        self.mmu.write(self.aspace, lin, data)
+
+    def read_i64(self, offset: int) -> int:
+        return int.from_bytes(self.read(offset, 8), "little", signed=True)
+
+    def write_i64(self, offset: int, value: int) -> None:
+        self.write(offset, value.to_bytes(8, "little", signed=True))

@@ -1,0 +1,15 @@
+"""System-call layer.
+
+The dispatcher charges the user/kernel boundary costs the paper's
+optimizations eliminate; :mod:`uaccess` meters every byte that crosses the
+boundary (the §2.2 interactive-workload experiment is an accounting of
+exactly those bytes); :mod:`consolidated` holds the new syscalls the paper
+introduces (readdirplus and friends).
+"""
+
+from repro.kernel.syscalls.uaccess import UserCopy, CopyStats
+from repro.kernel.syscalls.table import SYSCALL_NRS, syscall_nr, syscall_name
+from repro.kernel.syscalls.interface import SyscallInterface, SyscallRecord
+
+__all__ = ["UserCopy", "CopyStats", "SYSCALL_NRS", "syscall_nr",
+           "syscall_name", "SyscallInterface", "SyscallRecord"]

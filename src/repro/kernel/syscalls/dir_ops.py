@@ -1,0 +1,67 @@
+"""Directory syscall handlers: getdents and namespace operations."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import EINVAL, ENOTDIR, raise_errno
+from repro.kernel.clock import Mode
+from repro.kernel.vfs.inode import DirEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+
+class DirOpsMixin:
+    """getdents/mkdir/rmdir/unlink/rename."""
+
+    kernel: "Kernel"
+
+    def do_getdents(self, fd: int, bufsize: int = 32768) -> list[DirEntry]:
+        """Fill a user dirent buffer; returns the entries that fit.
+
+        ``file.pos`` is the index of the next entry to emit, so repeated
+        calls stream a large directory exactly like getdents64(2); an empty
+        return means end-of-directory.
+        """
+        if bufsize <= 0:
+            raise_errno(EINVAL, "getdents bufsize must be positive")
+        file = self._file_for(fd)  # type: ignore[attr-defined]
+        if not file.inode.is_dir:
+            raise_errno(ENOTDIR, "getdents on non-directory")
+        entries = file.inode.readdir()
+        out: list[DirEntry] = []
+        used = 0
+        costs = self.kernel.costs
+        for entry in entries[file.pos:]:
+            need = entry.encoded_size()
+            if used + need > bufsize:
+                break
+            self.kernel.clock.charge(costs.dirent_emit, Mode.SYSTEM)
+            out.append(entry)
+            used += need
+        if out:
+            self.ucopy.charge_to_user(used)  # type: ignore[attr-defined]
+        file.pos += len(out)
+        return out
+
+    def do_mkdir(self, path: str, mode: int = 0o755) -> int:
+        self.ucopy.charge_from_user(len(path) + 1)  # type: ignore[attr-defined]
+        self.kernel.vfs.mkdir(path, self.kernel.current.cwd)
+        return 0
+
+    def do_rmdir(self, path: str) -> int:
+        self.ucopy.charge_from_user(len(path) + 1)  # type: ignore[attr-defined]
+        self.kernel.vfs.rmdir(path, self.kernel.current.cwd)
+        return 0
+
+    def do_unlink(self, path: str) -> int:
+        self.ucopy.charge_from_user(len(path) + 1)  # type: ignore[attr-defined]
+        self.kernel.vfs.unlink(path, self.kernel.current.cwd)
+        return 0
+
+    def do_rename(self, old_path: str, new_path: str) -> int:
+        self.ucopy.charge_from_user(len(old_path) + 1)  # type: ignore[attr-defined]
+        self.ucopy.charge_from_user(len(new_path) + 1)  # type: ignore[attr-defined]
+        self.kernel.vfs.rename(old_path, new_path, self.kernel.current.cwd)
+        return 0

@@ -1,0 +1,47 @@
+"""Syscall numbering (loosely following x86 Linux, with the paper's new
+consolidated syscalls assigned numbers past the standard table)."""
+
+from __future__ import annotations
+
+SYSCALL_NRS: dict[str, int] = {
+    "exit": 1,
+    "read": 3,
+    "write": 4,
+    "open": 5,
+    "close": 6,
+    "creat": 8,
+    "unlink": 10,
+    "fsync": 118,
+    "lseek": 19,
+    "getpid": 20,
+    "sync": 36,
+    "rename": 38,
+    "mkdir": 39,
+    "rmdir": 40,
+    "truncate": 92,
+    "ftruncate": 93,
+    "stat": 106,
+    "fstat": 108,
+    "getdents": 141,
+    "pread": 180,
+    "pwrite": 181,
+    "sendfile": 187,
+    "socketpair": 360,
+    # --- the paper's consolidated syscalls (§2.2) ---
+    "readdirplus": 440,
+    "open_read_close": 441,
+    "open_write_close": 442,
+    "open_fstat": 443,
+    # --- the Cosy compound-execution entry point (§2.3) ---
+    "cosy_exec": 450,
+}
+
+_NAMES = {nr: name for name, nr in SYSCALL_NRS.items()}
+
+
+def syscall_nr(name: str) -> int:
+    return SYSCALL_NRS[name]
+
+
+def syscall_name(nr: int) -> str:
+    return _NAMES.get(nr, f"sys_{nr}")

@@ -1,0 +1,46 @@
+"""printk/syslog: the kernel log Kefence and the monitors report through."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KERN_EMERG, KERN_ALERT, KERN_CRIT, KERN_ERR = 0, 1, 2, 3
+KERN_WARNING, KERN_NOTICE, KERN_INFO, KERN_DEBUG = 4, 5, 6, 7
+
+_LEVEL_NAMES = ["EMERG", "ALERT", "CRIT", "ERR",
+                "WARNING", "NOTICE", "INFO", "DEBUG"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    level: int
+    cycles: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"<{_LEVEL_NAMES[self.level]}> [{self.cycles}] {self.message}"
+
+
+class Syslog:
+    """An append-only kernel log with level filtering on read."""
+
+    def __init__(self) -> None:
+        self.records: list[LogRecord] = []
+
+    def printk(self, level: int, message: str, cycles: int = 0) -> None:
+        if not (0 <= level <= KERN_DEBUG):
+            raise ValueError(f"bad log level {level}")
+        self.records.append(LogRecord(level, cycles, message))
+
+    def at_or_above(self, level: int) -> list[LogRecord]:
+        """Records at severity >= ``level`` (numerically <=)."""
+        return [r for r in self.records if r.level <= level]
+
+    def grep(self, needle: str) -> list[LogRecord]:
+        return [r for r in self.records if needle in r.message]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,21 @@
+"""Virtual File System layer.
+
+Mirrors the Linux 2.6 VFS the paper instruments: inodes with per-FS
+operations, a dentry cache guarded by the global ``dcache_lock`` (the lock
+§3.3 instruments under PostMark), open-file objects, and path resolution.
+
+Concrete filesystems live in :mod:`repro.kernel.fs`.
+"""
+
+from repro.kernel.vfs.stat import Stat, S_IFDIR, S_IFREG, S_IFMT, is_dir, is_reg
+from repro.kernel.vfs.inode import Inode, DirEntry
+from repro.kernel.vfs.dentry import Dentry
+from repro.kernel.vfs.file import File, O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_TRUNC, O_APPEND
+from repro.kernel.vfs.super import SuperBlock
+from repro.kernel.vfs.namei import VFS
+
+__all__ = [
+    "Stat", "S_IFDIR", "S_IFREG", "S_IFMT", "is_dir", "is_reg",
+    "Inode", "DirEntry", "Dentry", "File", "SuperBlock", "VFS",
+    "O_RDONLY", "O_WRONLY", "O_RDWR", "O_CREAT", "O_TRUNC", "O_APPEND",
+]

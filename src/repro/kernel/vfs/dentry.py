@@ -1,0 +1,70 @@
+"""Dentries: the directory-entry cache nodes.
+
+The dcache maps (parent, name) → inode so repeated path walks avoid
+filesystem lookups.  Namespace operations on it are serialized by the global
+``dcache_lock`` owned by :class:`repro.kernel.vfs.namei.VFS` — the exact
+lock the paper's event-monitoring evaluation (§3.3) instruments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.refcount import RefCount
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.vfs.inode import Inode
+
+
+class Dentry:
+    """One cached name → inode binding, linked into a tree."""
+
+    def __init__(self, name: str, parent: "Dentry | None", inode: "Inode | None"):
+        self.name = name
+        self.parent = parent if parent is not None else self
+        self.inode = inode
+        self.children: dict[str, "Dentry"] = {}
+        if inode is not None:
+            self.d_count = RefCount(inode.sb.kernel, f"d_count:{name or '/'}")
+        else:
+            self.d_count = None  # negative dentry; no kernel to charge yet
+
+    # ------------------------------------------------------------ cache ops
+
+    def d_lookup(self, name: str) -> "Dentry | None":
+        """Cache hit test (caller holds dcache_lock)."""
+        return self.children.get(name)
+
+    def d_add(self, child: "Dentry") -> None:
+        self.children[child.name] = child
+
+    def d_drop(self, name: str) -> "Dentry | None":
+        """Remove a child binding (on unlink/rmdir/rename)."""
+        return self.children.pop(name, None)
+
+    def d_invalidate_tree(self) -> None:
+        """Drop all cached descendants (e.g. on unmount)."""
+        for child in list(self.children.values()):
+            child.d_invalidate_tree()
+        self.children.clear()
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def is_negative(self) -> bool:
+        """A negative dentry caches a failed lookup."""
+        return self.inode is None
+
+    def path(self) -> str:
+        """Absolute path of this dentry (for diagnostics)."""
+        if self.parent is self:
+            return "/"
+        parts: list[str] = []
+        node: Dentry = self
+        while node.parent is not node:
+            parts.append(node.name)
+            node = node.parent
+        return "/" + "/".join(reversed(parts))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Dentry({self.path()!r}, neg={self.is_negative})"

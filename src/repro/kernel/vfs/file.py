@@ -1,0 +1,56 @@
+"""Open-file objects and open(2) flag bits."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import EBADF, raise_errno
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.vfs.dentry import Dentry
+
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_ACCMODE = 0o3
+O_CREAT = 0o100
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+
+SEEK_SET, SEEK_CUR, SEEK_END = 0, 1, 2
+
+
+class File:
+    """One open file description (struct file): dentry + position + flags."""
+
+    def __init__(self, dentry: "Dentry", flags: int):
+        if dentry.inode is None:
+            raise ValueError("cannot open a negative dentry")
+        self.dentry = dentry
+        self.flags = flags
+        self.pos = 0
+        self.private: int | None = None  # stackable-FS per-file data address
+        self.refs = 1
+
+    @property
+    def inode(self):
+        return self.dentry.inode
+
+    @property
+    def readable(self) -> bool:
+        return (self.flags & O_ACCMODE) in (O_RDONLY, O_RDWR)
+
+    @property
+    def writable(self) -> bool:
+        return (self.flags & O_ACCMODE) in (O_WRONLY, O_RDWR)
+
+    def check_readable(self) -> None:
+        if not self.readable:
+            raise_errno(EBADF, "file not open for reading")
+
+    def check_writable(self) -> None:
+        if not self.writable:
+            raise_errno(EBADF, "file not open for writing")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"File({self.dentry.path()!r}, pos={self.pos}, flags={self.flags:#o})"

@@ -1,0 +1,54 @@
+"""struct stat and file-mode bits (subset of <sys/stat.h>)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+S_IFMT = 0o170000
+S_IFDIR = 0o040000
+S_IFREG = 0o100000
+
+
+def is_dir(mode: int) -> bool:
+    return (mode & S_IFMT) == S_IFDIR
+
+
+def is_reg(mode: int) -> bool:
+    return (mode & S_IFMT) == S_IFREG
+
+
+#: On-wire encoding of a stat record as copied to user space; its size is
+#: what the consolidation experiments (§2.2) count as per-call copy volume.
+_STAT_FMT = "<QIIIIQQQQQ"
+STAT_SIZE = struct.calcsize(_STAT_FMT)  # 64 bytes, close to Linux's stat64
+
+
+@dataclass
+class Stat:
+    """The metadata a stat() call returns."""
+
+    ino: int
+    mode: int
+    nlink: int
+    uid: int
+    gid: int
+    size: int
+    blocks: int
+    atime: int
+    mtime: int
+    ctime: int
+
+    def pack(self) -> bytes:
+        """Serialize for copy_to_user."""
+        return struct.pack(
+            _STAT_FMT, self.ino, self.mode, self.nlink, self.uid, self.gid,
+            self.size, self.blocks, self.atime, self.mtime, self.ctime,
+        )
+
+    @staticmethod
+    def unpack(data: bytes) -> "Stat":
+        if len(data) < STAT_SIZE:
+            raise ValueError(f"stat buffer too small: {len(data)} < {STAT_SIZE}")
+        fields = struct.unpack(_STAT_FMT, data[:STAT_SIZE])
+        return Stat(*fields)

@@ -1,0 +1,47 @@
+"""Superblocks: per-filesystem-instance state and inode numbering."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+    from repro.kernel.vfs.inode import Inode
+
+
+class SuperBlock:
+    """Base class for a mounted filesystem instance.
+
+    Subclasses must create a root inode in ``__init__`` and assign it to
+    :attr:`root_inode`.
+    """
+
+    def __init__(self, kernel: "Kernel", name: str):
+        self.kernel = kernel
+        self.name = name
+        self._next_ino = 1
+        self.root_inode: "Inode | None" = None
+        self.inodes: dict[int, "Inode"] = {}
+
+    def alloc_ino(self) -> int:
+        ino = self._next_ino
+        self._next_ino += 1
+        return ino
+
+    def register_inode(self, inode: "Inode") -> None:
+        self.inodes[inode.ino] = inode
+
+    def drop_inode(self, inode: "Inode") -> None:
+        """Called when an inode's link count reaches zero; subclasses free
+        backing storage here."""
+        self.inodes.pop(inode.ino, None)
+
+    def statfs(self) -> dict:
+        """Free-space information; overridden by block filesystems."""
+        return {"files": len(self.inodes)}
+
+    def sync(self) -> None:
+        """Flush dirty state to backing store (no-op for memory FSes)."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(name={self.name!r}, inodes={len(self.inodes)})"

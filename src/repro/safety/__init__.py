@@ -1,0 +1,11 @@
+"""The paper's safety systems.
+
+* :mod:`repro.safety.kefence` — hardware (guard-page) buffer-overflow
+  detection for kernel modules (§3.2).
+* :mod:`repro.safety.monitor` — the event-monitoring framework: dispatcher,
+  lock-free ring buffer, user-space consumers, and invariant monitors for
+  locks and reference counts (§3.3).
+* :mod:`repro.safety.kgcc` — compiler-inserted bounds checking with a
+  splay-tree address map, out-of-bounds peers, check-elimination
+  optimizations, and dynamic deinstrumentation (§3.4).
+"""

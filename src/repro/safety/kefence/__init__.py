@@ -1,0 +1,8 @@
+"""Kefence: guard-page buffer-overflow detection (§3.2)."""
+
+from repro.safety.kefence.kefence import (Kefence, KefenceMode,
+                                          OverflowReport, KefenceStats)
+from repro.safety.kefence.adaptive import AdaptiveKefence
+
+__all__ = ["Kefence", "KefenceMode", "OverflowReport", "KefenceStats",
+           "AdaptiveKefence"]

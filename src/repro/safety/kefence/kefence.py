@@ -1,0 +1,186 @@
+"""Kefence: detect kernel buffer overflows at the hardware level (§3.2).
+
+Mechanism, as in the paper:
+
+* allocations go through ``vmalloc`` so each buffer gets whole pages and
+  can be aligned flush against a page boundary;
+* a *guardian PTE* with read and write permissions disabled sits adjacent
+  to the buffer; any overflow touches it and the hardware page-faults;
+* the page-fault handler is modified: a fault on a guardian PTE is
+  reported through syslog with the context (faulting address, the buffer,
+  its allocation site) and then Kefence applies policy —
+
+  - :attr:`KefenceMode.CRASH` — "when security is critical, Kefence can be
+    configured to crash the module upon a memory overflow, thereby
+    preventing further malicious operations";
+  - :attr:`KefenceMode.CONTINUE_RO` / :attr:`CONTINUE_RW` — for debugging,
+    "auto-mapping a read-only or read-write page to the guardian PTE
+    whenever there is an overflow", so execution proceeds while every
+    overflow stays fully diagnosed in the log.
+
+The kmalloc→vmalloc conversion flag of the paper is realized by handing a
+module (e.g. Wrapfs) the Kefence instance as its allocator facade instead
+of the kernel's kmalloc facade — same module code, different allocator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import BufferOverflow, PageFault
+from repro.kernel.memory.layout import vpn_of
+from repro.kernel.memory.paging import PERM_R, PERM_W, PTE
+from repro.kernel.syslog import KERN_ERR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+    from repro.kernel.memory.vmalloc import VmallocArea
+
+
+class KefenceMode(enum.Enum):
+    CRASH = "crash"            # terminate the module on overflow
+    CONTINUE_RO = "continue-ro"  # allow reads past the end, log everything
+    CONTINUE_RW = "continue-rw"  # allow reads and writes, log everything
+
+
+@dataclass(frozen=True)
+class OverflowReport:
+    """One detected overflow, as logged."""
+
+    vaddr: int
+    access: str
+    buf_base: int
+    buf_size: int
+    site: str
+    cycles: int
+    kind: str  # 'overflow' or 'underflow'
+
+
+@dataclass
+class KefenceStats:
+    """The figures the paper reports for the Wrapfs evaluation."""
+
+    total_allocs: int
+    total_frees: int
+    outstanding_pages: int
+    peak_outstanding_pages: int
+    avg_alloc_size: float
+    overflows_detected: int
+
+
+class Kefence:
+    """One Kefence instance bound to a kernel.
+
+    Also serves as the *allocator facade* modules are compiled against
+    (``malloc(size, site)`` / ``free(addr)``), replacing kmalloc.
+    """
+
+    def __init__(self, kernel: "Kernel", mode: KefenceMode = KefenceMode.CRASH,
+                 *, align: str = "end"):
+        self.kernel = kernel
+        self.mode = mode
+        self.align = align
+        self.reports: list[OverflowReport] = []
+        #: vpn -> (substitute frame, owning area base) for continue modes
+        self._automapped: dict[int, tuple[int, int]] = {}
+        self._installed = False
+        self.install()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def install(self) -> None:
+        if not self._installed:
+            self.kernel.mmu.add_fault_handler(self._on_fault)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.kernel.mmu.remove_fault_handler(self._on_fault)
+            self._installed = False
+
+    # ---------------------------------------------------- allocator facade
+
+    def malloc(self, size: int, site: str = "?") -> int:
+        """vmalloc with guardian PTEs (the converted kmalloc)."""
+        return self.kernel.vmalloc.vmalloc(size, guard=True,
+                                           align=self.align, site=site)
+
+    def free(self, addr: int) -> None:
+        # Release any pages auto-mapped over this buffer's guardian PTEs.
+        for vpn, (frame, base) in list(self._automapped.items()):
+            if base == addr:
+                self.kernel.kernel_pt.unmap(vpn)
+                self.kernel.physmem.free_frame(frame)
+                del self._automapped[vpn]
+        self.kernel.vmalloc.vfree(addr)
+
+    # -------------------------------------------------------- fault handler
+
+    def _on_fault(self, fault: PageFault) -> bool:
+        """The modified page-fault handler: claims guardian-PTE faults."""
+        if not fault.guard:
+            # A write to a page we earlier auto-mapped read-only is still an
+            # overflow — report it as such rather than as a stray fault.
+            mapping = self._automapped.get(vpn_of(fault.vaddr))
+            if mapping is not None and fault.access == "w":
+                _, base = mapping
+                area = self.kernel.vmalloc.areas.get(base)
+                size = area.size if area is not None else 0
+                site = area.site if area is not None else "?"
+                raise BufferOverflow(fault.vaddr, base, size, "w", site)
+            return False  # not ours; let the next handler look
+        area = self.kernel.vmalloc.area_for_guard_vpn(vpn_of(fault.vaddr))
+        if area is None:
+            return False  # a guard page some other subsystem planted
+        kind = "underflow" if fault.vaddr < area.base else "overflow"
+        report = OverflowReport(
+            vaddr=fault.vaddr, access=fault.access, buf_base=area.base,
+            buf_size=area.size, site=area.site,
+            cycles=self.kernel.clock.now, kind=kind,
+        )
+        self.reports.append(report)
+        self.kernel.printk(KERN_ERR, (
+            f"kefence: buffer {kind}: {fault.access}-access at "
+            f"{fault.vaddr:#x}, buffer [{area.base:#x}, "
+            f"{area.base + area.size:#x}) of {area.size} bytes "
+            f"allocated at {area.site}"))
+        if self.mode is KefenceMode.CRASH:
+            raise BufferOverflow(fault.vaddr, area.base, area.size,
+                                 fault.access, area.site)
+        if self.mode is KefenceMode.CONTINUE_RO and fault.access == "w":
+            # Reads were permitted, but this is a write: still fatal.
+            raise BufferOverflow(fault.vaddr, area.base, area.size,
+                                 fault.access, area.site)
+        self._auto_map(fault, area)
+        return True  # resolved: the MMU retries the access
+
+    def _auto_map(self, fault: PageFault, area: "VmallocArea") -> None:
+        """Map a real page over the guardian PTE so execution continues."""
+        perms = PERM_R if self.mode is KefenceMode.CONTINUE_RO \
+            else PERM_R | PERM_W
+        frame = self.kernel.physmem.alloc_frame()
+        vpn = vpn_of(fault.vaddr)
+        self.kernel.kernel_pt.map(vpn, PTE(frame, perms=perms, guard=False))
+        self.kernel.mmu.invalidate_tlb_page(fault.vaddr)
+        # Track the substitute frame so free() releases it with the buffer.
+        self._automapped[vpn] = (frame, area.base)
+        guard_vpns = list(area.guard_vpns)
+        if vpn in guard_vpns:
+            guard_vpns.remove(vpn)
+            area.guard_vpns = tuple(guard_vpns)
+            self.kernel.vmalloc.guard_index.pop(vpn, None)
+
+    # --------------------------------------------------------------- stats
+
+    def stats(self) -> KefenceStats:
+        vm = self.kernel.vmalloc
+        return KefenceStats(
+            total_allocs=vm.total_allocs,
+            total_frees=vm.total_frees,
+            outstanding_pages=vm.outstanding_pages,
+            peak_outstanding_pages=vm.peak_outstanding_pages,
+            avg_alloc_size=vm.avg_alloc_size,
+            overflows_detected=len(self.reports),
+        )

@@ -1,0 +1,180 @@
+"""A splay tree keyed by integer (object base addresses).
+
+"KGCC currently stores the address map of allocated objects in a splay
+tree, which brings the most recently accessed node to the top during each
+operation.  This results in nearly optimal performance when there is
+reference locality." (§3.5)
+
+Classic recursive splay with the zig/zig-zig/zig-zag cases.  The tree
+counts node *visits* so the KGCC runtime can charge
+:attr:`CostModel.kgcc_splay_node` per touched node — making the locality
+effect measurable: hot loops touch a depth-1 root, random access walks
+long paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right")
+
+    def __init__(self, key: int, value: Any):
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+
+
+class SplayTree:
+    """Map from int key to value with splay-to-root on every access."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+        self.visits = 0          # nodes touched (cost driver)
+        self.operations = 0
+
+    # ----------------------------------------------------------- internals
+
+    def _splay(self, root: Optional[_Node], key: int) -> Optional[_Node]:
+        """Splay ``key`` (or the last node on its search path) to the root.
+
+        Standard recursive zig / zig-zig / zig-zag formulation.
+        """
+        if root is None or root.key == key:
+            if root is not None:
+                self.visits += 1
+            return root
+        self.visits += 1
+        if key < root.key:
+            if root.left is None:
+                return root
+            if key < root.left.key:            # zig-zig (left-left)
+                root.left.left = self._splay(root.left.left, key)
+                root = self._rotate_right(root)
+            elif key > root.left.key:          # zig-zag (left-right)
+                root.left.right = self._splay(root.left.right, key)
+                if root.left.right is not None:
+                    root.left = self._rotate_left(root.left)
+            return root if root.left is None else self._rotate_right(root)
+        else:
+            if root.right is None:
+                return root
+            if key > root.right.key:           # zig-zig (right-right)
+                root.right.right = self._splay(root.right.right, key)
+                root = self._rotate_left(root)
+            elif key < root.right.key:         # zig-zag (right-left)
+                root.right.left = self._splay(root.right.left, key)
+                if root.right.left is not None:
+                    root.right = self._rotate_right(root.right)
+            return root if root.right is None else self._rotate_left(root)
+
+    @staticmethod
+    def _rotate_right(node: _Node) -> _Node:
+        left = node.left
+        node.left = left.right
+        left.right = node
+        return left
+
+    @staticmethod
+    def _rotate_left(node: _Node) -> _Node:
+        right = node.right
+        node.right = right.left
+        right.left = node
+        return right
+
+    # ----------------------------------------------------------------- API
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or replace."""
+        self.operations += 1
+        self._root = self._splay(self._root, key)
+        if self._root is None:
+            self._root = _Node(key, value)
+            self._size = 1
+            return
+        if self._root.key == key:
+            self._root.value = value
+            return
+        node = _Node(key, value)
+        if key < self._root.key:
+            node.right = self._root
+            node.left = self._root.left
+            self._root.left = None
+        else:
+            node.left = self._root
+            node.right = self._root.right
+            self._root.right = None
+        self._root = node
+        self._size += 1
+
+    def find(self, key: int) -> Any | None:
+        """Exact lookup (splays)."""
+        self.operations += 1
+        self._root = self._splay(self._root, key)
+        if self._root is not None and self._root.key == key:
+            return self._root.value
+        return None
+
+    def find_le(self, key: int) -> tuple[int, Any] | None:
+        """Greatest (key', value) with key' <= key (splays)."""
+        self.operations += 1
+        self._root = self._splay(self._root, key)
+        if self._root is None:
+            return None
+        if self._root.key <= key:
+            return self._root.key, self._root.value
+        # root is the successor; predecessor is the max of the left subtree
+        node = self._root.left
+        if node is None:
+            return None
+        while node.right is not None:
+            self.visits += 1
+            node = node.right
+        return node.key, node.value
+
+    def remove(self, key: int) -> Any | None:
+        """Delete; returns the removed value or None."""
+        self.operations += 1
+        self._root = self._splay(self._root, key)
+        if self._root is None or self._root.key != key:
+            return None
+        removed = self._root.value
+        if self._root.left is None:
+            self._root = self._root.right
+        else:
+            right = self._root.right
+            self._root = self._splay(self._root.left, key)
+            self._root.right = right
+        self._size -= 1
+        return removed
+
+    # ------------------------------------------------------------ inspection
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.find(key) is not None
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """In-order traversal (does not splay)."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def depth(self) -> int:
+        """Current tree height (diagnostics for the locality experiments)."""
+        def _d(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+        return _d(self._root)

@@ -1,0 +1,33 @@
+"""Event monitoring framework (§3.3, Figure 1).
+
+Structure, matching the figure::
+
+    log_event ──> dispatcher ──> kernel-module callbacks (synchronous)
+                      │
+                      └──> lock-free ring buffer ──> character device
+                                                          │
+                                              libkernevents (user space)
+
+In-kernel monitors register callbacks for high performance; user-space
+monitors bulk-copy records out through the character device.  The ring
+buffer is lock-free so interrupt-context code can be instrumented without
+any risk of blocking.
+"""
+
+from repro.safety.monitor.events import Event, pack_event, unpack_events, EVENT_RECORD_SIZE
+from repro.safety.monitor.ringbuf import LockFreeRingBuffer
+from repro.safety.monitor.dispatcher import EventDispatcher
+from repro.safety.monitor.chardev import EventCharDevice
+from repro.safety.monitor.libkernevents import UserSpaceLogger
+from repro.safety.monitor.monitors import (IrqMonitor, RefcountMonitor,
+                                           SemaphoreMonitor, SpinlockMonitor)
+from repro.safety.monitor.lockprof import LockProfiler, LockStats
+from repro.safety.monitor.offline import analyze, load_event_log, OfflineReport
+
+__all__ = [
+    "Event", "pack_event", "unpack_events", "EVENT_RECORD_SIZE",
+    "LockFreeRingBuffer", "EventDispatcher", "EventCharDevice",
+    "UserSpaceLogger", "RefcountMonitor", "SpinlockMonitor",
+    "SemaphoreMonitor", "IrqMonitor", "LockProfiler", "LockStats",
+    "analyze", "load_event_log", "OfflineReport",
+]

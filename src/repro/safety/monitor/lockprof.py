@@ -1,0 +1,101 @@
+"""Lock profiling: in-depth analysis of lock behaviour (§3.3/§3.5).
+
+"We intend to develop on-line, in-kernel monitors for reference counters,
+spinlocks, and semaphores, **as well as tools that allow for more
+in-depth analysis of performance bottlenecks related to these objects**."
+
+:class:`LockProfiler` is that tool: a dispatcher callback that computes
+per-lock hold-time distributions, acquisition rates, and the hottest
+acquisition sites — everything needed to decide whether a lock (like
+§3.3's ``dcache_lock``) is a bottleneck worth splitting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.kernel.locks import EV_LOCK, EV_UNLOCK
+from repro.safety.monitor.events import Event
+
+
+@dataclass
+class LockStats:
+    """Profile of one lock object."""
+
+    acquisitions: int = 0
+    total_hold_cycles: int = 0
+    max_hold_cycles: int = 0
+    min_hold_cycles: int | None = None
+    sites: Counter = field(default_factory=Counter)
+    first_cycles: int | None = None
+    last_cycles: int = 0
+
+    @property
+    def mean_hold_cycles(self) -> float:
+        if self.acquisitions == 0:
+            return 0.0
+        return self.total_hold_cycles / self.acquisitions
+
+    def hit_rate(self, hz: float) -> float:
+        """Acquisitions per second over the observed window."""
+        if self.first_cycles is None:
+            return 0.0
+        span = self.last_cycles - self.first_cycles
+        if span <= 0:
+            return 0.0
+        return self.acquisitions / (span / hz)
+
+    def top_sites(self, n: int = 5) -> list[tuple[str, int]]:
+        return self.sites.most_common(n)
+
+
+class LockProfiler:
+    """Per-lock hold-time and hit-rate profiling (a dispatcher callback)."""
+
+    def __init__(self) -> None:
+        self.stats: dict[int, LockStats] = defaultdict(LockStats)
+        self._held_since: dict[int, tuple[int, str]] = {}
+        self.events_seen = 0
+
+    def __call__(self, event: Event) -> None:
+        if event.event_type not in (EV_LOCK, EV_UNLOCK):
+            return
+        self.events_seen += 1
+        stats = self.stats[event.obj_id]
+        if stats.first_cycles is None:
+            stats.first_cycles = event.cycles
+        stats.last_cycles = event.cycles
+        if event.event_type == EV_LOCK:
+            self._held_since[event.obj_id] = (event.cycles, event.site)
+            stats.acquisitions += 1
+            stats.sites[event.site] += 1
+        else:
+            entry = self._held_since.pop(event.obj_id, None)
+            if entry is None:
+                return  # unmatched unlock: the invariant monitor's business
+            since, _ = entry
+            hold = event.cycles - since
+            stats.total_hold_cycles += hold
+            stats.max_hold_cycles = max(stats.max_hold_cycles, hold)
+            stats.min_hold_cycles = hold if stats.min_hold_cycles is None \
+                else min(stats.min_hold_cycles, hold)
+
+    # -------------------------------------------------------------- queries
+
+    def hottest_locks(self, n: int = 5) -> list[tuple[int, LockStats]]:
+        """Locks ranked by total cycles held (the bottleneck ordering)."""
+        ranked = sorted(self.stats.items(),
+                        key=lambda kv: -kv[1].total_hold_cycles)
+        return ranked[:n]
+
+    def report(self, hz: float = 1.7e9, n: int = 5) -> str:
+        lines = ["lock profile (hottest first):"]
+        for obj_id, s in self.hottest_locks(n):
+            lines.append(
+                f"  lock {obj_id:#x}: {s.acquisitions} acquisitions "
+                f"({s.hit_rate(hz):,.0f}/s), hold mean "
+                f"{s.mean_hold_cycles:.0f} / max {s.max_hold_cycles} cycles")
+            for site, count in s.top_sites(3):
+                lines.append(f"    {count:6d}x  {site}")
+        return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""In-kernel invariant monitors (§3.3's planned refcount/spinlock/semaphore
+monitors, implemented).
+
+Each registers as a dispatcher callback and verifies a higher-level
+property over the event stream:
+
+* :class:`SpinlockMonitor` — "spinlocks that are locked are later
+  unlocked": lock/unlock must alternate per object; ``held()`` lists locks
+  currently held (leak candidates at shutdown).
+* :class:`RefcountMonitor` — "reference counters are incremented and
+  decremented symmetrically": per-object net counts, underflow detection,
+  and end-of-run imbalance reporting.
+* :class:`SemaphoreMonitor` — down/up pairing.
+* :class:`IrqMonitor` — "interrupts that are disabled are later
+  re-enabled": nesting depth must return to zero and never go negative.
+
+Monitors record violations rather than raising: a real in-kernel monitor
+must never take the machine down itself.  ``strict=True`` opts into
+raising :class:`InvariantViolation` immediately (useful in tests).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.errors import InvariantViolation
+from repro.kernel.locks import (EV_IRQ_DISABLE, EV_IRQ_ENABLE, EV_LOCK,
+                                EV_REF_DEC, EV_REF_INC, EV_SEM_DOWN,
+                                EV_SEM_UP, EV_UNLOCK)
+from repro.safety.monitor.events import Event
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    obj_id: int
+    site: str
+    detail: str
+
+
+class _BaseMonitor:
+    def __init__(self, *, strict: bool = False):
+        self.strict = strict
+        self.violations: list[Violation] = []
+        self.events_seen = 0
+
+    def _violate(self, rule: str, obj_id: int, site: str, detail: str) -> None:
+        violation = Violation(rule, obj_id, site, detail)
+        self.violations.append(violation)
+        if self.strict:
+            raise InvariantViolation(rule, f"{detail} (obj {obj_id:#x}, {site})")
+
+    def __call__(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SpinlockMonitor(_BaseMonitor):
+    """lock/unlock must strictly alternate per lock object."""
+
+    def __init__(self, *, strict: bool = False):
+        super().__init__(strict=strict)
+        self._held: dict[int, str] = {}  # obj -> site of the lock
+        self.hold_counts: Counter = Counter()
+
+    def __call__(self, event: Event) -> None:
+        if event.event_type not in (EV_LOCK, EV_UNLOCK):
+            return
+        self.events_seen += 1
+        if event.event_type == EV_LOCK:
+            if event.obj_id in self._held:
+                self._violate("spinlock-no-recursion", event.obj_id,
+                              event.site, "lock acquired while already held")
+            self._held[event.obj_id] = event.site
+            self.hold_counts[event.obj_id] += 1
+        else:
+            if event.obj_id not in self._held:
+                self._violate("spinlock-balanced", event.obj_id, event.site,
+                              "unlock of a lock that is not held")
+            else:
+                del self._held[event.obj_id]
+
+    def held(self) -> dict[int, str]:
+        """Locks still held (object -> acquisition site)."""
+        return dict(self._held)
+
+
+class RefcountMonitor(_BaseMonitor):
+    """inc/dec symmetry per counter object."""
+
+    def __init__(self, *, strict: bool = False):
+        super().__init__(strict=strict)
+        self.incs: Counter = Counter()
+        self.decs: Counter = Counter()
+        self.last_value: dict[int, int] = {}
+        self.sites: dict[int, set[str]] = defaultdict(set)
+
+    def __call__(self, event: Event) -> None:
+        if event.event_type not in (EV_REF_INC, EV_REF_DEC):
+            return
+        self.events_seen += 1
+        self.sites[event.obj_id].add(event.site)
+        self.last_value[event.obj_id] = event.value
+        if event.event_type == EV_REF_INC:
+            self.incs[event.obj_id] += 1
+        else:
+            self.decs[event.obj_id] += 1
+            if event.value < 0:
+                self._violate("refcount-no-underflow", event.obj_id,
+                              event.site, f"count went negative ({event.value})")
+
+    def net(self, obj_id: int) -> int:
+        return self.incs[obj_id] - self.decs[obj_id]
+
+    def imbalances(self) -> dict[int, int]:
+        """Objects whose incs != decs over the observed window."""
+        out: dict[int, int] = {}
+        for obj_id in set(self.incs) | set(self.decs):
+            net = self.net(obj_id)
+            if net != 0:
+                out[obj_id] = net
+        return out
+
+    def report_asymmetries(self) -> list[Violation]:
+        """End-of-run symmetry audit (call after the watched epoch)."""
+        found = []
+        for obj_id, net in sorted(self.imbalances().items()):
+            sites = ", ".join(sorted(self.sites[obj_id]))[:120]
+            found.append(Violation("refcount-symmetric", obj_id, sites,
+                                   f"net {net:+d} over window"))
+        return found
+
+
+class SemaphoreMonitor(_BaseMonitor):
+    """down/up pairing per semaphore."""
+
+    def __init__(self, *, strict: bool = False):
+        super().__init__(strict=strict)
+        self.outstanding: Counter = Counter()
+
+    def __call__(self, event: Event) -> None:
+        if event.event_type not in (EV_SEM_DOWN, EV_SEM_UP):
+            return
+        self.events_seen += 1
+        if event.event_type == EV_SEM_DOWN:
+            self.outstanding[event.obj_id] += 1
+        else:
+            self.outstanding[event.obj_id] -= 1
+            if self.outstanding[event.obj_id] < 0:
+                self._violate("semaphore-balanced", event.obj_id, event.site,
+                              "up without matching down")
+
+    def unbalanced(self) -> dict[int, int]:
+        return {k: v for k, v in self.outstanding.items() if v != 0}
+
+
+class IrqMonitor(_BaseMonitor):
+    """interrupt disable/enable nesting must balance and never go negative."""
+
+    def __init__(self, *, strict: bool = False):
+        super().__init__(strict=strict)
+        self.depth: Counter = Counter()  # per CPU/object id
+
+    def __call__(self, event: Event) -> None:
+        if event.event_type not in (EV_IRQ_DISABLE, EV_IRQ_ENABLE):
+            return
+        self.events_seen += 1
+        if event.event_type == EV_IRQ_DISABLE:
+            self.depth[event.obj_id] += 1
+        else:
+            self.depth[event.obj_id] -= 1
+            if self.depth[event.obj_id] < 0:
+                self._violate("irq-balanced", event.obj_id, event.site,
+                              "enable without matching disable")
+
+    def still_disabled(self) -> dict[int, int]:
+        return {k: v for k, v in self.depth.items() if v > 0}

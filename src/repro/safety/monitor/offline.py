@@ -1,0 +1,103 @@
+"""Offline analysis of logged event streams (§3.3).
+
+"we have developed an event monitoring infrastructure with support for
+on-line analysis in the kernel and in user space, **as well as logging
+for later analysis**."
+
+The :class:`UserSpaceLogger` writes packed event records to a log file;
+this module is the *later analysis*: load the file (through the same
+simulated syscalls), decode the records, replay them through any set of
+monitors, and summarize.  Because monitors are plain callables over
+:class:`~repro.safety.monitor.events.Event`, on-line and offline analysis
+share every invariant checker.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.safety.monitor.events import (EVENT_RECORD_SIZE, Event, SiteTable,
+                                         unpack_events)
+from repro.safety.monitor.monitors import (IrqMonitor, RefcountMonitor,
+                                           SemaphoreMonitor, SpinlockMonitor,
+                                           Violation)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+
+def load_event_log(kernel: "Kernel", path: str,
+                   sites: SiteTable) -> list[Event]:
+    """Read and decode a packed event log from the (simulated) filesystem.
+
+    ``sites`` must be the site table the events were packed with (in a
+    real deployment it is dumped alongside the log; here the dispatcher
+    owns it).
+    """
+    raw = kernel.sys.open_read_close(path)
+    usable = len(raw) - (len(raw) % EVENT_RECORD_SIZE)
+    return unpack_events(raw[:usable], sites)
+
+
+@dataclass
+class OfflineReport:
+    """Everything the §3.3 analyst wants from a trace."""
+
+    events: int
+    span_cycles: int
+    by_type: Counter = field(default_factory=Counter)
+    by_site: Counter = field(default_factory=Counter)
+    violations: list[Violation] = field(default_factory=list)
+    leaked_locks: dict[int, str] = field(default_factory=dict)
+    refcount_imbalances: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return (not self.violations and not self.leaked_locks
+                and not self.refcount_imbalances)
+
+    def summary(self) -> str:
+        lines = [f"{self.events} events over {self.span_cycles} cycles"]
+        for etype, count in sorted(self.by_type.items()):
+            lines.append(f"  type {etype}: {count}")
+        if self.violations:
+            lines.append(f"  {len(self.violations)} violations:")
+            lines += [f"    {v.rule}: {v.detail} at {v.site}"
+                      for v in self.violations]
+        if self.leaked_locks:
+            lines.append(f"  {len(self.leaked_locks)} locks still held")
+        if self.refcount_imbalances:
+            lines.append(f"  {len(self.refcount_imbalances)} refcount "
+                         f"imbalances")
+        if self.clean:
+            lines.append("  all invariants hold")
+        return "\n".join(lines)
+
+
+def analyze(events: Iterable[Event],
+            extra_monitors: list[Callable[[Event], None]] | None = None
+            ) -> OfflineReport:
+    """Replay a trace through the standard monitors (plus any extras)."""
+    events = list(events)
+    locks = SpinlockMonitor()
+    refs = RefcountMonitor()
+    sems = SemaphoreMonitor()
+    irqs = IrqMonitor()
+    monitors = [locks, refs, sems, irqs] + list(extra_monitors or [])
+    report = OfflineReport(
+        events=len(events),
+        span_cycles=(events[-1].cycles - events[0].cycles) if events else 0,
+    )
+    for event in events:
+        report.by_type[event.event_type] += 1
+        report.by_site[event.site] += 1
+        for monitor in monitors:
+            monitor(event)
+    for m in (locks, refs, sems, irqs):
+        report.violations.extend(m.violations)
+    report.violations.extend(refs.report_asymmetries())
+    report.leaked_locks = locks.held()
+    report.refcount_imbalances = refs.imbalances()
+    return report

@@ -1,0 +1,81 @@
+"""A lock-free single-producer/single-consumer ring buffer.
+
+"User-space event monitors receive events through a character device
+interface to a lock-free ring buffer.  Because the ring buffer is
+lock-free, we can instrument code that is invoked during interrupt
+handlers without fear that the interrupt handler will block." (§3.3)
+
+The classic SPSC design: ``head`` (producer) and ``tail`` (consumer) are
+monotonically increasing counters; each side writes only its own counter,
+so no lock is needed.  Both operations are explicitly non-blocking: a full
+buffer *drops* the new event (counted in ``overruns``) rather than
+waiting, preserving the never-block guarantee inside interrupt handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class LockFreeRingBuffer(Generic[T]):
+    """Bounded SPSC queue with drop-on-full semantics."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError("capacity must be a positive power of two")
+        self.capacity = capacity
+        self._slots: list[T | None] = [None] * capacity
+        self._head = 0  # next write position (producer-owned)
+        self._tail = 0  # next read position (consumer-owned)
+        self.total_pushed = 0
+        self.overruns = 0
+
+    # -------------------------------------------------------------- producer
+
+    def try_push(self, item: T) -> bool:
+        """Producer side: enqueue or drop (never blocks)."""
+        if self._head - self._tail >= self.capacity:
+            self.overruns += 1
+            return False
+        self._slots[self._head & (self.capacity - 1)] = item
+        # The store above must be visible before the index publish; in
+        # Python the GIL gives us that ordering for free.
+        self._head += 1
+        self.total_pushed += 1
+        return True
+
+    # -------------------------------------------------------------- consumer
+
+    def try_pop(self) -> T | None:
+        """Consumer side: dequeue one item or None (never blocks)."""
+        if self._tail == self._head:
+            return None
+        item = self._slots[self._tail & (self.capacity - 1)]
+        self._slots[self._tail & (self.capacity - 1)] = None
+        self._tail += 1
+        return item
+
+    def pop_batch(self, max_items: int) -> list[T]:
+        """Bulk dequeue, the libkernevents read path."""
+        out: list[T] = []
+        while len(out) < max_items:
+            item = self.try_pop()
+            if item is None:
+                break
+            out.append(item)
+        return out
+
+    # ----------------------------------------------------------------- state
+
+    def __len__(self) -> int:
+        return self._head - self._tail
+
+    @property
+    def empty(self) -> bool:
+        return self._head == self._tail
+
+    @property
+    def full(self) -> bool:
+        return self._head - self._tail >= self.capacity

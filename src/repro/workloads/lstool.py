@@ -1,0 +1,83 @@
+"""/bin/ls -l, two ways (the §2.2 readdirplus experiment's subject).
+
+``ls_legacy`` is the program the paper benchmarks readdirplus *against*:
+"a program which did a readdir followed by stat calls for each file".
+``ls_readdirplus`` is the same listing through the consolidated syscall.
+Both return identical (name, size) listings; the benchmark compares their
+elapsed/system/user times across directory sizes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.clock import Mode
+from repro.kernel.vfs.file import O_RDONLY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+#: user-side cycles to format one listing row (both variants pay this)
+FORMAT_ROW_CYCLES = 150
+#: user-side cycles the legacy ls spends per entry building the path string
+#: it passes to stat (malloc + strcpy + strcat) — work readdirplus removes
+PATH_BUILD_BASE_CYCLES = 180
+PATH_BUILD_PER_CHAR = 3
+#: per-entry cost of the user-level readdir(3) library layer over getdents
+READDIR_LIB_CYCLES = 60
+
+
+def ls_legacy(kernel: "Kernel", path: str) -> list[tuple[str, int]]:
+    """readdir + one stat(2) per entry, like a pre-readdirplus /bin/ls."""
+    sys = kernel.sys
+    out: list[tuple[str, int]] = []
+    fd = sys.open(path, O_RDONLY)
+    try:
+        while True:
+            batch = sys.getdents(fd)
+            if not batch:
+                break
+            for entry in batch:
+                # the user program concatenates the path and re-crosses the
+                # boundary for every single file
+                kernel.clock.charge(
+                    READDIR_LIB_CYCLES + PATH_BUILD_BASE_CYCLES
+                    + PATH_BUILD_PER_CHAR * (len(path) + len(entry.name) + 2),
+                    Mode.USER)
+                st = sys.stat(f"{path}/{entry.name}")
+                kernel.clock.charge(FORMAT_ROW_CYCLES, Mode.USER)
+                out.append((entry.name, st.size))
+    finally:
+        sys.close(fd)
+    return out
+
+
+def ls_readdirplus(kernel: "Kernel", path: str) -> list[tuple[str, int]]:
+    """readdirplus returns names and attributes together; one call per
+    buffer-full (huge directories continue via the cookie)."""
+    sys = kernel.sys
+    out: list[tuple[str, int]] = []
+    start = 0
+    while True:
+        batch = sys.readdirplus(path, start=start)
+        if not batch:
+            break
+        for entry, st in batch:
+            kernel.clock.charge(FORMAT_ROW_CYCLES, Mode.USER)
+            out.append((entry.name, st.size))
+        start += len(batch)
+    return out
+
+
+def make_directory(kernel: "Kernel", path: str, nfiles: int,
+                   *, size_step: int = 7) -> None:
+    """Populate a directory with ``nfiles`` small files (test fixture)."""
+    from repro.kernel.vfs.file import O_CREAT, O_WRONLY
+
+    sys = kernel.sys
+    sys.mkdir(path)
+    for i in range(nfiles):
+        fd = sys.open(f"{path}/f{i:06d}", O_CREAT | O_WRONLY)
+        if i % size_step:
+            sys.write(fd, b"d" * (i % 64))
+        sys.close(fd)

@@ -1,0 +1,138 @@
+"""Lexer and parser for the C subset."""
+
+import pytest
+
+from repro.cminus import ast, parse, tokenize
+from repro.cminus.lexer import TokenKind
+from repro.cminus.parser import parse_expression
+from repro.errors import CMinusError
+
+
+def test_tokenize_basic():
+    toks = tokenize("int x = 42;")
+    kinds = [t.kind for t in toks]
+    assert kinds == [TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.OP,
+                     TokenKind.INT, TokenKind.OP, TokenKind.EOF]
+    assert toks[3].value == 42
+
+
+def test_tokenize_hex_and_char():
+    toks = tokenize("0xFF 'a' '\\n'")
+    assert toks[0].value == 255
+    assert toks[1].value == ord("a")
+    assert toks[2].value == ord("\n")
+
+
+def test_tokenize_string_escapes():
+    toks = tokenize(r'"a\tb\n"')
+    assert toks[0].value == "a\tb\n"
+
+
+def test_tokenize_comments_skipped():
+    toks = tokenize("a // line\n /* block\nblock */ b")
+    assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+
+def test_tokenize_maximal_munch():
+    toks = tokenize("a<<=b; c<=d; e<f;")
+    ops = [t.text for t in toks if t.kind is TokenKind.OP]
+    assert "<<=" in ops and "<=" in ops and "<" in ops
+
+
+def test_tokenize_errors():
+    with pytest.raises(CMinusError):
+        tokenize("@")
+    with pytest.raises(CMinusError):
+        tokenize('"unterminated')
+    with pytest.raises(CMinusError):
+        tokenize("/* unterminated")
+
+
+def test_tokens_carry_line_numbers():
+    toks = tokenize("a\nb\n  c")
+    assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+
+def test_parse_function_and_params():
+    prog = parse("int add(int a, int b) { return a + b; }")
+    func = prog.funcs["add"]
+    assert [p.name for p in func.params] == ["a", "b"]
+    assert isinstance(func.body.stmts[0], ast.Return)
+
+
+def test_parse_pointer_and_array_types():
+    prog = parse("int main() { int *p; char buf[16]; int **pp; return 0; }")
+    decls = [s for s in prog.funcs["main"].body.stmts
+             if isinstance(s, ast.VarDecl)]
+    assert decls[0].ctype.name() == "int*"
+    assert decls[1].ctype.name() == "char[16]"
+    assert decls[2].ctype.name() == "int**"
+
+
+def test_parse_precedence():
+    e = parse_expression("1 + 2 * 3")
+    assert isinstance(e, ast.BinOp) and e.op == "+"
+    assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+
+def test_parse_right_assoc_assignment():
+    e = parse_expression("a = b = 1")
+    assert isinstance(e, ast.Assign)
+    assert isinstance(e.value, ast.Assign)
+
+
+def test_parse_compound_assignment():
+    e = parse_expression("a += 2")
+    assert isinstance(e, ast.Assign) and e.op == "+"
+
+
+def test_parse_unary_chain():
+    e = parse_expression("*&x")
+    assert isinstance(e, ast.Deref)
+    assert isinstance(e.ptr, ast.AddrOf)
+
+
+def test_parse_postfix_and_calls():
+    e = parse_expression("f(a, b)[i]++")
+    assert isinstance(e, ast.PostIncDec)
+    assert isinstance(e.target, ast.Index)
+    assert isinstance(e.target.base, ast.Call)
+
+
+def test_parse_sizeof_forms():
+    t = parse_expression("sizeof(int*)")
+    assert isinstance(t, ast.SizeOf) and t.ctype.name() == "int*"
+    e = parse_expression("sizeof(x)")
+    assert isinstance(e, ast.SizeOf) and e.expr is not None
+
+
+def test_parse_for_with_decl():
+    prog = parse("int main() { int s; for (int i = 0; i < 3; i++) s += i; return s; }")
+    loop = prog.funcs["main"].body.stmts[1]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.VarDecl)
+
+
+def test_parse_errors():
+    with pytest.raises(CMinusError):
+        parse("int f( { }")
+    with pytest.raises(CMinusError):
+        parse("int f() { return 1 }")  # missing semicolon
+    with pytest.raises(CMinusError):
+        parse("int f() { 1 = 2; }")  # bad assignment target
+    with pytest.raises(CMinusError):
+        parse("int f() {}; int f() {}")  # will fail on ';' actually
+    with pytest.raises(CMinusError):
+        parse("int a[0];")  # zero-size array
+
+
+def test_parse_redefinition_rejected():
+    with pytest.raises(CMinusError):
+        parse("int f() { return 0; } int f() { return 1; }")
+
+
+def test_walk_visits_all_nodes():
+    prog = parse("int main() { int x = 1; return x + 2; }")
+    kinds = {type(n).__name__ for n in ast.walk(prog)}
+    assert {"Program", "FuncDef", "Block", "VarDecl", "Return",
+            "BinOp", "Ident", "IntLit"} <= kinds

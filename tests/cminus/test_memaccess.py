@@ -1,0 +1,91 @@
+"""Memory backends: segment layout discipline, kernel backend."""
+
+import pytest
+
+from repro.cminus.memaccess import KernelMemAccess, SegmentMemAccess
+from repro.errors import OutOfMemory, ProtectionFault
+from repro.kernel import Kernel
+from repro.kernel.memory import AddressSpace
+from repro.kernel.segments import SegmentDescriptor, SegmentTable, SegmentedView
+
+
+def _segment(k, size=4096, reserve=256):
+    base = k.vmalloc.vmalloc(size)
+    table = SegmentTable()
+    sel = table.install(SegmentDescriptor(base=base, limit=size, name="seg"))
+    view = SegmentedView(k.mmu, AddressSpace(k.kernel_pt), table, sel)
+    return SegmentMemAccess(view, static_reserve=reserve)
+
+
+def test_segment_heap_and_stack_disjoint():
+    k = Kernel()
+    mem = _segment(k)
+    heap = mem.malloc(64)
+    stack = mem.alloc_stack(64)
+    assert heap >= 256            # past the static reserve
+    assert stack > heap           # stack comes down from the limit
+    mem.write(heap, b"h" * 64)
+    mem.write(stack, b"s" * 64)
+    assert mem.read(heap, 64) == b"h" * 64
+    assert mem.read(stack, 64) == b"s" * 64
+
+
+def test_segment_heap_stack_collision_detected():
+    k = Kernel()
+    mem = _segment(k, size=1024, reserve=0)
+    mem.alloc_stack(512)
+    with pytest.raises(OutOfMemory):
+        mem.malloc(600)
+    mem2 = _segment(k, size=1024, reserve=0)
+    mem2.malloc(512)
+    with pytest.raises(OutOfMemory):
+        mem2.alloc_stack(600)
+
+
+def test_segment_free_and_reuse():
+    k = Kernel()
+    mem = _segment(k)
+    a = mem.malloc(32)
+    mem.free(a)
+    assert mem.malloc(32) == a
+    with pytest.raises(OutOfMemory):
+        mem.free(0xABC)
+
+
+def test_segment_stack_underflow_detected():
+    k = Kernel()
+    mem = _segment(k)
+    addr = mem.alloc_stack(16)
+    mem.free_stack(addr, 16)
+    with pytest.raises(RuntimeError):
+        mem.free_stack(addr, 16)
+
+
+def test_segment_access_beyond_limit_faults():
+    k = Kernel()
+    mem = _segment(k, size=512)
+    with pytest.raises(ProtectionFault):
+        mem.read(512, 1)
+    with pytest.raises(ProtectionFault):
+        mem.write(510, b"xyz")
+
+
+def test_kernel_backend_uses_kmalloc():
+    k = Kernel()
+    mem = KernelMemAccess(k)
+    live0 = len(k.kmalloc.live)
+    addr = mem.malloc(48)
+    assert len(k.kmalloc.live) == live0 + 1
+    mem.write(addr, b"kernel heap")
+    assert mem.read(addr, 11) == b"kernel heap"
+    mem.free(addr)
+    assert len(k.kmalloc.live) == live0
+
+
+def test_kernel_backend_stack_is_heap_backed():
+    k = Kernel()
+    mem = KernelMemAccess(k)
+    addr = mem.alloc_stack(100)
+    mem.write(addr, b"frame")
+    assert mem.read(addr, 5) == b"frame"
+    mem.free_stack(addr, 100)

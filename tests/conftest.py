@@ -1,0 +1,26 @@
+"""Shared fixtures: booted kernels with a mounted FS and a running task."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A kernel with a ramfs root and one task ('init') running."""
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("init")
+    return k
+
+
+@pytest.fixture
+def ext2_kernel() -> Kernel:
+    """A kernel with an ext2 root (disk-backed) and one task running."""
+    k = Kernel()
+    k.mount_root(Ext2SuperBlock(k))
+    k.spawn("init")
+    return k

@@ -1,0 +1,51 @@
+"""The analysis/report helpers."""
+
+import pytest
+
+from repro.analysis import ComparisonTable, fmt_bytes, fmt_seconds, pct
+
+
+def test_pct_semantics():
+    assert pct(new=50, old=100) == 50.0
+    assert pct(new=100, old=50) == -100.0
+    assert pct(new=1, old=0) == 0.0
+
+
+def test_fmt_bytes_units():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2048) == "2.0 KB"
+    assert fmt_bytes(3 * 1024 * 1024) == "3.0 MB"
+    assert "GB" in fmt_bytes(5 * 1024 ** 3)
+
+
+def test_fmt_seconds_units():
+    assert fmt_seconds(2.5) == "2.500 s"
+    assert fmt_seconds(0.0025) == "2.500 ms"
+    assert "µs" in fmt_seconds(2.5e-6)
+
+
+def test_table_verdicts_and_render():
+    t = ComparisonTable("EX", "demo")
+    t.add("wins", "yes", "yes", holds=True)
+    t.add("margin", "2x", "1.8x", holds=True)
+    t.add("context", "n/a", "informational")  # no verdict
+    t.note("a note")
+    out = t.render()
+    assert "== EX: demo ==" in out
+    assert out.count("OK") == 2
+    assert "MISS" not in out
+    assert "note: a note" in out
+    assert t.all_hold
+
+
+def test_table_all_hold_fails_on_miss():
+    t = ComparisonTable("EX", "demo")
+    t.add("wins", "yes", "no", holds=False)
+    assert not t.all_hold
+    assert "MISS" in t.render()
+
+
+def test_informational_rows_do_not_affect_verdict():
+    t = ComparisonTable("EX", "demo")
+    t.add("context only", "-", "-")
+    assert t.all_hold  # vacuously true

@@ -1,0 +1,134 @@
+"""Syscall tracing, the syscall graph, and pattern mining (§2.2)."""
+
+import pytest
+
+from repro.core.consolidation import (SyscallGraph, SyscallTracer,
+                                      find_heavy_paths, find_sequences,
+                                      project_readdirplus_savings)
+from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+
+
+def test_tracer_records_calls(kernel):
+    with SyscallTracer(kernel) as tracer:
+        fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+        kernel.sys.write(fd, b"abc")
+        kernel.sys.close(fd)
+    assert tracer.name_sequence() == ["open", "write", "close"]
+    assert tracer.records[0].pid == kernel.current.pid
+    # detached: further syscalls are not recorded
+    kernel.sys.getpid()
+    assert len(tracer.records) == 3
+
+
+def test_tracer_summary_accounts_bytes(kernel):
+    with SyscallTracer(kernel) as tracer:
+        fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+        kernel.sys.write(fd, b"x" * 500)
+        kernel.sys.close(fd)
+    s = tracer.summary()
+    assert s.total_calls == 3
+    assert s.bytes_from_user >= 500
+    assert s.calls_by_name["write"] == 1
+    assert s.top_calls(1)[0][0] in ("open", "write", "close")
+
+
+def test_tracer_errno_recorded(kernel):
+    from repro.errors import Errno
+    with SyscallTracer(kernel) as tracer:
+        with pytest.raises(Errno):
+            kernel.sys.open("/nope", O_RDONLY)
+    assert tracer.records[0].errno == 2  # ENOENT
+
+
+def test_graph_edge_weights():
+    g = SyscallGraph.from_sequence(
+        ["open", "read", "close", "open", "read", "close", "open", "fstat"])
+    assert g.weight("open", "read") == 2
+    assert g.weight("read", "close") == 2
+    assert g.weight("open", "fstat") == 1
+    assert g.weight("close", "open") == 2
+    assert g.node_count("open") == 3
+
+
+def test_graph_path_weight_is_min_edge():
+    g = SyscallGraph.from_sequence(["a", "b", "c"] * 5 + ["a", "b"])
+    assert g.path_weight(["a", "b", "c"]) == 5
+    assert g.path_weight(["a", "b"]) == 6
+    assert g.path_weight(["a"]) == 0
+
+
+def test_graph_heaviest_edges_sorted():
+    g = SyscallGraph.from_sequence(["x", "y"] * 10 + ["y", "z"] * 2)
+    edges = g.heaviest_edges(2)
+    assert edges[0][:2] == ("x", "y")
+    assert edges[0][2] >= edges[1][2]
+
+
+def test_graph_networkx_export():
+    g = SyscallGraph.from_sequence(["open", "read", "close"])
+    nxg = g.to_networkx()
+    assert nxg["open"]["read"]["weight"] == 1
+
+
+def test_graph_dot_export():
+    g = SyscallGraph.from_sequence(["open", "read"])
+    assert '"open" -> "read"' in g.to_dot()
+
+
+def test_find_heavy_paths_surfaces_hot_sequence():
+    seq = ["open", "read", "close"] * 20 + ["getpid"] * 3
+    g = SyscallGraph.from_sequence(seq)
+    paths = find_heavy_paths(g, max_len=3)
+    assert any(p[:3] == ["open", "read", "close"] or
+               "read" in p for p, _ in paths)
+    top_path, top_weight = paths[0]
+    assert top_weight >= 19
+
+
+def test_find_sequences_in_real_trace(kernel):
+    kernel.sys.mkdir("/d")
+    for i in range(5):
+        kernel.sys.close(kernel.sys.open(f"/d/f{i}", O_CREAT | O_WRONLY))
+    with SyscallTracer(kernel) as tracer:
+        # open-read-close
+        fd = kernel.sys.open("/d/f0", O_RDONLY)
+        kernel.sys.read(fd, 10)
+        kernel.sys.close(fd)
+        # open-fstat
+        fd = kernel.sys.open("/d/f1", O_RDONLY)
+        kernel.sys.fstat(fd)
+        kernel.sys.close(fd)
+        # readdir-stat
+        dfd = kernel.sys.open("/d", O_RDONLY)
+        while kernel.sys.getdents(dfd):
+            pass
+        for i in range(5):
+            kernel.sys.stat(f"/d/f{i}")
+        kernel.sys.close(dfd)
+    matches = find_sequences(tracer)
+    patterns = {m.pattern for m in matches}
+    assert "open-read-close" in patterns
+    assert "open-fstat" in patterns
+    assert "readdir-stat" in patterns
+
+
+def test_project_readdirplus_savings(kernel):
+    kernel.sys.mkdir("/d")
+    for i in range(30):
+        kernel.sys.close(kernel.sys.open(f"/d/f{i:03d}", O_CREAT | O_WRONLY))
+    with SyscallTracer(kernel) as tracer:
+        dfd = kernel.sys.open("/d", O_RDONLY)
+        entries = []
+        while True:
+            batch = kernel.sys.getdents(dfd)
+            if not batch:
+                break
+            entries.extend(batch)
+        for e in entries:
+            kernel.sys.stat(f"/d/{e.name}")
+        kernel.sys.close(dfd)
+    savings = project_readdirplus_savings(tracer)
+    assert savings.instances == 1
+    assert savings.calls_saved >= 30   # 30 stats + extra getdents collapse
+    assert savings.bytes_saved > 0
+    assert savings.projected_bytes < savings.observed_bytes

@@ -1,0 +1,96 @@
+"""Pattern mining and graph edge cases."""
+
+from repro.core.consolidation import (SyscallGraph, SyscallTracer,
+                                      find_heavy_paths, find_sequences,
+                                      project_readdirplus_savings)
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+
+
+def _traced_kernel():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    return k
+
+
+def test_empty_graph():
+    g = SyscallGraph()
+    assert g.nodes == []
+    assert g.edges() == []
+    assert find_heavy_paths(g) == []
+
+
+def test_single_call_sequence_has_no_edges():
+    g = SyscallGraph.from_sequence(["open"])
+    assert g.node_count("open") == 1
+    assert g.edges() == []
+
+
+def test_sequences_across_processes_do_not_link():
+    g = SyscallGraph()
+    g.add_sequence(["open", "read"])
+    g.add_sequence(["write", "close"])
+    assert g.weight("read", "write") == 0  # no cross-process edge
+
+
+def test_heavy_paths_respect_min_weight():
+    g = SyscallGraph.from_sequence(["a", "b"] * 3)
+    assert find_heavy_paths(g, min_weight=10) == []
+    paths = find_heavy_paths(g, min_weight=2)
+    assert any("a" in p for p, _ in paths)
+
+
+def test_find_sequences_empty_trace():
+    k = _traced_kernel()
+    tracer = SyscallTracer(k)
+    assert find_sequences(tracer) == []
+    savings = project_readdirplus_savings(tracer)
+    assert savings.instances == 0
+    assert savings.calls_saved == 0
+
+
+def test_getdents_without_stats_is_not_a_match():
+    k = _traced_kernel()
+    k.sys.mkdir("/d")
+    from repro.kernel.vfs import O_RDONLY
+    with SyscallTracer(k) as tracer:
+        fd = k.sys.open("/d", O_RDONLY)
+        while k.sys.getdents(fd):
+            pass
+        k.sys.close(fd)
+    assert all(m.pattern != "readdir-stat" for m in find_sequences(tracer))
+
+
+def test_tracer_clear_and_pids():
+    k = _traced_kernel()
+    with SyscallTracer(k) as tracer:
+        k.sys.getpid()
+        assert tracer.pids() == [k.current.pid]
+        tracer.clear()
+        assert tracer.records == []
+
+
+def test_multiple_tracers_coexist():
+    k = _traced_kernel()
+    t1, t2 = SyscallTracer(k), SyscallTracer(k)
+    t1.attach()
+    k.sys.getpid()
+    t2.attach()
+    k.sys.getpid()
+    t1.detach()
+    k.sys.getpid()
+    t2.detach()
+    assert len(t1.records) == 2
+    assert len(t2.records) == 2
+
+
+def test_attach_is_idempotent():
+    k = _traced_kernel()
+    tracer = SyscallTracer(k)
+    tracer.attach()
+    tracer.attach()  # no double registration
+    k.sys.getpid()
+    assert len(tracer.records) == 1
+    tracer.detach()
+    tracer.detach()  # no error

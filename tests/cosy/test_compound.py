@@ -1,0 +1,109 @@
+"""Compound encoding/decoding and builder mechanics."""
+
+import pytest
+
+from repro.core.cosy import (Arg, ArgKind, CompoundBuilder, OpCode,
+                             decode_compound, encode_compound)
+from repro.core.cosy.ops import Op
+from repro.errors import CosyError
+
+
+def test_encode_decode_roundtrip():
+    b = CompoundBuilder()
+    s = b.slot("x")
+    b.mov(s, Arg.lit(42))
+    b.math("+", s, Arg.slot(s), Arg.lit(8))
+    b.syscall("getpid", out=b.slot("pid"))
+    data = b.encode()
+    ops, nslots = decode_compound(data)
+    assert nslots == 2
+    assert [op.opcode for op in ops] == [OpCode.MOV, OpCode.MATH,
+                                         OpCode.SYSCALL, OpCode.END]
+    assert ops[0].args[0] == Arg.lit(42)
+
+
+def test_labels_forward_reference():
+    b = CompoundBuilder()
+    s = b.slot("i")
+    b.mov(s, Arg.lit(3))
+    top = b.label("top")
+    b.place(top)
+    end = b.label("end")
+    b.math("-", s, Arg.slot(s), Arg.lit(1))
+    b.jz(Arg.slot(s), end)
+    b.jmp(top)
+    b.place(end)
+    data = b.encode()
+    ops, _ = decode_compound(data)
+    jz = next(op for op in ops if op.opcode is OpCode.JZ)
+    jmp = next(op for op in ops if op.opcode is OpCode.JMP)
+    assert ops[jz.extra].opcode is OpCode.END  # end label lands before END
+    assert jmp.extra == 1  # back to the op after MOV
+
+
+def test_unplaced_label_rejected():
+    b = CompoundBuilder()
+    lbl = b.label()
+    b.jmp(lbl)
+    with pytest.raises(CosyError):
+        b.encode()
+
+
+def test_label_placed_twice_rejected():
+    b = CompoundBuilder()
+    lbl = b.label()
+    b.place(lbl)
+    with pytest.raises(CosyError):
+        b.place(lbl)
+
+
+def test_unknown_syscall_rejected():
+    b = CompoundBuilder()
+    with pytest.raises(CosyError):
+        b.syscall("not_a_syscall")
+
+
+def test_bad_magic_rejected():
+    b = CompoundBuilder()
+    b.mov(b.slot("x"), Arg.lit(1))
+    data = bytearray(b.encode())
+    data[0] ^= 0xFF
+    with pytest.raises(CosyError):
+        decode_compound(bytes(data))
+
+
+def test_truncated_compound_rejected():
+    b = CompoundBuilder()
+    b.mov(b.slot("x"), Arg.lit(1))
+    data = b.encode()
+    with pytest.raises(CosyError):
+        decode_compound(data[:-5])
+
+
+def test_bad_jump_target_rejected():
+    ops = [Op(OpCode.JMP, extra=999), Op(OpCode.END)]
+    data = encode_compound(ops, 1)
+    with pytest.raises(CosyError):
+        decode_compound(data)
+
+
+def test_bad_slot_reference_rejected():
+    ops = [Op(OpCode.MOV, dst=0, args=(Arg.slot(0),)), Op(OpCode.END)]
+    # dst beyond nslots
+    bad = [Op(OpCode.MOV, dst=40, args=(Arg.lit(1),)), Op(OpCode.END)]
+    decode_compound(encode_compound(ops, 1))
+    with pytest.raises(CosyError):
+        decode_compound(encode_compound(bad, 1))
+
+
+def test_shared_arg_validation():
+    with pytest.raises(CosyError):
+        Arg.shared(-1, 10)
+    a = Arg.shared(64, 128)
+    assert a.kind is ArgKind.SHARED and a.aux == 128
+
+
+def test_builder_slot_reuse():
+    b = CompoundBuilder()
+    assert b.slot("x") == b.slot("x")
+    assert b.slot("y") != b.slot("x")

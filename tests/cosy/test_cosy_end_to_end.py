@@ -1,0 +1,332 @@
+"""Cosy end-to-end: Cosy-GCC -> Cosy-Lib -> kernel extension."""
+
+import pytest
+
+from repro.core.cosy import (CosyGCC, CosyKernelExtension, CosyLib,
+                             CosyProtection, UnsupportedConstruct)
+from repro.errors import CosyError, Errno, WatchdogExpired
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.kernel.vfs import O_CREAT, O_WRONLY
+
+
+@pytest.fixture
+def setup():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    task = k.spawn("app")
+    ext = CosyKernelExtension(k)
+    lib = CosyLib(k, ext)
+    return k, task, ext, lib
+
+
+def _install(lib, task, source, func="main"):
+    return lib.install(task, CosyGCC().compile(source, func))
+
+
+def test_arithmetic_region(setup):
+    k, task, ext, lib = setup
+    src = """
+    int main() {
+        COSY_START();
+        int x = 6;
+        int y = x * 7;
+        return y;
+        COSY_END();
+        return 0;
+    }
+    """
+    assert _install(lib, task, src).run().value == 42
+
+
+def test_loop_region(setup):
+    k, task, ext, lib = setup
+    src = """
+    int main() {
+        COSY_START();
+        int s = 0;
+        for (int i = 1; i <= 10; i++) s += i;
+        return s;
+        COSY_END();
+        return 0;
+    }
+    """
+    assert _install(lib, task, src).run().value == 55
+
+
+def test_if_else_region(setup):
+    k, task, ext, lib = setup
+    src = """
+    int main() {
+        COSY_START();
+        int x = 5;
+        int r;
+        if (x > 3) r = 1; else r = 2;
+        return r;
+        COSY_END();
+        return 0;
+    }
+    """
+    assert _install(lib, task, src).run().value == 1
+
+
+def test_inputs_bound_at_runtime(setup):
+    k, task, ext, lib = setup
+    src = """
+    int main() {
+        int n;
+        COSY_START();
+        int r = n * 2;
+        return r;
+        COSY_END();
+        return 0;
+    }
+    """
+    installed = _install(lib, task, src)
+    assert installed.run({"n": 21}).value == 42
+    assert installed.run({"n": 5}).value == 10  # re-runnable
+
+
+def test_unbound_input_rejected(setup):
+    k, task, ext, lib = setup
+    src = """
+    int main() {
+        int n;
+        COSY_START();
+        return n;
+        COSY_END();
+        return 0;
+    }
+    """
+    installed = _install(lib, task, src)
+    with pytest.raises(CosyError):
+        installed.run()
+
+
+def test_open_read_close_compound(setup):
+    k, task, ext, lib = setup
+    fd = k.sys.open("/data", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"compound bytes!")
+    k.sys.close(fd)
+    src = """
+    int main() {
+        COSY_START();
+        int fd = open("/data", 0);
+        char buf[64];
+        int n = read(fd, buf, 64);
+        close(fd);
+        return n;
+        COSY_END();
+        return 0;
+    }
+    """
+    result = _install(lib, task, src).run()
+    assert result.value == 15
+    assert result.buffer("buf")[:15] == b"compound bytes!"
+
+
+def test_compound_is_one_syscall(setup):
+    k, task, ext, lib = setup
+    k.sys.open_write_close("/data", b"x" * 100)
+    src = """
+    int main() {
+        COSY_START();
+        int fd = open("/data", 0);
+        char buf[128];
+        int n = read(fd, buf, 128);
+        close(fd);
+        return n;
+        COSY_END();
+        return 0;
+    }
+    """
+    installed = _install(lib, task, src)
+    with k.measure() as m:
+        installed.run()
+    assert m.syscalls == 1  # open+read+close in a single trap
+
+
+def test_zero_copy_no_uaccess(setup):
+    """Data read inside the compound never crosses the boundary."""
+    k, task, ext, lib = setup
+    k.sys.open_write_close("/data", b"z" * 4096)
+    src = """
+    int main() {
+        COSY_START();
+        int fd = open("/data", 0);
+        char buf[4096];
+        int n = read(fd, buf, 4096);
+        close(fd);
+        return n;
+        COSY_END();
+        return 0;
+    }
+    """
+    installed = _install(lib, task, src)
+    with k.measure() as m:
+        assert installed.run().value == 4096
+    # Only the path string accounting could appear; the 4 KiB payload must not.
+    assert m.copies.total_bytes < 4096
+
+
+def test_copy_file_loop_compound(setup):
+    """The classic while((n=read())>0) write() loop as a compound."""
+    k, task, ext, lib = setup
+    payload = bytes(range(256)) * 40  # 10240 bytes
+    k.sys.open_write_close("/src", payload)
+    src = """
+    int main() {
+        COSY_START();
+        int in = open("/src", 0);
+        int out = open("/dst", 1101);
+        char buf[4096];
+        int total = 0;
+        int n = read(in, buf, 4096);
+        while (n > 0) {
+            write(out, buf, n);
+            total += n;
+            n = read(in, buf, 4096);
+        }
+        close(in);
+        close(out);
+        return total;
+        COSY_END();
+        return 0;
+    }
+    """
+    result = _install(lib, task, src).run()
+    assert result.value == len(payload)
+    assert k.sys.open_read_close("/dst") == payload
+
+
+def test_syscall_error_propagates(setup):
+    k, task, ext, lib = setup
+    src = """
+    int main() {
+        COSY_START();
+        int fd = open("/missing", 0);
+        COSY_END();
+        return 0;
+    }
+    """
+    with pytest.raises(Errno):
+        _install(lib, task, src).run()
+
+
+def test_helper_function_callf(setup):
+    k, task, ext, lib = setup
+    src = """
+    int square(int v) { return v * v; }
+    int main() {
+        COSY_START();
+        int r = square(9);
+        return r;
+        COSY_END();
+        return 0;
+    }
+    """
+    assert _install(lib, task, src).run().value == 81
+
+
+def test_helper_processes_shared_buffer(setup):
+    """A user function checksums data a previous op read — zero copy."""
+    k, task, ext, lib = setup
+    k.sys.open_write_close("/data", bytes([1, 2, 3, 4, 5]))
+    src = """
+    int checksum(char *p, int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) s += p[i];
+        return s;
+    }
+    int main() {
+        COSY_START();
+        int fd = open("/data", 0);
+        char buf[16];
+        int n = read(fd, buf, 16);
+        close(fd);
+        int c = checksum(buf, n);
+        return c;
+        COSY_END();
+        return 0;
+    }
+    """
+    assert _install(lib, task, src).run().value == 15
+
+
+def test_watchdog_kills_infinite_loop(setup):
+    k, task, _, _ = setup
+    # a tight budget and a tiny quantum so the test stays fast
+    k.costs.sched_quantum = 50_000
+    ext = CosyKernelExtension(k, max_kernel_cycles=200_000)
+    lib = CosyLib(k, ext)
+    src = """
+    int main() {
+        COSY_START();
+        int i = 0;
+        while (1) { i += 1; }
+        COSY_END();
+        return 0;
+    }
+    """
+    with pytest.raises(WatchdogExpired):
+        _install(lib, task, src).run()
+    assert ext.watchdog.expirations == 1
+
+
+def test_unsupported_constructs_rejected():
+    gcc = CosyGCC()
+    with pytest.raises(UnsupportedConstruct):
+        gcc.compile("int main() { COSY_START(); int *p; COSY_END(); return 0; }")
+    with pytest.raises(CosyError):
+        gcc.compile("int main() { return 0; }")  # no region
+
+
+def test_missing_end_marker_rejected():
+    with pytest.raises(CosyError):
+        CosyGCC().compile("int main() { COSY_START(); return 0; }")
+
+
+def test_full_isolation_mode_still_correct(setup):
+    k, task, _, _ = setup
+    ext = CosyKernelExtension(k, protection=CosyProtection.FULL_ISOLATION)
+    lib = CosyLib(k, ext)
+    src = """
+    int twice(int v) { return v + v; }
+    int main() {
+        COSY_START();
+        int r = twice(30);
+        return r;
+        COSY_END();
+        return 0;
+    }
+    """
+    assert _install(lib, task, src).run().value == 60
+
+
+def test_full_isolation_costs_more_than_data_only(setup):
+    k, task, _, _ = setup
+    src = """
+    int ident(int v) { return v; }
+    int main() {
+        COSY_START();
+        int r = 0;
+        for (int i = 0; i < 50; i++) r = ident(i);
+        return r;
+        COSY_END();
+        return 0;
+    }
+    """
+    region = CosyGCC().compile(src)
+
+    def run_with(protection):
+        ext = CosyKernelExtension(k, protection=protection)
+        lib = CosyLib(k, ext)
+        inst = lib.install(task, region)
+        with k.measure() as m:
+            inst.run()
+        ext.unload()
+        return m.delta.elapsed
+
+    data_only = run_with(CosyProtection.DATA_ONLY)
+    full = run_with(CosyProtection.FULL_ISOLATION)
+    assert full > data_only

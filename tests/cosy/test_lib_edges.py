@@ -1,0 +1,114 @@
+"""Cosy-Lib edge cases and result plumbing."""
+
+import pytest
+
+from repro.core.cosy import CosyGCC, CosyKernelExtension, CosyLib
+from repro.errors import CosyError
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+
+
+@pytest.fixture
+def setup():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    task = k.spawn("t")
+    ext = CosyKernelExtension(k)
+    return k, task, CosyLib(k, ext)
+
+
+def test_result_exposes_all_variables(setup):
+    k, task, lib = setup
+    src = """
+    int main() {
+        COSY_START();
+        int a = 5;
+        int b = a * 2;
+        int c = b + a;
+        COSY_END();
+        return 0;
+    }
+    """
+    result = lib.install(task, CosyGCC().compile(src)).run()
+    assert result.values["a"] == 5
+    assert result.values["b"] == 10
+    assert result.values["c"] == 15
+    assert result.value == 0  # region never returned explicitly
+    # temp slots are hidden from the user
+    assert not any(name.startswith("__tmp") for name in result.values)
+
+
+def test_buffer_accessor_validates_name(setup):
+    k, task, lib = setup
+    src = """
+    int main() {
+        COSY_START();
+        char data[32];
+        COSY_END();
+        return 0;
+    }
+    """
+    result = lib.install(task, CosyGCC().compile(src)).run()
+    assert len(result.buffer("data")) == 32
+    with pytest.raises(CosyError):
+        result.buffer("nonexistent")
+
+
+def test_install_twice_is_independent(setup):
+    """Two installs of one region must not interfere (own buffers/ids)."""
+    k, task, lib = setup
+    src = """
+    int bump(int v) { return v + 1; }
+    int main() {
+        int x;
+        COSY_START();
+        int r = bump(x);
+        return r;
+        COSY_END();
+        return 0;
+    }
+    """
+    region = CosyGCC().compile(src)
+    inst1 = lib.install(task, region)
+    inst2 = lib.install(task, region)
+    assert inst1.run({"x": 1}).value == 2
+    assert inst2.run({"x": 10}).value == 11
+    assert inst1.run({"x": 2}).value == 3  # inst1 still healthy
+
+
+def test_reruns_reuse_buffers_without_leak(setup):
+    k, task, lib = setup
+    src = """
+    int main() {
+        COSY_START();
+        int fd = open("/f", 65);
+        write(fd, "datadata", 8);
+        close(fd);
+        COSY_END();
+        return 0;
+    }
+    """
+    # note: string literal as write buffer
+    installed = lib.install(task, CosyGCC().compile(src))
+    for _ in range(5):
+        installed.run()
+    assert k.sys.open_read_close("/f") == b"datadata"
+
+
+def test_compound_observable_by_tracer(setup):
+    """cosy_exec shows up in syscall traces like any other syscall."""
+    from repro.core.consolidation import SyscallTracer
+    k, task, lib = setup
+    src = """
+    int main() {
+        COSY_START();
+        int p = getpid();
+        return p;
+        COSY_END();
+        return 0;
+    }
+    """
+    installed = lib.install(task, CosyGCC().compile(src))
+    with SyscallTracer(k) as tracer:
+        installed.run()
+    assert tracer.name_sequence() == ["cosy_exec"]

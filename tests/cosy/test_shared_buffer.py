@@ -1,0 +1,79 @@
+"""The Cosy shared buffer: allocation, dual views, bounds."""
+
+import pytest
+
+from repro.core.cosy import SharedBuffer
+from repro.errors import CosyError
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+
+
+@pytest.fixture
+def setup():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    task = k.spawn("t")
+    return k, task
+
+
+def test_user_kernel_views_share_bytes(setup):
+    k, task = setup
+    buf = SharedBuffer(k, task, 8192)
+    buf.write_user(100, b"from user")
+    assert buf.read_kernel(100, 9) == b"from user"
+    buf.write_kernel(200, b"from kernel")
+    assert buf.read_user(200, 11) == b"from kernel"
+
+
+def test_kernel_access_is_memcpy_not_uaccess(setup):
+    k, task = setup
+    buf = SharedBuffer(k, task, 8192)
+    copies_before = k.sys.ucopy.stats.total_bytes
+    buf.write_kernel(0, b"x" * 4096)
+    buf.read_kernel(0, 4096)
+    assert k.sys.ucopy.stats.total_bytes == copies_before
+
+
+def test_alloc_alignment_and_growth(setup):
+    k, task = setup
+    buf = SharedBuffer(k, task, 4096)
+    a = buf.alloc(3)
+    b = buf.alloc(10)
+    assert b % 8 == 0 and b >= a + 3
+    c = buf.alloc(1, align=64)
+    assert c % 64 == 0
+
+
+def test_alloc_exhaustion(setup):
+    k, task = setup
+    buf = SharedBuffer(k, task, 128)
+    buf.alloc(100)
+    with pytest.raises(CosyError):
+        buf.alloc(100)
+    buf.reset()
+    buf.alloc(100)  # reset reclaims
+
+
+def test_out_of_range_access_rejected(setup):
+    k, task = setup
+    buf = SharedBuffer(k, task, 256)
+    with pytest.raises(CosyError):
+        buf.read_user(200, 100)
+    with pytest.raises(CosyError):
+        buf.write_kernel(-1, b"x")
+
+
+def test_place_returns_offset(setup):
+    k, task = setup
+    buf = SharedBuffer(k, task, 1024)
+    off = buf.place(b"/etc/passwd\0")
+    assert buf.read_user(off, 12) == b"/etc/passwd\0"
+
+
+def test_invalid_sizes_rejected(setup):
+    k, task = setup
+    with pytest.raises(CosyError):
+        SharedBuffer(k, task, 0)
+    buf = SharedBuffer(k, task, 64)
+    with pytest.raises(CosyError):
+        buf.alloc(0)

@@ -1,0 +1,186 @@
+"""kmalloc and vmalloc: correctness, misuse detection, guard pages."""
+
+import pytest
+
+from repro.errors import AllocatorMisuse, PageFault
+from repro.kernel import Kernel
+from repro.kernel.memory import PAGE_SIZE, AddressSpace
+from repro.kernel.memory.kmalloc import SIZE_CLASSES, size_class_for
+
+
+@pytest.fixture
+def k():
+    return Kernel()
+
+
+# ------------------------------------------------------------------ kmalloc
+
+def test_kmalloc_returns_distinct_live_addresses(k):
+    addrs = [k.kmalloc.kmalloc(100) for _ in range(50)]
+    assert len(set(addrs)) == 50
+
+
+def test_kmalloc_allocations_do_not_overlap(k):
+    spans = []
+    for _ in range(100):
+        a = k.kmalloc.kmalloc(96)
+        spans.append((a, a + 96))
+    spans.sort()
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+def test_kmalloc_reuses_freed_chunks(k):
+    a = k.kmalloc.kmalloc(64)
+    k.kmalloc.kfree(a)
+    b = k.kmalloc.kmalloc(64)
+    assert b == a
+
+
+def test_kfree_double_free_detected(k):
+    a = k.kmalloc.kmalloc(64)
+    k.kmalloc.kfree(a)
+    with pytest.raises(AllocatorMisuse):
+        k.kmalloc.kfree(a)
+
+
+def test_kfree_of_garbage_detected(k):
+    with pytest.raises(AllocatorMisuse):
+        k.kmalloc.kfree(0xC0001234)
+
+
+def test_kmalloc_nonpositive_rejected(k):
+    with pytest.raises(AllocatorMisuse):
+        k.kmalloc.kmalloc(0)
+
+
+def test_size_class_rounding():
+    assert size_class_for(1) == 32
+    assert size_class_for(33) == 64
+    assert size_class_for(4096) == 4096
+    for cls in SIZE_CLASSES:
+        assert size_class_for(cls) == cls
+
+
+def test_kmalloc_memory_is_usable(k):
+    """kmalloc'ed addresses are mapped kernel memory — bytes round-trip."""
+    a = k.kmalloc.kmalloc(128)
+    aspace = AddressSpace(k.kernel_pt)
+    k.mmu.write(aspace, a, b"slab bytes")
+    assert k.mmu.read(aspace, a, 10) == b"slab bytes"
+
+
+def test_ksize(k):
+    a = k.kmalloc.kmalloc(80)
+    assert k.kmalloc.ksize(a) == 80
+    k.kmalloc.kfree(a)
+    with pytest.raises(AllocatorMisuse):
+        k.kmalloc.ksize(a)
+
+
+# ------------------------------------------------------------------ vmalloc
+
+def test_vmalloc_roundtrip(k):
+    a = k.vmalloc.vmalloc(10000)
+    aspace = AddressSpace(k.kernel_pt)
+    k.mmu.write(aspace, a, b"x" * 10000)
+    assert k.mmu.read(aspace, a, 10000) == b"x" * 10000
+    k.vmalloc.vfree(a)
+
+
+def test_vmalloc_is_page_granular(k):
+    before = k.physmem.allocated
+    k.vmalloc.vmalloc(1)
+    assert k.physmem.allocated == before + 1  # a whole page for 1 byte
+
+
+def test_vfree_unknown_address(k):
+    with pytest.raises(AllocatorMisuse):
+        k.vmalloc.vfree(0xF0001000)
+
+
+def test_vfree_releases_frames(k):
+    before = k.physmem.allocated
+    a = k.vmalloc.vmalloc(3 * PAGE_SIZE)
+    assert k.physmem.allocated == before + 3
+    k.vmalloc.vfree(a)
+    assert k.physmem.allocated == before
+
+
+def test_guarded_overflow_faults_align_end(k):
+    a = k.vmalloc.vmalloc(100, guard=True, align="end")
+    aspace = AddressSpace(k.kernel_pt)
+    k.mmu.write(aspace, a, b"y" * 100)  # in bounds: fine
+    with pytest.raises(PageFault) as ei:
+        k.mmu.read(aspace, a + 100, 1)  # one past the end
+    assert ei.value.guard is True
+
+
+def test_align_end_places_buffer_at_page_end(k):
+    a = k.vmalloc.vmalloc(100, guard=True, align="end")
+    assert (a + 100) % PAGE_SIZE == 0
+
+
+def test_guarded_underflow_faults_align_start(k):
+    a = k.vmalloc.vmalloc(100, guard=True, align="start")
+    assert a % PAGE_SIZE == 0
+    aspace = AddressSpace(k.kernel_pt)
+    with pytest.raises(PageFault) as ei:
+        k.mmu.read(aspace, a - 1, 1)
+    assert ei.value.guard is True
+
+
+def test_page_multiple_guards_both_sides(k):
+    a = k.vmalloc.vmalloc(PAGE_SIZE, guard=True)
+    aspace = AddressSpace(k.kernel_pt)
+    with pytest.raises(PageFault):
+        k.mmu.read(aspace, a - 1, 1)
+    with pytest.raises(PageFault):
+        k.mmu.read(aspace, a + PAGE_SIZE, 1)
+
+
+def test_vfree_removes_guard_pages(k):
+    a = k.vmalloc.vmalloc(64, guard=True)
+    area = k.vmalloc.areas[a]
+    assert area.guard_vpns
+    k.vmalloc.vfree(a)
+    for gv in area.guard_vpns:
+        assert k.kernel_pt.lookup(gv) is None
+    assert not k.vmalloc.guard_index
+
+
+def test_outstanding_pages_stats(k):
+    a = k.vmalloc.vmalloc(2 * PAGE_SIZE)
+    b = k.vmalloc.vmalloc(PAGE_SIZE)
+    assert k.vmalloc.outstanding_pages == 3
+    k.vmalloc.vfree(a)
+    assert k.vmalloc.outstanding_pages == 1
+    assert k.vmalloc.peak_outstanding_pages == 3
+    k.vmalloc.vfree(b)
+
+
+def test_avg_alloc_size(k):
+    k.vmalloc.vmalloc(100)
+    k.vmalloc.vmalloc(300)
+    assert k.vmalloc.avg_alloc_size == 200.0
+
+
+def test_vfree_without_hash_is_slower(k):
+    from repro.kernel.memory.vmalloc import VmallocAllocator
+    slow = VmallocAllocator(k.physmem, k.kernel_pt, k.clock, k.costs,
+                            use_vfree_hash=False)
+    a = slow.vmalloc(64)
+    before = k.clock.system
+    slow.vfree(a)
+    slow_cost = k.clock.system - before
+    b = k.vmalloc.vmalloc(64)
+    before = k.clock.system
+    k.vmalloc.vfree(b)
+    fast_cost = k.clock.system - before
+    assert slow_cost > fast_cost
+
+
+def test_area_containing(k):
+    a = k.vmalloc.vmalloc(100)
+    assert k.vmalloc.area_containing(a + 50).base == a
+    assert k.vmalloc.area_containing(a + 100) is None

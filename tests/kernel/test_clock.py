@@ -1,0 +1,80 @@
+"""Clock accounting: mode buckets, nesting, interval measurement."""
+
+import pytest
+
+from repro.kernel.clock import Clock, Mode, Timings
+
+
+def test_charges_land_in_current_mode():
+    c = Clock()
+    c.charge(100)
+    assert c.user == 100 and c.system == 0
+    c.push_mode(Mode.SYSTEM)
+    c.charge(50)
+    assert c.system == 50
+    c.pop_mode()
+    c.charge(10)
+    assert c.user == 110
+
+
+def test_explicit_mode_overrides_stack():
+    c = Clock()
+    c.charge(30, Mode.IOWAIT)
+    assert c.iowait == 30 and c.user == 0
+
+
+def test_elapsed_is_sum_of_buckets():
+    c = Clock()
+    c.charge(1, Mode.USER)
+    c.charge(2, Mode.SYSTEM)
+    c.charge(3, Mode.IOWAIT)
+    assert c.now == 6
+    assert c.snapshot().elapsed == 6
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        Clock().charge(-1)
+
+
+def test_base_mode_cannot_be_popped():
+    with pytest.raises(RuntimeError):
+        Clock().pop_mode()
+
+
+def test_in_mode_context_restores_on_exception():
+    c = Clock()
+    with pytest.raises(RuntimeError):
+        with c.in_mode(Mode.SYSTEM):
+            raise RuntimeError("boom")
+    assert c.mode is Mode.USER
+
+
+def test_since_returns_deltas():
+    c = Clock()
+    c.charge(5, Mode.SYSTEM)
+    snap = c.snapshot()
+    c.charge(7, Mode.SYSTEM)
+    c.charge(2, Mode.USER)
+    d = c.since(snap)
+    assert d.system == 7 and d.user == 2 and d.elapsed == 9
+
+
+def test_seconds_uses_frequency():
+    c = Clock(hz=1e9)
+    assert c.seconds(2_000_000_000) == pytest.approx(2.0)
+
+
+def test_timings_improvement_and_overhead():
+    base = Timings(elapsed=10.0, system=4.0, user=6.0)
+    fast = Timings(elapsed=5.0, system=2.0, user=3.0)
+    imp = fast.improvement_over(base)
+    assert imp["elapsed"] == pytest.approx(50.0)
+    ovh = base.overhead_over(fast)
+    assert ovh["system"] == pytest.approx(100.0)
+
+
+def test_improvement_with_zero_baseline_is_zero():
+    base = Timings(elapsed=0.0, system=0.0, user=0.0)
+    other = Timings(elapsed=1.0, system=1.0, user=1.0)
+    assert other.improvement_over(base)["elapsed"] == 0.0

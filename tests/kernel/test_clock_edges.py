@@ -1,0 +1,70 @@
+"""Clock/Timings edge cases and nested-mode behaviour."""
+
+import pytest
+
+from repro.kernel.clock import Clock, ClockSnapshot, Mode, Timings
+
+
+def test_nested_modes_unwind_in_order():
+    c = Clock()
+    c.push_mode(Mode.SYSTEM)
+    c.push_mode(Mode.IOWAIT)
+    c.charge(5)
+    assert c.iowait == 5
+    assert c.pop_mode() is Mode.IOWAIT
+    c.charge(5)
+    assert c.system == 5
+    assert c.pop_mode() is Mode.SYSTEM
+    assert c.mode is Mode.USER
+
+
+def test_zero_charge_is_noop_but_legal():
+    c = Clock()
+    c.charge(0)
+    assert c.now == 0
+
+
+def test_snapshot_is_immutable_copy():
+    c = Clock()
+    c.charge(10)
+    snap = c.snapshot()
+    c.charge(10)
+    assert snap.user == 10
+    assert isinstance(snap, ClockSnapshot)
+    assert c.since(snap).user == 10
+
+
+def test_timings_from_delta_converts_with_frequency():
+    c = Clock(hz=100.0)
+    snap = c.snapshot()
+    c.charge(50, Mode.SYSTEM)
+    c.charge(25, Mode.USER)
+    c.charge(25, Mode.IOWAIT)
+    t = Timings.from_delta(c, c.since(snap))
+    assert t.system == pytest.approx(0.5)
+    assert t.user == pytest.approx(0.25)
+    assert t.iowait == pytest.approx(0.25)
+    assert t.elapsed == pytest.approx(1.0)
+
+
+def test_improvement_and_overhead_are_inverse_views():
+    fast = Timings(elapsed=2.0, system=1.0, user=1.0)
+    slow = Timings(elapsed=4.0, system=2.0, user=2.0)
+    assert fast.improvement_over(slow)["elapsed"] == pytest.approx(50.0)
+    assert slow.overhead_over(fast)["elapsed"] == pytest.approx(100.0)
+
+
+def test_in_mode_returns_clock():
+    c = Clock()
+    with c.in_mode(Mode.SYSTEM) as inner:
+        assert inner is c
+        assert c.mode is Mode.SYSTEM
+
+
+def test_mode_stack_deep_nesting():
+    c = Clock()
+    for _ in range(50):
+        c.push_mode(Mode.SYSTEM)
+    for _ in range(50):
+        c.pop_mode()
+    assert c.mode is Mode.USER

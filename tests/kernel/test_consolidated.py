@@ -1,0 +1,124 @@
+"""The §2.2 consolidated syscalls: semantics and savings."""
+
+import pytest
+
+from repro.errors import ENOTDIR, Errno
+from repro.kernel.vfs import O_CREAT, O_WRONLY
+from repro.kernel.vfs.stat import STAT_SIZE
+
+
+def _populate(kernel, n=20):
+    kernel.sys.mkdir("/dir")
+    for i in range(n):
+        fd = kernel.sys.open(f"/dir/f{i:04d}", O_CREAT | O_WRONLY)
+        kernel.sys.write(fd, b"z" * i)
+        kernel.sys.close(fd)
+
+
+def test_readdirplus_returns_entries_and_stats(kernel):
+    _populate(kernel, 10)
+    result = kernel.sys.readdirplus("/dir")
+    assert len(result) == 10
+    by_name = {e.name: st for e, st in result}
+    assert by_name["f0003"].size == 3
+    assert by_name["f0009"].size == 9
+
+
+def test_readdirplus_matches_readdir_stat_loop(kernel):
+    """The consolidated call returns exactly what the sequence would."""
+    _populate(kernel, 15)
+    rdp = {e.name: st.size for e, st in kernel.sys.readdirplus("/dir")}
+    fd = kernel.sys.open("/dir", 0)
+    legacy = {}
+    while True:
+        batch = kernel.sys.getdents(fd)
+        if not batch:
+            break
+        for entry in batch:
+            legacy[entry.name] = kernel.sys.stat(f"/dir/{entry.name}").size
+    kernel.sys.close(fd)
+    assert rdp == legacy
+
+
+def test_readdirplus_is_one_syscall(kernel):
+    _populate(kernel, 25)
+    with kernel.measure() as m:
+        kernel.sys.readdirplus("/dir")
+    assert m.syscalls == 1
+
+
+def test_readdirplus_copies_fewer_bytes_than_sequence(kernel):
+    _populate(kernel, 50)
+    with kernel.measure() as m_new:
+        kernel.sys.readdirplus("/dir")
+    fd = kernel.sys.open("/dir", 0)
+    with kernel.measure() as m_old:
+        while True:
+            batch = kernel.sys.getdents(fd)
+            if not batch:
+                break
+            for entry in batch:
+                kernel.sys.stat(f"/dir/{entry.name}")
+    kernel.sys.close(fd)
+    assert m_new.copies.total_bytes < m_old.copies.total_bytes
+    assert m_new.timings.elapsed < m_old.timings.elapsed
+
+
+def test_readdirplus_respects_bufsize(kernel):
+    _populate(kernel, 30)
+    small = kernel.sys.readdirplus("/dir", bufsize=5 * (STAT_SIZE + 30))
+    assert 0 < len(small) < 30
+
+
+def test_readdirplus_on_file_enotdir(kernel):
+    kernel.sys.close(kernel.sys.open("/f", O_CREAT | O_WRONLY))
+    with pytest.raises(Errno) as ei:
+        kernel.sys.readdirplus("/f")
+    assert ei.value.errno == ENOTDIR
+
+
+def test_open_read_close_whole_file(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"abcdef")
+    kernel.sys.close(fd)
+    assert kernel.sys.open_read_close("/f") == b"abcdef"
+    assert kernel.sys.open_read_close("/f", count=3) == b"abc"
+    assert kernel.sys.open_read_close("/f", count=3, offset=2) == b"cde"
+
+
+def test_open_read_close_leaves_no_fd(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"x")
+    kernel.sys.close(fd)
+    nfds = len(kernel.current.fds)
+    kernel.sys.open_read_close("/f")
+    assert len(kernel.current.fds) == nfds
+
+
+def test_open_write_close_modes(kernel):
+    kernel.sys.open_write_close("/f", b"first")
+    assert kernel.sys.open_read_close("/f") == b"first"
+    kernel.sys.open_write_close("/f", b"second")          # truncates
+    assert kernel.sys.open_read_close("/f") == b"second"
+    kernel.sys.open_write_close("/f", b"+more", append=True)
+    assert kernel.sys.open_read_close("/f") == b"second+more"
+
+
+def test_open_fstat_returns_usable_fd(kernel):
+    kernel.sys.open_write_close("/f", b"12345")
+    fd, st = kernel.sys.open_fstat("/f")
+    assert st.size == 5
+    assert kernel.sys.read(fd, 5) == b"12345"
+    kernel.sys.close(fd)
+
+
+def test_open_sequence_vs_consolidated_fewer_traps(kernel):
+    kernel.sys.open_write_close("/f", b"y" * 512)
+    with kernel.measure() as m_seq:
+        fd = kernel.sys.open("/f", 0)
+        kernel.sys.read(fd, 512)
+        kernel.sys.close(fd)
+    with kernel.measure() as m_con:
+        kernel.sys.open_read_close("/f")
+    assert m_seq.syscalls == 3 and m_con.syscalls == 1
+    assert m_con.timings.elapsed < m_seq.timings.elapsed

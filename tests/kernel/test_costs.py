@@ -1,0 +1,43 @@
+"""Cost-model arithmetic and disk profiles."""
+
+import pytest
+
+from repro.kernel.costs import CostModel, IDE_7200RPM, SCSI_15KRPM
+
+
+def test_uaccess_cost_scales_with_bytes():
+    m = CostModel()
+    small = m.uaccess_cost(10)
+    big = m.uaccess_cost(10_000)
+    assert big > small
+    assert m.uaccess_cost(0) == m.uaccess_setup
+
+
+def test_memcpy_cheaper_than_uaccess():
+    m = CostModel()
+    assert m.memcpy_cost(4096) < m.uaccess_cost(4096)
+
+
+def test_disk_sequential_skips_seek():
+    seq = IDE_7200RPM.access_seconds(4096, sequential=True)
+    rand = IDE_7200RPM.access_seconds(4096, sequential=False)
+    assert rand > seq
+    assert rand - seq == pytest.approx(IDE_7200RPM.avg_seek_s +
+                                       IDE_7200RPM.half_rotation_s)
+
+
+def test_scsi_faster_than_ide():
+    assert SCSI_15KRPM.access_seconds(4096, sequential=False) < \
+        IDE_7200RPM.access_seconds(4096, sequential=False)
+
+
+def test_with_override_does_not_mutate_original():
+    m = CostModel()
+    m2 = m.with_(syscall_trap=1)
+    assert m2.syscall_trap == 1
+    assert m.syscall_trap != 1
+
+
+def test_disk_cycles_positive():
+    m = CostModel()
+    assert m.disk_cycles(4096, sequential=False) > 0

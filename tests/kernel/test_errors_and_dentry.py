@@ -1,0 +1,117 @@
+"""errors module details; dentry cache structure; path splitting."""
+
+import pytest
+
+from repro.errors import (BoundsError, BufferOverflow, Errno, HardwareFault,
+                          InvalidPointer, InvariantViolation, KernelError,
+                          PageFault, ProtectionFault, ReproError,
+                          SafetyViolation, WatchdogExpired, errno_name,
+                          raise_errno)
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.kernel.vfs.dentry import Dentry
+from repro.kernel.vfs.namei import split_path
+
+
+# -------------------------------------------------------------------- errors
+
+def test_exception_hierarchy():
+    assert issubclass(PageFault, HardwareFault)
+    assert issubclass(ProtectionFault, HardwareFault)
+    assert issubclass(Errno, KernelError)
+    assert issubclass(WatchdogExpired, KernelError)
+    for cls in (BufferOverflow, BoundsError, InvalidPointer,
+                InvariantViolation):
+        assert issubclass(cls, SafetyViolation)
+    assert issubclass(SafetyViolation, ReproError)
+    # safety violations are NOT hardware faults (trust manager relies on it)
+    assert not issubclass(SafetyViolation, HardwareFault)
+
+
+def test_errno_names():
+    assert errno_name(2) == "ENOENT"
+    assert errno_name(28) == "ENOSPC"
+    assert errno_name(9999) == "E?9999"
+    with pytest.raises(Errno) as ei:
+        raise_errno(2, "/missing")
+    assert ei.value.errno == 2
+    assert "ENOENT" in str(ei.value) and "/missing" in str(ei.value)
+
+
+def test_fault_messages_carry_context():
+    pf = PageFault(0xDEAD, "w", present=True, guard=True)
+    assert "guard-page" in str(pf) and "0xdead" in str(pf)
+    pf2 = PageFault(0x1000, "r", present=False)
+    assert "not-present" in str(pf2)
+    wd = WatchdogExpired(7, used_cycles=100, limit_cycles=10)
+    assert "pid 7" in str(wd)
+
+
+# -------------------------------------------------------------------- dentry
+
+def test_split_path_normalization():
+    assert split_path("/a/b/c") == ["a", "b", "c"]
+    assert split_path("a//b/./c/") == ["a", "b", "c"]
+    assert split_path("/a/../b") == ["b"]
+    assert split_path("/../..") == []
+    assert split_path("") == []
+    assert split_path(".") == []
+
+
+def test_dentry_tree_and_paths():
+    k = Kernel()
+    sb = RamfsSuperBlock(k)
+    root = Dentry("", None, sb.root_inode)
+    assert root.path() == "/"
+    assert root.parent is root
+    child_inode = sb.root_inode.mkdir("etc")
+    etc = Dentry("etc", root, child_inode)
+    root.d_add(etc)
+    leaf_inode = child_inode.create("motd", 0o644)
+    motd = Dentry("motd", etc, leaf_inode)
+    etc.d_add(motd)
+    assert motd.path() == "/etc/motd"
+    assert root.d_lookup("etc") is etc
+    assert root.d_lookup("missing") is None
+
+
+def test_negative_dentries_cache_misses():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    from repro.errors import Errno as E
+    with pytest.raises(E):
+        k.vfs.path_walk("/ghost")
+    # the failed lookup is cached as a negative dentry: the next walk is
+    # a dcache hit, not another FS lookup
+    misses = k.vfs.dcache_misses
+    with pytest.raises(E):
+        k.vfs.path_walk("/ghost")
+    assert k.vfs.dcache_misses == misses
+    neg = k.vfs.root.d_lookup("ghost")
+    assert neg is not None and neg.is_negative
+
+
+def test_negative_dentry_replaced_on_create():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    from repro.errors import Errno as E
+    with pytest.raises(E):
+        k.vfs.path_walk("/later")
+    from repro.kernel.vfs import O_CREAT, O_WRONLY
+    k.sys.close(k.sys.open("/later", O_CREAT | O_WRONLY))
+    assert k.sys.stat("/later").size == 0
+
+
+def test_d_invalidate_tree():
+    k = Kernel()
+    sb = RamfsSuperBlock(k)
+    root = Dentry("", None, sb.root_inode)
+    a = Dentry("a", root, sb.root_inode.mkdir("a"))
+    root.d_add(a)
+    b = Dentry("b", a, a.inode.mkdir("b"))
+    a.d_add(b)
+    root.d_invalidate_tree()
+    assert root.d_lookup("a") is None
+    assert a.d_lookup("b") is None

@@ -1,0 +1,159 @@
+"""ext2 internals: blocks, buffer cache, disk accounting, sync."""
+
+import pytest
+
+from repro.errors import Errno
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock
+from repro.kernel.fs.disk import BLOCK_SIZE, BufferCache, Disk
+from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+
+
+@pytest.fixture
+def k():
+    kern = Kernel()
+    kern.mount_root(Ext2SuperBlock(kern))
+    kern.spawn("t")
+    return kern
+
+
+def test_disk_read_write_roundtrip():
+    kern = Kernel()
+    disk = Disk(kern, nblocks=16)
+    payload = bytes(range(256)) * 16
+    disk.write_block(3, payload)
+    assert disk.read_block(3) == payload
+    assert disk.read_block(4) == bytes(BLOCK_SIZE)  # unwritten = zeros
+
+
+def test_disk_bounds_and_size_validation():
+    kern = Kernel()
+    disk = Disk(kern, nblocks=4)
+    with pytest.raises(Errno):
+        disk.read_block(4)
+    with pytest.raises(Errno):
+        disk.write_block(-1, bytes(BLOCK_SIZE))
+    with pytest.raises(ValueError):
+        disk.write_block(0, b"short")
+
+
+def test_disk_sequential_cheaper_than_random():
+    kern = Kernel()
+    disk = Disk(kern, nblocks=100)
+    disk.read_block(10)
+    before = kern.clock.iowait
+    disk.read_block(11)  # sequential
+    seq = kern.clock.iowait - before
+    before = kern.clock.iowait
+    disk.read_block(50)  # random
+    rand = kern.clock.iowait - before
+    assert rand > seq
+
+
+def test_buffer_cache_hit_avoids_disk():
+    kern = Kernel()
+    disk = Disk(kern, nblocks=64)
+    cache = BufferCache(kern, disk, capacity_blocks=8)
+    cache.read(5)
+    reads = disk.reads
+    cache.read(5)
+    assert disk.reads == reads
+    assert cache.hits == 1
+
+
+def test_buffer_cache_writeback_on_eviction():
+    kern = Kernel()
+    disk = Disk(kern, nblocks=64)
+    cache = BufferCache(kern, disk, capacity_blocks=2)
+    cache.write(1, b"a" * BLOCK_SIZE)
+    cache.write(2, b"b" * BLOCK_SIZE)
+    assert disk.writes == 0  # still dirty in cache
+    cache.write(3, b"c" * BLOCK_SIZE)  # evicts block 1
+    assert disk.writes == 1
+    assert disk.read_block(1) == b"a" * BLOCK_SIZE
+
+
+def test_buffer_cache_sync_flushes_everything():
+    kern = Kernel()
+    disk = Disk(kern, nblocks=64)
+    cache = BufferCache(kern, disk, capacity_blocks=16)
+    for b in (9, 3, 7):
+        cache.write(b, bytes([b]) * BLOCK_SIZE)
+    cache.sync()
+    assert disk.writes == 3
+    for b in (3, 7, 9):
+        assert disk.read_block(b) == bytes([b]) * BLOCK_SIZE
+    cache.sync()  # idempotent: nothing dirty remains
+    assert disk.writes == 3
+
+
+def test_adopt_zeroed_skips_disk_read():
+    kern = Kernel()
+    disk = Disk(kern, nblocks=64)
+    cache = BufferCache(kern, disk, capacity_blocks=8)
+    cache.adopt_zeroed(12)
+    assert disk.reads == 0
+    assert bytes(cache.read(12)) == bytes(BLOCK_SIZE)
+    assert disk.reads == 0
+
+
+def test_fresh_file_write_causes_no_disk_reads(k):
+    reads_before = k.vfs.root_sb.disk.reads
+    fd = k.sys.open("/new", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"z" * 10_000)  # partial last block: still no RMW read
+    k.sys.close(fd)
+    assert k.vfs.root_sb.disk.reads == reads_before
+
+
+def test_file_survives_cache_eviction(k):
+    sb = k.vfs.root_sb
+    payload = bytes(range(256)) * 64  # 16 KiB = 4 blocks
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, payload)
+    k.sys.close(fd)
+    # push the file's blocks out of the cache
+    sb.bcache.sync()
+    for i in range(sb.bcache.capacity + 8):
+        sb.bcache.read(1000 + i)
+    assert k.sys.open_read_close("/f") == payload  # re-read from disk
+
+
+def test_block_free_on_truncate_and_unlink(k):
+    sb = k.vfs.root_sb
+    free0 = sb.statfs()["bfree"]
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"x" * (3 * BLOCK_SIZE))
+    k.sys.close(fd)
+    assert sb.statfs()["bfree"] == free0 - 3
+    k.sys.truncate("/f", BLOCK_SIZE)
+    assert sb.statfs()["bfree"] == free0 - 1
+    k.sys.unlink("/f")
+    assert sb.statfs()["bfree"] == free0
+
+
+def test_sparse_hole_reads_zero(k):
+    fd = k.sys.open("/sparse", O_CREAT | O_WRONLY)
+    k.sys.pwrite(fd, b"end", 2 * BLOCK_SIZE)
+    k.sys.close(fd)
+    data = k.sys.open_read_close("/sparse")
+    assert data[:2 * BLOCK_SIZE] == bytes(2 * BLOCK_SIZE)
+    assert data[2 * BLOCK_SIZE:] == b"end"
+
+
+def test_enospc_when_disk_full():
+    kern = Kernel()
+    kern.mount_root(Ext2SuperBlock(kern, Disk(kern, nblocks=4)))
+    kern.spawn("t")
+    fd = kern.sys.open("/big", O_CREAT | O_WRONLY)
+    with pytest.raises(Errno) as ei:
+        kern.sys.write(fd, b"x" * (10 * BLOCK_SIZE))
+    assert ei.value.errno == 28  # ENOSPC
+
+
+def test_sys_sync_reaches_disk(k):
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"persist me")
+    k.sys.close(fd)
+    writes_before = k.vfs.root_sb.disk.writes
+    k.sys.sync()
+    assert k.vfs.root_sb.disk.writes > writes_before

@@ -1,0 +1,122 @@
+"""Spinlocks, semaphores, refcounts: semantics and event emission."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.kernel import Kernel
+from repro.kernel.locks import (EV_LOCK, EV_REF_DEC, EV_REF_INC, EV_UNLOCK,
+                                Semaphore, SpinLock)
+from repro.kernel.refcount import RefCount
+
+
+@pytest.fixture
+def k():
+    kern = Kernel()
+    kern.spawn("t")
+    return kern
+
+
+def test_spinlock_basic(k):
+    lk = SpinLock(k, "l")
+    lk.lock()
+    assert lk.held and lk.holder_pid == k.current.pid
+    lk.unlock()
+    assert not lk.held
+    assert lk.acquisitions == 1
+
+
+def test_spinlock_recursion_detected(k):
+    lk = SpinLock(k, "l")
+    lk.lock()
+    with pytest.raises(InvariantViolation):
+        lk.lock()
+
+
+def test_spinlock_unbalanced_unlock_detected(k):
+    lk = SpinLock(k, "l")
+    with pytest.raises(InvariantViolation):
+        lk.unlock()
+
+
+def test_spinlock_guard_releases_on_exception(k):
+    lk = SpinLock(k, "l")
+    with pytest.raises(ValueError):
+        with lk.guard("site"):
+            raise ValueError
+    assert not lk.held
+
+
+def test_spinlock_charges_cycles(k):
+    lk = SpinLock(k, "l")
+    before = k.clock.now
+    with lk.guard():
+        pass
+    assert k.clock.now - before == k.costs.spinlock_pair
+
+
+def test_instrumented_lock_emits_events(k):
+    events = []
+    k.attach_event_dispatcher(lambda obj, et, site: events.append((obj, et, site)))
+    lk = SpinLock(k, "l", instrumented=True)
+    with lk.guard("here"):
+        pass
+    assert [e[1] for e in events] == [EV_LOCK, EV_UNLOCK]
+    assert events[0][2] == "here"
+
+
+def test_uninstrumented_lock_emits_nothing(k):
+    events = []
+    k.attach_event_dispatcher(lambda *a: events.append(a))
+    lk = SpinLock(k, "l")
+    with lk.guard():
+        pass
+    assert events == []
+
+
+def test_semaphore_counting(k):
+    sem = Semaphore(k, "s", count=2)
+    sem.down()
+    sem.down()
+    assert sem.count == 0
+    sem.up()
+    assert sem.count == 1
+
+
+def test_semaphore_contention_charges_switches(k):
+    sem = Semaphore(k, "s", count=1)
+    sem.down()
+    before = k.clock.now
+    sem.down()  # would block
+    assert sem.contended == 1
+    assert k.clock.now - before >= 2 * k.costs.context_switch
+
+
+def test_semaphore_negative_count_rejected(k):
+    with pytest.raises(ValueError):
+        Semaphore(k, "s", count=-1)
+
+
+def test_refcount_get_put(k):
+    rc = RefCount(k, "obj")
+    assert rc.get() == 2
+    assert rc.put() == 1
+    assert rc.put() == 0
+    with pytest.raises(InvariantViolation):
+        rc.put()
+
+
+def test_refcount_events(k):
+    events = []
+    k.attach_event_dispatcher(lambda obj, et, site: events.append(et))
+    rc = RefCount(k, "obj", instrumented=True)
+    rc.get()
+    rc.put()
+    assert events == [EV_REF_INC, EV_REF_DEC]
+
+
+def test_dispatcher_attach_twice_rejected(k):
+    k.attach_event_dispatcher(lambda *a: None)
+    with pytest.raises(RuntimeError):
+        k.attach_event_dispatcher(lambda *a: None)
+    k.detach_event_dispatcher()
+    k.attach_event_dispatcher(lambda *a: None)

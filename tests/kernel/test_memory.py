@@ -1,0 +1,126 @@
+"""Physical memory, page tables, MMU translation and faults."""
+
+import pytest
+
+from repro.errors import OutOfMemory, PageFault
+from repro.kernel import Kernel
+from repro.kernel.memory import (PAGE_SIZE, PERM_R, PERM_W, AddressSpace,
+                                 PTE, PageTable, PhysicalMemory)
+
+
+def test_physmem_respects_budget():
+    pm = PhysicalMemory(total_bytes=3 * PAGE_SIZE)
+    frames = [pm.alloc_frame() for _ in range(3)]
+    assert len(set(frames)) == 3
+    with pytest.raises(OutOfMemory):
+        pm.alloc_frame()
+    pm.free_frame(frames[0])
+    assert pm.alloc_frame() is not None
+
+
+def test_physmem_free_drops_contents():
+    pm = PhysicalMemory(total_bytes=4 * PAGE_SIZE)
+    f = pm.alloc_frame()
+    pm.frame_bytes(f)[0] = 0xAB
+    pm.free_frame(f)
+    f2 = pm.alloc_frame()
+    assert f2 == f  # recycled
+    assert pm.frame_bytes(f2)[0] == 0  # but zeroed
+
+
+def test_peak_tracking():
+    pm = PhysicalMemory(total_bytes=10 * PAGE_SIZE)
+    a, b = pm.alloc_frame(), pm.alloc_frame()
+    pm.free_frame(a)
+    pm.free_frame(b)
+    assert pm.peak_allocated == 2
+    assert pm.allocated == 0
+
+
+def _mapped_kernel():
+    k = Kernel()
+    aspace = AddressSpace(k.kernel_pt)
+    frame = k.physmem.alloc_frame()
+    aspace.map_page(0x1000, PTE(frame, perms=PERM_R | PERM_W, user=True))
+    return k, aspace
+
+
+def test_mmu_roundtrip():
+    k, aspace = _mapped_kernel()
+    k.mmu.write(aspace, 0x1000, b"hello")
+    assert k.mmu.read(aspace, 0x1000, 5) == b"hello"
+
+
+def test_mmu_cross_page_access():
+    k, aspace = _mapped_kernel()
+    frame2 = k.physmem.alloc_frame()
+    aspace.map_page(0x2000, PTE(frame2, perms=PERM_R | PERM_W, user=True))
+    data = bytes(range(200)) * 30  # 6000 bytes, crosses the page boundary
+    k.mmu.write(aspace, 0x1000, data[:PAGE_SIZE + 100])
+    assert k.mmu.read(aspace, 0x1000, PAGE_SIZE + 100) == data[:PAGE_SIZE + 100]
+
+
+def test_unmapped_access_faults():
+    k, aspace = _mapped_kernel()
+    with pytest.raises(PageFault) as ei:
+        k.mmu.read(aspace, 0xDEAD000, 1)
+    assert ei.value.present is False
+
+
+def test_write_to_readonly_faults():
+    k, aspace = _mapped_kernel()
+    frame = k.physmem.alloc_frame()
+    aspace.map_page(0x3000, PTE(frame, perms=PERM_R, user=True))
+    assert k.mmu.read(aspace, 0x3000, 1) == b"\0"
+    with pytest.raises(PageFault) as ei:
+        k.mmu.write(aspace, 0x3000, b"x")
+    assert ei.value.present is True and ei.value.access == "w"
+
+
+def test_fault_handler_can_resolve():
+    k, aspace = _mapped_kernel()
+
+    def fixer(fault):
+        frame = k.physmem.alloc_frame()
+        aspace.map_page(fault.vaddr, PTE(frame, perms=PERM_R | PERM_W, user=True))
+        return True
+
+    k.mmu.add_fault_handler(fixer)
+    k.mmu.write(aspace, 0x9000, b"demand paged")
+    assert k.mmu.read(aspace, 0x9000, 12) == b"demand paged"
+    assert k.mmu.faults_resolved >= 1
+
+
+def test_tlb_hits_accumulate():
+    k, aspace = _mapped_kernel()
+    k.mmu.read(aspace, 0x1000, 1)
+    misses_after_first = k.mmu.tlb_misses
+    k.mmu.read(aspace, 0x1000, 1)
+    assert k.mmu.tlb_misses == misses_after_first
+    assert k.mmu.tlb_hits >= 1
+
+
+def test_tlb_flush_causes_refill():
+    k, aspace = _mapped_kernel()
+    k.mmu.read(aspace, 0x1000, 1)
+    k.mmu.flush_tlb()
+    before = k.mmu.tlb_misses
+    k.mmu.read(aspace, 0x1000, 1)
+    assert k.mmu.tlb_misses == before + 1
+
+
+def test_integer_helpers():
+    k, aspace = _mapped_kernel()
+    k.mmu.write_u32(aspace, 0x1000, 0xDEADBEEF)
+    assert k.mmu.read_u32(aspace, 0x1000) == 0xDEADBEEF
+    k.mmu.write_i64(aspace, 0x1010, -123456789)
+    assert k.mmu.read_i64(aspace, 0x1010) == -123456789
+
+
+def test_pagetable_mapped_vpns_sorted():
+    pt = PageTable()
+    pt.map(5, PTE(0))
+    pt.map(2, PTE(1))
+    assert pt.mapped_vpns() == [2, 5]
+    pt.unmap(5)
+    assert pt.mapped_vpns() == [2]

@@ -1,0 +1,83 @@
+"""Mount handling: nested mounts, crossings, umount."""
+
+import pytest
+
+from repro.errors import EINVAL, ENOTDIR, Errno
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock
+from repro.kernel.vfs import O_CREAT, O_WRONLY
+
+
+@pytest.fixture
+def k():
+    kern = Kernel()
+    kern.mount_root(RamfsSuperBlock(kern, "root"))
+    kern.spawn("t")
+    return kern
+
+
+def test_mount_and_cross(k):
+    k.sys.mkdir("/mnt")
+    sub = RamfsSuperBlock(k, "sub")
+    k.vfs.mount("/mnt", sub)
+    k.sys.open_write_close("/mnt/inside", b"sub data")
+    # the file lives in the mounted FS, not in the mountpoint dir
+    assert sub.root_inode.lookup("inside") is not None
+    assert k.vfs.root_sb.root_inode.lookup("mnt").lookup("inside") is None
+    assert k.sys.open_read_close("/mnt/inside") == b"sub data"
+
+
+def test_mount_on_file_rejected(k):
+    k.sys.open_write_close("/notadir", b"x")
+    with pytest.raises(Errno) as ei:
+        k.vfs.mount("/notadir", RamfsSuperBlock(k, "sub"))
+    assert ei.value.errno == ENOTDIR
+
+
+def test_mount_hides_underlying_contents(k):
+    k.sys.mkdir("/mnt")
+    k.sys.open_write_close("/mnt/shadowed", b"old")
+    k.vfs.mount("/mnt", RamfsSuperBlock(k, "sub"))
+    with pytest.raises(Errno):
+        k.sys.stat("/mnt/shadowed")
+
+
+def test_umount_restores_view(k):
+    k.sys.mkdir("/mnt")
+    k.sys.open_write_close("/mnt/original", b"o")
+    k.vfs.mount("/mnt", RamfsSuperBlock(k, "sub"))
+    k.sys.open_write_close("/mnt/temp", b"t")
+    k.vfs.umount("/mnt")
+    assert k.sys.open_read_close("/mnt/original") == b"o"
+    with pytest.raises(Errno):
+        k.sys.stat("/mnt/temp")
+
+
+def test_umount_non_mountpoint_rejected(k):
+    k.sys.mkdir("/plain")
+    with pytest.raises(Errno) as ei:
+        k.vfs.umount("/plain")
+    assert ei.value.errno == EINVAL
+
+
+def test_nested_mounts(k):
+    k.sys.mkdir("/a")
+    mid = RamfsSuperBlock(k, "mid")
+    k.vfs.mount("/a", mid)
+    k.sys.mkdir("/a/b")
+    deep = Ext2SuperBlock(k, name="deep")
+    k.vfs.mount("/a/b", deep)
+    k.sys.open_write_close("/a/b/file", b"deep data")
+    assert k.sys.open_read_close("/a/b/file") == b"deep data"
+    assert deep.root_inode.lookup("file") is not None
+    assert k.vfs.mounted_superblocks[-1] is deep
+
+
+def test_sync_hits_all_mounted_filesystems(k):
+    k.sys.mkdir("/disk")
+    ext2 = Ext2SuperBlock(k)
+    k.vfs.mount("/disk", ext2)
+    k.sys.open_write_close("/disk/f", b"flush me")
+    before = ext2.disk.writes
+    k.sys.sync()
+    assert ext2.disk.writes > before

@@ -1,0 +1,117 @@
+"""Sockets and sendfile."""
+
+import pytest
+
+from repro.errors import Errno
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.kernel.net import SocketLayer
+from repro.kernel.vfs import O_CREAT, O_WRONLY
+from repro.workloads.webserver import (ReadWriteServer, SendfileServer,
+                                       WebServerConfig, build_docroot,
+                                       drain_client)
+
+
+@pytest.fixture
+def k():
+    kern = Kernel()
+    kern.mount_root(RamfsSuperBlock(kern))
+    kern.spawn("srv")
+    SocketLayer(kern)
+    return kern
+
+
+def test_socketpair_duplex(k):
+    a, b = k.sys.socketpair()
+    k.sys.write(a, b"ping")
+    assert k.sys.read(b, 10) == b"ping"
+    k.sys.write(b, b"pong")
+    assert k.sys.read(a, 10) == b"pong"
+    k.sys.close(a)
+    k.sys.close(b)
+
+
+def test_socket_stream_preserves_order_across_chunks(k):
+    a, b = k.sys.socketpair()
+    for i in range(5):
+        k.sys.write(a, bytes([i]) * 10)
+    # partial reads re-slice queued chunks
+    assert k.sys.read(b, 15) == b"\x00" * 10 + b"\x01" * 5
+    assert k.sys.read(b, 100) == b"\x01" * 5 + b"\x02" * 10 + \
+        b"\x03" * 10 + b"\x04" * 10
+    assert k.sys.read(b, 10) == b""  # empty, non-blocking
+
+
+def test_write_to_closed_peer_fails(k):
+    a, b = k.sys.socketpair()
+    k.current.get_file(b).inode.close_endpoint()
+    with pytest.raises(Errno):
+        k.sys.write(a, b"x")
+
+
+def test_sendfile_moves_whole_file(k):
+    payload = bytes(range(256)) * 100  # 25,600 bytes
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, payload)
+    k.sys.close(fd)
+    a, b = k.sys.socketpair()
+    src = k.sys.open("/f", 0)
+    sent = k.sys.sendfile(a, src, 0, len(payload))
+    assert sent == len(payload)
+    assert drain_client(k, b) == payload
+
+
+def test_sendfile_offset_and_count(k):
+    k.sys.open_write_close("/f", b"0123456789")
+    a, b = k.sys.socketpair()
+    src = k.sys.open("/f", 0)
+    assert k.sys.sendfile(a, src, 2, 5) == 5
+    assert k.sys.read(b, 10) == b"23456"
+
+
+def test_sendfile_is_one_syscall_zero_uaccess(k):
+    k.sys.open_write_close("/f", b"z" * 20_000)
+    a, b = k.sys.socketpair()
+    src = k.sys.open("/f", 0)
+    with k.measure() as m:
+        k.sys.sendfile(a, src, 0, 20_000)
+    assert m.syscalls == 1
+    assert m.copies.total_bytes == 0  # file -> socket never crosses up
+
+
+def test_sendfile_from_socket_rejected(k):
+    a, b = k.sys.socketpair()
+    c, d = k.sys.socketpair()
+    with pytest.raises(Errno):
+        k.sys.sendfile(a, c, 0, 10)
+
+
+def test_webservers_serve_identical_bytes(k):
+    cfg = WebServerConfig(nfiles=5, requests=12, avg_file_bytes=4000)
+    paths = build_docroot(k, cfg)
+    a1, b1 = k.sys.socketpair()
+    rw = ReadWriteServer(k, cfg, client_fd=b1, server_fd=a1)
+    rw.serve(paths)
+    data_rw = drain_client(k, b1)
+    a2, b2 = k.sys.socketpair()
+    sf = SendfileServer(k, cfg, client_fd=b2, server_fd=a2)
+    sf.serve(paths)
+    data_sf = drain_client(k, b2)
+    assert data_rw == data_sf
+    assert rw.bytes_served == sf.bytes_served == len(data_rw)
+
+
+def test_sendfile_server_faster(k):
+    cfg = WebServerConfig(nfiles=5, requests=20)
+    paths = build_docroot(k, cfg)
+    a1, b1 = k.sys.socketpair()
+    with k.measure() as m_rw:
+        ReadWriteServer(k, cfg, b1, a1).serve(paths)
+    drain_client(k, b1)
+    a2, b2 = k.sys.socketpair()
+    with k.measure() as m_sf:
+        SendfileServer(k, cfg, b2, a2).serve(paths)
+    drain_client(k, b2)
+    assert m_sf.timings.elapsed < m_rw.timings.elapsed
+    assert m_sf.syscalls < m_rw.syscalls
+    assert m_sf.copies.total_bytes < m_rw.copies.total_bytes / 10

@@ -1,0 +1,80 @@
+"""Segmentation: descriptor checks and segmented memory views."""
+
+import pytest
+
+from repro.errors import ProtectionFault
+from repro.kernel import Kernel
+from repro.kernel.memory import AddressSpace
+from repro.kernel.segments import (SEG_EXEC, SEG_READ, SEG_WRITE,
+                                   SegmentDescriptor, SegmentTable,
+                                   SegmentedView)
+
+
+@pytest.fixture
+def seg_setup():
+    k = Kernel()
+    aspace = AddressSpace(k.kernel_pt)
+    base = k.vmalloc.vmalloc(8192)
+    table = SegmentTable()
+    sel = table.install(SegmentDescriptor(base=base, limit=8192, name="data"))
+    view = SegmentedView(k.mmu, aspace, table, sel)
+    return k, table, sel, view, base
+
+
+def test_in_bounds_roundtrip(seg_setup):
+    _, _, _, view, _ = seg_setup
+    view.write(0, b"segment data")
+    assert view.read(0, 12) == b"segment data"
+    view.write_i64(100, -42)
+    assert view.read_i64(100) == -42
+
+
+def test_access_past_limit_faults(seg_setup):
+    _, _, _, view, _ = seg_setup
+    view.write(8190, b"ab")  # exactly at the limit: ok
+    with pytest.raises(ProtectionFault):
+        view.read(8191, 2)
+    with pytest.raises(ProtectionFault):
+        view.write(8192, b"x")
+
+
+def test_negative_offset_faults(seg_setup):
+    _, _, _, view, _ = seg_setup
+    with pytest.raises(ProtectionFault):
+        view.read(-1, 1)
+
+
+def test_permission_bits_enforced():
+    k = Kernel()
+    aspace = AddressSpace(k.kernel_pt)
+    base = k.vmalloc.vmalloc(4096)
+    table = SegmentTable()
+    ro = table.install(SegmentDescriptor(base=base, limit=4096,
+                                         perms=SEG_READ, name="rodata"))
+    view = SegmentedView(k.mmu, aspace, table, ro)
+    view.read(0, 4)
+    with pytest.raises(ProtectionFault):
+        view.write(0, b"no")
+
+
+def test_exec_only_segment_denies_read():
+    desc = SegmentDescriptor(base=0, limit=100, perms=SEG_EXEC, name="code")
+    desc.check(0, 10, "x", selector=1)
+    with pytest.raises(ProtectionFault):
+        desc.check(0, 10, "r", selector=1)
+
+
+def test_null_selector_rejected():
+    table = SegmentTable()
+    with pytest.raises(ProtectionFault):
+        table.descriptor(0)
+    with pytest.raises(ProtectionFault):
+        table.descriptor(7)
+
+
+def test_removed_selector_rejected():
+    table = SegmentTable()
+    sel = table.install(SegmentDescriptor(base=0, limit=10))
+    table.remove(sel)
+    with pytest.raises(ProtectionFault):
+        table.descriptor(sel)

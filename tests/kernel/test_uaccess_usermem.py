@@ -1,0 +1,125 @@
+"""uaccess address-based copies and per-task user memory."""
+
+import pytest
+
+from repro.errors import OutOfMemory, PageFault
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.kernel.process import USER_HEAP_BASE, USER_STACK_TOP
+
+
+@pytest.fixture
+def k():
+    kern = Kernel()
+    kern.mount_root(RamfsSuperBlock(kern))
+    kern.spawn("t")
+    return kern
+
+
+# ------------------------------------------------------------------- uaccess
+
+def test_copy_to_from_user_roundtrip(k):
+    task = k.current
+    addr = task.mem.malloc(64)
+    k.sys.ucopy.copy_to_user(addr, b"kernel to user data")
+    assert k.sys.ucopy.copy_from_user(addr, 19) == b"kernel to user data"
+    stats = k.sys.ucopy.stats
+    assert stats.to_user_bytes >= 19 and stats.from_user_bytes >= 19
+
+
+def test_strncpy_from_user(k):
+    task = k.current
+    addr = task.mem.malloc(32)
+    k.sys.ucopy.copy_to_user(addr, b"path/name\0junk")
+    assert k.sys.ucopy.strncpy_from_user(addr) == "path/name"
+
+
+def test_strncpy_respects_maxlen(k):
+    task = k.current
+    addr = task.mem.malloc(32)
+    k.sys.ucopy.copy_to_user(addr, b"abcdefgh")
+    assert k.sys.ucopy.strncpy_from_user(addr, maxlen=4) == "abcd"
+
+
+def test_copy_from_unmapped_user_address_faults(k):
+    with pytest.raises(PageFault):
+        k.sys.ucopy.copy_from_user(0x7F000000, 4)
+
+
+def test_charge_rejects_negative(k):
+    with pytest.raises(ValueError):
+        k.sys.ucopy.charge_to_user(-1)
+    with pytest.raises(ValueError):
+        k.sys.ucopy.charge_from_user(-1)
+
+
+def test_copy_charges_cycles(k):
+    before = k.clock.system
+    k.sys.ucopy.charge_to_user(10_000)
+    assert k.clock.system - before == k.costs.uaccess_cost(10_000)
+
+
+# --------------------------------------------------------------- user memory
+
+def test_user_malloc_free_reuse(k):
+    mem = k.current.mem
+    a = mem.malloc(100)
+    assert a >= USER_HEAP_BASE
+    mem.free(a)
+    b = mem.malloc(100)
+    assert b == a  # freelist reuse
+
+
+def test_user_malloc_distinct_live(k):
+    mem = k.current.mem
+    addrs = [mem.malloc(40) for _ in range(20)]
+    assert len(set(addrs)) == 20
+    spans = sorted((a, a + 48) for a in addrs)  # 16-aligned bucket
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+def test_user_free_of_garbage_rejected(k):
+    with pytest.raises(OutOfMemory):
+        k.current.mem.free(0x12345)
+
+
+def test_stack_frames_grow_down_and_pop(k):
+    mem = k.current.mem
+    f1 = mem.push_frame(64)
+    f2 = mem.push_frame(64)
+    assert f2 < f1 < USER_STACK_TOP
+    mem.pop_frame(64)
+    assert mem.stack_pointer == f1
+    mem.pop_frame(64)
+
+
+def test_stack_underflow_detected(k):
+    mem = k.current.mem
+    mem.push_frame(32)
+    mem.pop_frame(32)
+    with pytest.raises(RuntimeError):
+        mem.pop_frame(32)
+
+
+def test_stack_memory_is_usable(k):
+    task = k.current
+    addr = task.mem.push_frame(128)
+    k.mmu.write(task.aspace, addr, b"stack bytes")
+    assert k.mmu.read(task.aspace, addr, 11) == b"stack bytes"
+
+
+def test_shared_mapping_visible_to_kernel_and_user(k):
+    task = k.current
+    addr = task.mem.map_shared(8192)
+    k.mmu.write(task.aspace, addr, b"shared!")
+    # kernel reads the same frames through the same page table entries
+    assert k.mmu.read(task.aspace, addr, 7) == b"shared!"
+
+
+def test_fd_table_lowest_free_fd(k):
+    from repro.kernel.vfs import O_CREAT, O_WRONLY
+    fds = [k.sys.open(f"/f{i}", O_CREAT | O_WRONLY) for i in range(3)]
+    assert fds == [0, 1, 2]
+    k.sys.close(fds[1])
+    assert k.sys.open("/f9", O_CREAT | O_WRONLY) == 1  # lowest free

@@ -1,0 +1,256 @@
+"""VFS + syscall layer: files, directories, metadata, error paths."""
+
+import pytest
+
+from repro.errors import (EBADF, EEXIST, EINVAL, EISDIR, ENOENT, ENOTDIR,
+                          ENOTEMPTY, Errno)
+from repro.kernel.vfs import (O_APPEND, O_CREAT, O_RDONLY, O_RDWR, O_TRUNC,
+                              O_WRONLY)
+from repro.kernel.vfs.file import SEEK_CUR, SEEK_END
+from repro.kernel.vfs.stat import STAT_SIZE, Stat
+
+
+def test_create_write_read(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    assert kernel.sys.write(fd, b"hello world") == 11
+    kernel.sys.close(fd)
+    fd = kernel.sys.open("/f", O_RDONLY)
+    assert kernel.sys.read(fd, 100) == b"hello world"
+    assert kernel.sys.read(fd, 100) == b""  # EOF
+    kernel.sys.close(fd)
+
+
+def test_open_missing_enoent(kernel):
+    with pytest.raises(Errno) as ei:
+        kernel.sys.open("/missing", O_RDONLY)
+    assert ei.value.errno == ENOENT
+
+
+def test_o_trunc_clears_data(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"0123456789")
+    kernel.sys.close(fd)
+    fd = kernel.sys.open("/f", O_WRONLY | O_TRUNC)
+    kernel.sys.close(fd)
+    assert kernel.sys.stat("/f").size == 0
+
+
+def test_o_append_writes_at_end(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"aaa")
+    kernel.sys.close(fd)
+    fd = kernel.sys.open("/f", O_WRONLY | O_APPEND)
+    kernel.sys.write(fd, b"bbb")
+    kernel.sys.close(fd)
+    assert kernel.sys.open_read_close("/f") == b"aaabbb"
+
+
+def test_read_on_wronly_ebadf(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    with pytest.raises(Errno) as ei:
+        kernel.sys.read(fd, 1)
+    assert ei.value.errno == EBADF
+
+
+def test_write_on_rdonly_ebadf(kernel):
+    kernel.sys.close(kernel.sys.open("/f", O_CREAT | O_WRONLY))
+    fd = kernel.sys.open("/f", O_RDONLY)
+    with pytest.raises(Errno) as ei:
+        kernel.sys.write(fd, b"x")
+    assert ei.value.errno == EBADF
+
+
+def test_close_bad_fd(kernel):
+    with pytest.raises(Errno) as ei:
+        kernel.sys.close(42)
+    assert ei.value.errno == EBADF
+
+
+def test_lseek_whence(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_RDWR)
+    kernel.sys.write(fd, b"0123456789")
+    assert kernel.sys.lseek(fd, 2) == 2
+    assert kernel.sys.read(fd, 3) == b"234"
+    assert kernel.sys.lseek(fd, -2, SEEK_CUR) == 3
+    assert kernel.sys.lseek(fd, -1, SEEK_END) == 9
+    assert kernel.sys.read(fd, 10) == b"9"
+    with pytest.raises(Errno):
+        kernel.sys.lseek(fd, -100)
+    kernel.sys.close(fd)
+
+
+def test_pread_pwrite_do_not_move_pos(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_RDWR)
+    kernel.sys.write(fd, b"0123456789")
+    assert kernel.sys.pread(fd, 4, 2) == b"2345"
+    kernel.sys.pwrite(fd, b"XY", 0)
+    assert kernel.sys.lseek(fd, 0, SEEK_CUR) == 10  # pos unchanged
+    assert kernel.sys.pread(fd, 2, 0) == b"XY"
+    kernel.sys.close(fd)
+
+
+def test_stat_fields(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"abc")
+    kernel.sys.close(fd)
+    st = kernel.sys.stat("/f")
+    assert st.size == 3
+    assert st.nlink == 1
+    packed = st.pack()
+    assert len(packed) == STAT_SIZE
+    assert Stat.unpack(packed) == st
+
+
+def test_fstat_matches_stat(kernel):
+    kernel.sys.close(kernel.sys.open("/f", O_CREAT | O_WRONLY))
+    fd = kernel.sys.open("/f", O_RDONLY)
+    assert kernel.sys.fstat(fd).ino == kernel.sys.stat("/f").ino
+    kernel.sys.close(fd)
+
+
+def test_mkdir_nested_and_walk(kernel):
+    kernel.sys.mkdir("/a")
+    kernel.sys.mkdir("/a/b")
+    fd = kernel.sys.open("/a/b/f", O_CREAT | O_WRONLY)
+    kernel.sys.close(fd)
+    assert kernel.sys.stat("/a/b/f").size == 0
+
+
+def test_mkdir_exists_eexist(kernel):
+    kernel.sys.mkdir("/a")
+    with pytest.raises(Errno) as ei:
+        kernel.sys.mkdir("/a")
+    assert ei.value.errno == EEXIST
+
+
+def test_unlink_removes(kernel):
+    kernel.sys.close(kernel.sys.open("/f", O_CREAT | O_WRONLY))
+    kernel.sys.unlink("/f")
+    with pytest.raises(Errno) as ei:
+        kernel.sys.stat("/f")
+    assert ei.value.errno == ENOENT
+
+
+def test_unlink_directory_eisdir(kernel):
+    kernel.sys.mkdir("/d")
+    with pytest.raises(Errno) as ei:
+        kernel.sys.unlink("/d")
+    assert ei.value.errno == EISDIR
+
+
+def test_rmdir_nonempty(kernel):
+    kernel.sys.mkdir("/d")
+    kernel.sys.close(kernel.sys.open("/d/f", O_CREAT | O_WRONLY))
+    with pytest.raises(Errno) as ei:
+        kernel.sys.rmdir("/d")
+    assert ei.value.errno == ENOTEMPTY
+    kernel.sys.unlink("/d/f")
+    kernel.sys.rmdir("/d")
+    with pytest.raises(Errno):
+        kernel.sys.stat("/d")
+
+
+def test_rename_moves_and_replaces(kernel):
+    fd = kernel.sys.open("/src", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"data")
+    kernel.sys.close(fd)
+    kernel.sys.mkdir("/d")
+    kernel.sys.rename("/src", "/d/dst")
+    assert kernel.sys.open_read_close("/d/dst") == b"data"
+    with pytest.raises(Errno):
+        kernel.sys.stat("/src")
+    # replacing an existing target
+    fd = kernel.sys.open("/other", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"new")
+    kernel.sys.close(fd)
+    kernel.sys.rename("/other", "/d/dst")
+    assert kernel.sys.open_read_close("/d/dst") == b"new"
+
+
+def test_getdents_streams_in_chunks(kernel):
+    kernel.sys.mkdir("/dir")
+    names = {f"file{i:03d}" for i in range(50)}
+    for n in names:
+        kernel.sys.close(kernel.sys.open(f"/dir/{n}", O_CREAT | O_WRONLY))
+    fd = kernel.sys.open("/dir", O_RDONLY)
+    seen = set()
+    while True:
+        batch = kernel.sys.getdents(fd, bufsize=256)
+        if not batch:
+            break
+        seen.update(e.name for e in batch)
+    kernel.sys.close(fd)
+    assert seen == names
+
+
+def test_getdents_on_file_enotdir(kernel):
+    kernel.sys.close(kernel.sys.open("/f", O_CREAT | O_WRONLY))
+    fd = kernel.sys.open("/f", O_RDONLY)
+    with pytest.raises(Errno) as ei:
+        kernel.sys.getdents(fd)
+    assert ei.value.errno == ENOTDIR
+
+
+def test_truncate_grow_and_shrink(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"0123456789")
+    kernel.sys.close(fd)
+    kernel.sys.truncate("/f", 4)
+    assert kernel.sys.open_read_close("/f") == b"0123"
+    kernel.sys.truncate("/f", 8)
+    assert kernel.sys.open_read_close("/f") == b"0123\0\0\0\0"
+
+
+def test_getpid(kernel):
+    assert kernel.sys.getpid() == kernel.current.pid
+
+
+def test_dcache_caches_lookups(kernel):
+    kernel.sys.mkdir("/a")
+    kernel.sys.close(kernel.sys.open("/a/f", O_CREAT | O_WRONLY))
+    kernel.sys.stat("/a/f")
+    misses = kernel.vfs.dcache_misses
+    kernel.sys.stat("/a/f")
+    kernel.sys.stat("/a/f")
+    assert kernel.vfs.dcache_misses == misses  # all hits now
+    assert kernel.vfs.dcache_hits > 0
+
+
+def test_dcache_lock_hit_counting(kernel):
+    before = kernel.vfs.dcache_lock.acquisitions
+    kernel.sys.mkdir("/x")
+    kernel.sys.stat("/x")
+    assert kernel.vfs.dcache_lock.acquisitions > before
+
+
+def test_syscalls_charge_time(kernel):
+    before = kernel.clock.snapshot()
+    kernel.sys.getpid()
+    delta = kernel.clock.since(before)
+    assert delta.system >= kernel.costs.syscall_trap
+    assert delta.user >= kernel.costs.user_syscall_stub
+
+
+def test_copy_stats_metered(kernel):
+    stats0 = kernel.sys.ucopy.stats.snapshot()
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    kernel.sys.write(fd, b"x" * 1000)
+    kernel.sys.close(fd)
+    delta = kernel.sys.ucopy.stats.since(stats0)
+    assert delta.from_user_bytes >= 1000 + len("/f") + 1
+
+
+def test_relative_paths_resolve_from_cwd(kernel):
+    kernel.sys.mkdir("/home")
+    kernel.current.cwd = kernel.vfs.path_walk("/home")
+    fd = kernel.sys.open("rel", O_CREAT | O_WRONLY)
+    kernel.sys.close(fd)
+    assert kernel.sys.stat("/home/rel").size == 0
+
+
+def test_exit_task_closes_fds(kernel):
+    fd = kernel.sys.open("/f", O_CREAT | O_WRONLY)
+    inode = kernel.current.get_file(fd).inode
+    refs = inode.i_count.value
+    kernel.exit_task(kernel.current)
+    assert inode.i_count.value == refs - 1

@@ -1,0 +1,104 @@
+"""Wrapfs: pass-through semantics and its allocation behaviour."""
+
+import pytest
+
+from repro.errors import Errno
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock, WrapfsSuperBlock
+from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+
+
+def _mounted(kernel=None):
+    k = kernel or Kernel()
+    if k.vfs.root is None:
+        k.mount_root(RamfsSuperBlock(k))
+        k.spawn("t")
+    k.sys.mkdir("/mnt")
+    lower = RamfsSuperBlock(k, "lower")
+    wrapfs = WrapfsSuperBlock(k, lower, k.kma)
+    k.vfs.mount("/mnt", wrapfs)
+    return k, wrapfs, lower
+
+
+def test_passthrough_data(k=None):
+    k, wrapfs, lower = _mounted()
+    fd = k.sys.open("/mnt/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"through the wrapper")
+    k.sys.close(fd)
+    assert k.sys.open_read_close("/mnt/f") == b"through the wrapper"
+    # and the data truly lives in the lower FS
+    assert lower.root_inode.lookup("f").read(0, 100) == b"through the wrapper"
+
+
+def test_namespace_ops_delegate():
+    k, wrapfs, lower = _mounted()
+    k.sys.mkdir("/mnt/d")
+    k.sys.open_write_close("/mnt/d/x", b"1")
+    k.sys.rename("/mnt/d/x", "/mnt/d/y")
+    assert lower.root_inode.lookup("d").lookup("y") is not None
+    assert lower.root_inode.lookup("d").lookup("x") is None
+    k.sys.unlink("/mnt/d/y")
+    k.sys.rmdir("/mnt/d")
+    assert lower.root_inode.lookup("d") is None
+
+
+def test_wrapper_interning_is_stable():
+    k, wrapfs, lower = _mounted()
+    k.sys.open_write_close("/mnt/f", b"z")
+    w1 = wrapfs.root_inode.lookup("f")
+    w2 = wrapfs.root_inode.lookup("f")
+    assert w1 is w2
+
+
+def test_private_data_allocated_and_freed():
+    k, wrapfs, lower = _mounted()
+    live0 = len(k.kmalloc.live)
+    k.sys.open_write_close("/mnt/f", b"z")  # wrapper inode private allocated
+    assert len(k.kmalloc.live) > live0
+    k.sys.unlink("/mnt/f")
+    assert len(k.kmalloc.live) == live0  # private freed with the wrapper
+
+
+def test_file_private_lifecycle():
+    k, wrapfs, lower = _mounted()
+    k.sys.open_write_close("/mnt/f", b"z")
+    live0 = len(k.kmalloc.live)
+    fd = k.sys.open("/mnt/f", O_RDONLY)
+    assert len(k.kmalloc.live) == live0 + 1  # per-open file private
+    k.sys.close(fd)
+    assert len(k.kmalloc.live) == live0
+
+
+def test_no_leaks_after_workload():
+    k, wrapfs, lower = _mounted()
+    live0 = len(k.kmalloc.live)
+    for i in range(20):
+        fd = k.sys.open(f"/mnt/f{i}", O_CREAT | O_WRONLY)
+        k.sys.write(fd, b"d" * 500)
+        k.sys.close(fd)
+        k.sys.open_read_close(f"/mnt/f{i}")
+    for i in range(20):
+        k.sys.unlink(f"/mnt/f{i}")
+    assert len(k.kmalloc.live) == live0
+
+
+def test_getattr_reflects_lower():
+    k, wrapfs, lower = _mounted()
+    k.sys.open_write_close("/mnt/f", b"12345")
+    assert k.sys.stat("/mnt/f").size == 5
+    k.sys.truncate("/mnt/f", 2)
+    assert k.sys.stat("/mnt/f").size == 2
+
+
+def test_wrapfs_over_ext2():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    k.sys.mkdir("/mnt")
+    lower = Ext2SuperBlock(k)
+    k.vfs.mount("/mnt", WrapfsSuperBlock(k, lower, k.kma))
+    payload = bytes(range(256)) * 32
+    k.sys.open_write_close("/mnt/big", payload)
+    assert k.sys.open_read_close("/mnt/big") == payload
+    k.sys.sync()
+    assert lower.disk.writes > 0

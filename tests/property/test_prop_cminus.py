@@ -1,0 +1,139 @@
+"""Property tests: the C-subset interpreter against a Python reference.
+
+Random integer expression trees are rendered to C and evaluated both by
+the interpreter (over simulated memory) and by a Python model implementing
+C semantics (64-bit wrap-around, truncating division).  Any divergence is
+a real interpreter bug.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cminus import Interpreter, UserMemAccess, parse
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+
+_WORD = 1 << 64
+
+
+def _wrap(v: int) -> int:
+    v &= _WORD - 1
+    return v - _WORD if v >= (1 << 63) else v
+
+
+class _E:
+    """Expression node: renders to C and evaluates via the reference."""
+
+    def __init__(self, text: str, value: int):
+        self.text = text
+        self.value = value
+
+
+def _lit(n: int) -> _E:
+    return _E(str(n) if n >= 0 else f"(0 - {-n})", n)
+
+
+def _binop(op: str, a: _E, b: _E) -> _E | None:
+    if op in ("/", "%") and b.value == 0:
+        return None
+    table = {
+        "+": lambda x, y: _wrap(x + y),
+        "-": lambda x, y: _wrap(x - y),
+        "*": lambda x, y: _wrap(x * y),
+        "/": lambda x, y: _wrap(int(x / y)),
+        "%": lambda x, y: _wrap(x - int(x / y) * y),
+        "&": lambda x, y: _wrap(x & y),
+        "|": lambda x, y: _wrap(x | y),
+        "^": lambda x, y: _wrap(x ^ y),
+        "<": lambda x, y: 1 if x < y else 0,
+        ">": lambda x, y: 1 if x > y else 0,
+        "==": lambda x, y: 1 if x == y else 0,
+        "!=": lambda x, y: 1 if x != y else 0,
+        "<=": lambda x, y: 1 if x <= y else 0,
+        ">=": lambda x, y: 1 if x >= y else 0,
+    }
+    return _E(f"({a.text} {op} {b.text})", table[op](a.value, b.value))
+
+
+_OPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "==", "!=",
+        "<=", ">="]
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 4 or draw(st.booleans()):
+        return _lit(draw(st.integers(min_value=-10**6, max_value=10**6)))
+    op = draw(st.sampled_from(_OPS))
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    node = _binop(op, left, right)
+    if node is None:
+        return left
+    return node
+
+
+def _run(source: str) -> int:
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    task = k.spawn("prop")
+    return Interpreter(parse(source), UserMemAccess(k, task)).call("main")
+
+
+@given(expressions())
+@settings(max_examples=120)
+def test_expression_evaluation_matches_reference(expr):
+    assert _run(f"int main() {{ return {expr.text}; }}") == expr.value
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=1, max_size=12))
+@settings(max_examples=40)
+def test_array_store_load_roundtrip(values):
+    n = len(values)
+    stores = " ".join(f"a[{i}] = {v};" if v >= 0 else f"a[{i}] = 0 - {-v};"
+                      for i, v in enumerate(values))
+    src = f"""
+    int main() {{
+        int a[{n}];
+        {stores}
+        int s = 0;
+        for (int i = 0; i < {n}; i++) s += a[i];
+        return s;
+    }}
+    """
+    assert _run(src) == sum(values)
+
+
+@given(st.integers(min_value=0, max_value=40),
+       st.integers(min_value=1, max_value=7))
+@settings(max_examples=30)
+def test_loop_count_semantics(n, step):
+    src = f"""
+    int main() {{
+        int c = 0;
+        for (int i = 0; i < {n}; i += {step}) c++;
+        return c;
+    }}
+    """
+    assert _run(src) == len(range(0, n, step))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255),
+                min_size=1, max_size=20))
+@settings(max_examples=30)
+def test_pointer_walk_equals_indexing(values):
+    n = len(values)
+    stores = " ".join(f"a[{i}] = {v};" for i, v in enumerate(values))
+    src = f"""
+    int main() {{
+        int a[{n}];
+        {stores}
+        int *p = a;
+        int s1 = 0;
+        for (int i = 0; i < {n}; i++) s1 += a[i];
+        int s2 = 0;
+        for (int i = 0; i < {n}; i++) {{ s2 += *p; p++; }}
+        return s1 - s2;
+    }}
+    """
+    assert _run(src) == 0

@@ -1,0 +1,85 @@
+"""Property tests: the compound codec round-trips arbitrary well-formed
+programs, and rejects corrupted bytes rather than misdecoding them."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cosy import decode_compound, encode_compound
+from repro.core.cosy.ops import (Arg, ArgKind, MATH_OPS, Op, OpCode)
+from repro.errors import CosyError
+
+NSLOTS = 8
+
+args = st.one_of(
+    st.builds(Arg.lit, st.integers(min_value=-2**62, max_value=2**62)),
+    st.builds(Arg.slot, st.integers(min_value=0, max_value=NSLOTS - 1)),
+    st.builds(Arg.shared, st.integers(min_value=0, max_value=2**20),
+              st.integers(min_value=0, max_value=4096)),
+)
+
+
+def _ops_strategy():
+    math_codes = st.sampled_from(sorted(MATH_OPS.values()))
+    dst = st.integers(min_value=0, max_value=NSLOTS - 1)
+    return st.lists(
+        st.one_of(
+            st.builds(lambda d, a: Op(OpCode.MOV, dst=d, args=(a,)), dst, args),
+            st.builds(lambda d, c, a, b: Op(OpCode.MATH, dst=d, extra=c,
+                                            args=(a, b)),
+                      dst, math_codes, args, args),
+            st.builds(lambda d, n, a: Op(OpCode.SYSCALL, dst=d, extra=n,
+                                         args=tuple(a)),
+                      dst, st.sampled_from([3, 4, 5, 6, 20]),
+                      st.lists(args, max_size=4)),
+            st.builds(lambda d, f, a: Op(OpCode.CALLF, dst=d, extra=f,
+                                         args=tuple(a)),
+                      dst, st.integers(min_value=1, max_value=100),
+                      st.lists(args, max_size=3)),
+        ),
+        max_size=30,
+    )
+
+
+@given(_ops_strategy())
+def test_roundtrip_identity(op_list):
+    # jumps need valid targets; append them pointing at END
+    ops = list(op_list)
+    ops.append(Op(OpCode.JMP, extra=len(ops) + 2))
+    ops.append(Op(OpCode.JZ, extra=len(ops) + 1, args=(Arg.slot(0),)))
+    ops.append(Op(OpCode.END))
+    blob = encode_compound(ops, NSLOTS)
+    decoded, nslots = decode_compound(blob)
+    assert nslots == NSLOTS
+    assert decoded == ops
+
+
+@given(_ops_strategy(), st.data())
+def test_single_byte_corruption_never_misdecodes_silently_or_crashes(
+        op_list, data):
+    """Flipping any byte either still decodes to *valid* ops or raises
+    CosyError — never an unhandled exception (kernel-side robustness)."""
+    ops = list(op_list) + [Op(OpCode.END)]
+    blob = bytearray(encode_compound(ops, NSLOTS))
+    if len(blob) == 0:
+        return
+    idx = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    blob[idx] ^= data.draw(st.integers(min_value=1, max_value=255))
+    try:
+        decoded, nslots = decode_compound(bytes(blob))
+    except CosyError:
+        return  # rejected: fine
+    # accepted: every op must still satisfy the structural invariants
+    for op in decoded:
+        assert isinstance(op.opcode, OpCode)
+        for a in op.args:
+            assert isinstance(a.kind, ArgKind)
+        if op.opcode in (OpCode.JMP, OpCode.JZ):
+            assert 0 <= op.extra <= len(decoded)
+
+
+@given(st.binary(max_size=400))
+def test_random_bytes_never_crash_decoder(blob):
+    try:
+        decode_compound(blob)
+    except CosyError:
+        pass

@@ -1,0 +1,51 @@
+"""Property tests: the lock-free ring buffer never reorders, duplicates,
+or loses acknowledged items; drops are exactly the unacknowledged pushes."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.safety.monitor import LockFreeRingBuffer
+
+#: interleaved operation script: push(value) or pop(batch size)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers()),
+        st.tuples(st.just("pop"), st.integers(min_value=1, max_value=8)),
+    ),
+    max_size=200,
+)
+
+
+@given(ops, st.sampled_from([2, 4, 16, 64]))
+def test_fifo_no_loss_no_dup(script, capacity):
+    ring = LockFreeRingBuffer(capacity=capacity)
+    accepted: list[int] = []
+    popped: list[int] = []
+    for op, arg in script:
+        if op == "push":
+            if ring.try_push(arg):
+                accepted.append(arg)
+        else:
+            popped.extend(ring.pop_batch(arg))
+    popped.extend(ring.pop_batch(len(accepted) + 1))
+    assert popped == accepted  # exact FIFO of everything accepted
+    assert ring.empty
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=100))
+def test_overruns_count_exactly_the_drops(items):
+    ring = LockFreeRingBuffer(capacity=16)
+    pushed_ok = sum(1 for x in items if ring.try_push(x))
+    assert pushed_ok + ring.overruns == len(items)
+    assert len(ring) == min(pushed_ok, 16)
+    assert ring.total_pushed == pushed_ok
+
+
+@given(st.integers(min_value=0, max_value=200))
+def test_len_tracks_occupancy(n):
+    ring = LockFreeRingBuffer(capacity=32)
+    for i in range(n):
+        ring.try_push(i)
+    assert len(ring) == min(n, 32)
+    ring.pop_batch(10)
+    assert len(ring) == max(0, min(n, 32) - 10)

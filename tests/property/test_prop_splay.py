@@ -1,0 +1,96 @@
+"""Property tests: the splay tree behaves exactly like a sorted map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.safety.kgcc import SplayTree
+
+keys = st.integers(min_value=0, max_value=10_000)
+
+
+@given(st.lists(st.tuples(keys, st.integers())))
+def test_insert_find_matches_dict(pairs):
+    tree = SplayTree()
+    model: dict[int, int] = {}
+    for k, v in pairs:
+        tree.insert(k, v)
+        model[k] = v
+    assert len(tree) == len(model)
+    for k, v in model.items():
+        assert tree.find(k) == v
+    assert [k for k, _ in tree.items()] == sorted(model)
+
+
+@given(st.lists(keys, unique=True, min_size=1), keys)
+def test_find_le_matches_model(inserted, probe):
+    tree = SplayTree()
+    for k in inserted:
+        tree.insert(k, -k)
+    expected = max((k for k in inserted if k <= probe), default=None)
+    got = tree.find_le(probe)
+    if expected is None:
+        assert got is None
+    else:
+        assert got == (expected, -expected)
+
+
+@given(st.lists(keys, unique=True, min_size=1),
+       st.data())
+def test_remove_matches_model(inserted, data):
+    tree = SplayTree()
+    model = {}
+    for k in inserted:
+        tree.insert(k, k * 2)
+        model[k] = k * 2
+    to_remove = data.draw(st.lists(st.sampled_from(inserted), unique=True))
+    for k in to_remove:
+        assert tree.remove(k) == model.pop(k)
+        assert tree.remove(k) is None  # second remove is a miss
+    assert [k for k, _ in tree.items()] == sorted(model)
+    for k, v in model.items():
+        assert tree.find(k) == v
+
+
+class SplayMachine(RuleBasedStateMachine):
+    """Stateful comparison against a dict through arbitrary op sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = SplayTree()
+        self.model: dict[int, int] = {}
+
+    @rule(k=keys, v=st.integers())
+    def insert(self, k, v):
+        self.tree.insert(k, v)
+        self.model[k] = v
+
+    @rule(k=keys)
+    def remove(self, k):
+        assert self.tree.remove(k) == self.model.pop(k, None)
+
+    @rule(k=keys)
+    def find(self, k):
+        assert self.tree.find(k) == self.model.get(k)
+
+    @rule(k=keys)
+    def find_le(self, k):
+        expected = max((m for m in self.model if m <= k), default=None)
+        got = self.tree.find_le(k)
+        if expected is None:
+            assert got is None
+        else:
+            assert got == (expected, self.model[expected])
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def inorder_is_sorted(self):
+        ks = [k for k, _ in self.tree.items()]
+        assert ks == sorted(self.model)
+
+
+TestSplayMachine = SplayMachine.TestCase
+TestSplayMachine.settings = settings(max_examples=25, stateful_step_count=40)

@@ -1,0 +1,95 @@
+"""Adaptive Kefence: dynamic per-site protection decisions (§3.5)."""
+
+import pytest
+
+from repro.errors import BufferOverflow
+from repro.kernel import Kernel
+from repro.kernel.memory import AddressSpace
+from repro.safety.kefence import AdaptiveKefence, KefenceMode
+
+
+@pytest.fixture
+def k():
+    return Kernel()
+
+
+def _cycle(ak, site, n, size=64):
+    for _ in range(n):
+        ak.free(ak.malloc(size, site=site))
+
+
+def test_new_sites_start_fully_protected(k):
+    ak = AdaptiveKefence(k, trust_threshold=10)
+    addr = ak.malloc(40, site="mod.c:1")
+    assert addr in ak._guarded
+    with pytest.raises(BufferOverflow):
+        k.mmu.write(AddressSpace(k.kernel_pt), addr + 40, b"!")
+    assert "protected" in ak.site_status("mod.c:1")
+
+
+def test_trusted_sites_drop_to_sampling(k):
+    ak = AdaptiveKefence(k, trust_threshold=20, sample_rate=4)
+    _cycle(ak, "hot.c:9", 20)          # earn trust
+    assert ak.site_status("hot.c:9") == "sampled (1/4)"
+    guarded_before = ak.guarded_allocs
+    plain_before = ak.plain_allocs
+    _cycle(ak, "hot.c:9", 40)
+    assert ak.plain_allocs - plain_before == 30   # 3 of 4 unguarded
+    assert ak.guarded_allocs - guarded_before == 10
+
+
+def test_memory_cost_actually_drops(k):
+    """The whole point: trusted sites stop consuming whole pages."""
+    ak = AdaptiveKefence(k, trust_threshold=10, sample_rate=10)
+    _cycle(ak, "site", 10)
+    addrs = [ak.malloc(64, site="site") for _ in range(20)]
+    # only ~2 of the 20 live allocations are page-granular now
+    assert k.vmalloc.outstanding_pages <= 4
+    for a in addrs:
+        ak.free(a)
+
+
+def test_overflow_pins_site_forever(k):
+    ak = AdaptiveKefence(k, KefenceMode.CONTINUE_RW, trust_threshold=5,
+                         sample_rate=2)
+    _cycle(ak, "bad.c:7", 5)  # trusted...
+    # sampling means not every allocation is guarded; the overflow is only
+    # *observable* on a guarded one (the statistical-coverage design)
+    addr = ak.malloc(16, site="bad.c:7")
+    while addr not in ak._guarded:
+        ak.free(addr)
+        addr = ak.malloc(16, site="bad.c:7")
+    k.mmu.write(AddressSpace(k.kernel_pt), addr + 16, b"oops")  # overflow!
+    ak.free(addr)
+    assert ak.site_status("bad.c:7") == "pinned-protected"
+    # every future allocation from the site is guarded again
+    for _ in range(10):
+        a = ak.malloc(16, site="bad.c:7")
+        assert a in ak._guarded
+        ak.free(a)
+
+
+def test_page_budget_caps_guarded_pages(k):
+    ak = AdaptiveKefence(k, trust_threshold=1000, page_budget=5)
+    addrs = [ak.malloc(64, site=f"s{i}") for i in range(20)]
+    assert k.vmalloc.outstanding_pages <= 5
+    for a in addrs:
+        ak.free(a)
+
+
+def test_plain_and_guarded_frees_route_correctly(k):
+    ak = AdaptiveKefence(k, trust_threshold=1, sample_rate=100)
+    a1 = ak.malloc(32, site="s")   # guarded (first)
+    ak.free(a1)
+    a2 = ak.malloc(32, site="s")   # now trusted -> plain kmalloc
+    assert a2 not in ak._guarded
+    live = len(k.kmalloc.live)
+    ak.free(a2)
+    assert len(k.kmalloc.live) == live - 1
+
+
+def test_validation(k):
+    with pytest.raises(ValueError):
+        AdaptiveKefence(k, trust_threshold=0)
+    with pytest.raises(ValueError):
+        AdaptiveKefence(k, sample_rate=0)

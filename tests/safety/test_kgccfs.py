@@ -1,0 +1,126 @@
+"""KgccFs: the instrumentable filesystem module of the §3.4 evaluation."""
+
+import pytest
+
+from repro.errors import Errno
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+from repro.safety.kgcc.modulefs import (INITIAL_SLOTS, KgccFsSuperBlock,
+                                        MODULE_SOURCE)
+
+
+def _mounted(checked: bool):
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    k.sys.mkdir("/mnt")
+    sb = KgccFsSuperBlock(k, RamfsSuperBlock(k, "lower"), checked=checked)
+    k.vfs.mount("/mnt", sb)
+    return k, sb
+
+
+@pytest.mark.parametrize("checked", [False, True])
+def test_file_lifecycle(checked):
+    k, sb = _mounted(checked)
+    fd = k.sys.open("/mnt/a", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"via module")
+    k.sys.close(fd)
+    assert k.sys.open_read_close("/mnt/a") == b"via module"
+    k.sys.rename("/mnt/a", "/mnt/b")
+    assert k.sys.open_read_close("/mnt/b") == b"via module"
+    k.sys.unlink("/mnt/b")
+    with pytest.raises(Errno):
+        k.sys.stat("/mnt/b")
+
+
+@pytest.mark.parametrize("checked", [False, True])
+def test_directory_table_grows_past_initial_slots(checked):
+    k, sb = _mounted(checked)
+    n = INITIAL_SLOTS * 3
+    for i in range(n):
+        k.sys.close(k.sys.open(f"/mnt/f{i:03d}", O_CREAT | O_WRONLY))
+    seen = {e.name for e, _ in _readdirplus_all(k, "/mnt")}
+    assert len(seen) == n
+    # every file resolvable through the module's find_entry
+    for i in range(n):
+        assert k.sys.stat(f"/mnt/f{i:03d}").size == 0
+
+
+def _readdirplus_all(k, path):
+    out = []
+    start = 0
+    while True:
+        batch = k.sys.readdirplus(path, start=start)
+        if not batch:
+            return out
+        out.extend(batch)
+        start += len(batch)
+
+
+@pytest.mark.parametrize("checked", [False, True])
+def test_slot_reuse_after_unlink(checked):
+    k, sb = _mounted(checked)
+    for i in range(10):
+        k.sys.close(k.sys.open(f"/mnt/x{i}", O_CREAT | O_WRONLY))
+    for i in range(0, 10, 2):
+        k.sys.unlink(f"/mnt/x{i}")
+    for i in range(5):
+        k.sys.close(k.sys.open(f"/mnt/new{i}", O_CREAT | O_WRONLY))
+    names = {e.name for e, _ in _readdirplus_all(k, "/mnt")}
+    assert names == ({f"x{i}" for i in range(1, 10, 2)}
+                     | {f"new{i}" for i in range(5)})
+
+
+def test_checked_build_executes_checks_cleanly():
+    k, sb = _mounted(True)
+    for i in range(20):
+        k.sys.close(k.sys.open(f"/mnt/f{i}", O_CREAT | O_WRONLY))
+        k.sys.stat(f"/mnt/f{i}")
+    rt = sb.engine.runtime
+    assert rt.checks_executed > 100
+    assert rt.check_failures == 0
+
+
+def test_checked_build_is_slower():
+    results = {}
+    for checked in (False, True):
+        k, sb = _mounted(checked)
+        with k.measure() as m:
+            for i in range(15):
+                fd = k.sys.open(f"/mnt/f{i}", O_CREAT | O_WRONLY)
+                k.sys.write(fd, b"d" * 100)
+                k.sys.close(fd)
+            for i in range(15):
+                k.sys.unlink(f"/mnt/f{i}")
+        results[checked] = m.delta.system
+    assert results[True] > results[False] * 1.5
+
+
+def test_module_source_is_valid_cminus():
+    from repro.cminus import parse
+    program = parse(MODULE_SOURCE)
+    assert {"streq", "find_entry", "add_entry", "clear_entry",
+            "entry_ino", "count_entries", "copy_table"} <= set(program.funcs)
+
+
+def test_nested_directories(checked=True):
+    k, sb = _mounted(checked)
+    k.sys.mkdir("/mnt/d1")
+    k.sys.mkdir("/mnt/d1/d2")
+    k.sys.open_write_close("/mnt/d1/d2/deep", b"deep")
+    assert k.sys.open_read_close("/mnt/d1/d2/deep") == b"deep"
+    with pytest.raises(Errno):
+        k.sys.rmdir("/mnt/d1")  # not empty
+    k.sys.unlink("/mnt/d1/d2/deep")
+    k.sys.rmdir("/mnt/d1/d2")
+    k.sys.rmdir("/mnt/d1")
+
+
+def test_inode_private_registered_and_released():
+    k, sb = _mounted(True)
+    live_before = sb.engine.runtime.map.live_objects
+    k.sys.close(k.sys.open("/mnt/f", O_CREAT | O_WRONLY))
+    assert sb.engine.runtime.map.live_objects > live_before
+    k.sys.unlink("/mnt/f")
+    assert sb.engine.runtime.map.live_objects == live_before

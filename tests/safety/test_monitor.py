@@ -1,0 +1,263 @@
+"""Event-monitoring framework: dispatcher, ring, chardev, logger, monitors."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.kernel.locks import (EV_IRQ_DISABLE, EV_IRQ_ENABLE, EV_LOCK,
+                                EV_REF_DEC, EV_REF_INC, EV_SEM_DOWN,
+                                EV_SEM_UP, EV_UNLOCK, SpinLock)
+from repro.kernel.refcount import RefCount
+from repro.safety.monitor import (Event, EventCharDevice, EventDispatcher,
+                                  IrqMonitor, LockFreeRingBuffer,
+                                  RefcountMonitor, SemaphoreMonitor,
+                                  SpinlockMonitor, UserSpaceLogger,
+                                  pack_event, unpack_events)
+from repro.safety.monitor.events import EVENT_RECORD_SIZE, SiteTable
+
+
+@pytest.fixture
+def k():
+    kern = Kernel()
+    kern.mount_root(RamfsSuperBlock(kern))
+    kern.spawn("init")
+    return kern
+
+
+# ----------------------------------------------------------------- ring buffer
+
+def test_ring_fifo_order():
+    ring = LockFreeRingBuffer(capacity=8)
+    for i in range(5):
+        assert ring.try_push(i)
+    assert ring.pop_batch(10) == [0, 1, 2, 3, 4]
+    assert ring.empty
+
+
+def test_ring_drops_on_full_never_blocks():
+    ring = LockFreeRingBuffer(capacity=4)
+    for i in range(10):
+        ring.try_push(i)
+    assert ring.full
+    assert ring.overruns == 6
+    assert ring.pop_batch(10) == [0, 1, 2, 3]  # oldest survive
+
+
+def test_ring_interleaved_producer_consumer():
+    ring = LockFreeRingBuffer(capacity=4)
+    out = []
+    for i in range(100):
+        ring.try_push(i)
+        if i % 3 == 0:
+            out.extend(ring.pop_batch(2))
+    out.extend(ring.pop_batch(100))
+    assert out == sorted(out)  # order preserved, no duplicates
+    assert len(out) + ring.overruns == 100
+
+
+def test_ring_capacity_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        LockFreeRingBuffer(capacity=3)
+
+
+# ------------------------------------------------------------------ dispatcher
+
+def test_dispatcher_invokes_callbacks(k):
+    d = EventDispatcher(k).attach()
+    seen = []
+    d.register_callback(seen.append)
+    lock = SpinLock(k, "l", instrumented=True)
+    with lock.guard("x.c:1"):
+        pass
+    assert [e.event_type for e in seen] == [EV_LOCK, EV_UNLOCK]
+    assert seen[0].site == "x.c:1"
+    d.detach()
+
+
+def test_dispatcher_ring_disabled_by_default(k):
+    d = EventDispatcher(k).attach()
+    lock = SpinLock(k, "l", instrumented=True)
+    with lock.guard():
+        pass
+    assert d.ring.empty
+
+
+def test_dispatcher_feeds_ring_when_enabled(k):
+    d = EventDispatcher(k).attach()
+    d.enable_ring()
+    lock = SpinLock(k, "l", instrumented=True)
+    with lock.guard():
+        pass
+    assert len(d.ring) == 2
+
+
+def test_uninstrumented_kernel_pays_nothing(k):
+    lock = SpinLock(k, "l", instrumented=True)
+    before = k.clock.now
+    with lock.guard():
+        pass
+    vanilla = k.clock.now - before
+    d = EventDispatcher(k).attach()
+    before = k.clock.now
+    with lock.guard():
+        pass
+    instrumented = k.clock.now - before
+    assert instrumented > vanilla
+    d.detach()
+
+
+# --------------------------------------------------------------- event records
+
+def test_event_pack_unpack_roundtrip():
+    sites = SiteTable()
+    events = [Event(obj_id=i * 7, event_type=EV_REF_INC,
+                    site=f"f.c:{i}", value=i, cycles=i * 100)
+              for i in range(10)]
+    blob = b"".join(pack_event(e, sites) for e in events)
+    assert len(blob) == 10 * EVENT_RECORD_SIZE
+    assert unpack_events(blob, sites) == events
+
+
+def test_unpack_rejects_partial_records():
+    with pytest.raises(ValueError):
+        unpack_events(b"\0" * (EVENT_RECORD_SIZE + 1), SiteTable())
+
+
+# -------------------------------------------------------------------- chardev
+
+def test_chardev_drains_ring_as_syscall(k):
+    d = EventDispatcher(k).attach()
+    d.enable_ring()
+    dev = EventCharDevice(k, d)
+    rc = RefCount(k, "obj", instrumented=True)
+    for _ in range(5):
+        rc.get()
+    with k.measure() as m:
+        events = dev.read()
+    assert len(events) == 5
+    assert m.syscalls == 1
+    assert m.copies.to_user_bytes == 5 * EVENT_RECORD_SIZE
+    assert dev.read() == []  # drained
+
+
+# ---------------------------------------------------------------------- logger
+
+def test_polling_logger_burns_user_time(k):
+    d = EventDispatcher(k).attach()
+    d.enable_ring()
+    dev = EventCharDevice(k, d)
+    logger = UserSpaceLogger(k, dev)
+    user_before = k.clock.user
+    for _ in range(3):
+        logger.pump()  # nothing to read: pure poll overhead
+    assert k.clock.user > user_before
+    assert logger.empty_polls >= 3
+
+
+def test_logger_collects_events_and_writes_log(k):
+    d = EventDispatcher(k).attach()
+    d.enable_ring()
+    dev = EventCharDevice(k, d)
+    logger = UserSpaceLogger(k, dev, log_path="/events.log")
+    rc = RefCount(k, "obj", instrumented=True)
+    for _ in range(20):
+        rc.get()
+        rc.put()
+    logger.drain()
+    logger.close()
+    assert logger.events_logged == 40
+    assert k.sys.stat("/events.log").size == 40 * EVENT_RECORD_SIZE
+
+
+# -------------------------------------------------------------------- monitors
+
+def _ev(etype, obj=1, site="s", value=0):
+    return Event(obj_id=obj, event_type=etype, site=site, value=value, cycles=0)
+
+
+def test_spinlock_monitor_balanced():
+    m = SpinlockMonitor()
+    m(_ev(EV_LOCK))
+    m(_ev(EV_UNLOCK))
+    assert m.violations == [] and m.held() == {}
+
+
+def test_spinlock_monitor_detects_double_lock():
+    m = SpinlockMonitor()
+    m(_ev(EV_LOCK))
+    m(_ev(EV_LOCK))
+    assert m.violations[0].rule == "spinlock-no-recursion"
+
+
+def test_spinlock_monitor_detects_leak():
+    m = SpinlockMonitor()
+    m(_ev(EV_LOCK, site="fs.c:10"))
+    assert m.held() == {1: "fs.c:10"}
+
+
+def test_spinlock_monitor_strict_raises():
+    m = SpinlockMonitor(strict=True)
+    with pytest.raises(InvariantViolation):
+        m(_ev(EV_UNLOCK))
+
+
+def test_refcount_monitor_symmetry():
+    m = RefcountMonitor()
+    for _ in range(3):
+        m(_ev(EV_REF_INC, obj=9))
+    for _ in range(3):
+        m(_ev(EV_REF_DEC, obj=9))
+    m(_ev(EV_REF_INC, obj=5))
+    assert m.imbalances() == {5: 1}
+    asym = m.report_asymmetries()
+    assert len(asym) == 1 and asym[0].obj_id == 5
+
+
+def test_refcount_monitor_with_live_kernel(k):
+    d = EventDispatcher(k).attach()
+    m = RefcountMonitor()
+    d.register_callback(m)
+    rc = RefCount(k, "inode", instrumented=True)
+    rc.get("a.c:1")
+    rc.get("a.c:2")
+    rc.put("a.c:3")
+    assert m.net(id(rc) & ((1 << 64) - 1)) == 1
+    d.detach()
+
+
+def test_semaphore_monitor():
+    m = SemaphoreMonitor()
+    m(_ev(EV_SEM_DOWN))
+    m(_ev(EV_SEM_UP))
+    m(_ev(EV_SEM_UP))
+    assert m.violations[0].rule == "semaphore-balanced"
+
+
+def test_irq_monitor_balanced_and_negative():
+    m = IrqMonitor()
+    m(_ev(EV_IRQ_DISABLE))
+    m(_ev(EV_IRQ_ENABLE))
+    assert m.violations == [] and m.still_disabled() == {}
+    m(_ev(EV_IRQ_ENABLE))
+    assert m.violations[0].rule == "irq-balanced"
+    m2 = IrqMonitor()
+    m2(_ev(EV_IRQ_DISABLE))
+    assert m2.still_disabled() == {1: 1}
+
+
+def test_dcache_lock_instrumentation_under_fs_activity(k):
+    """Instrumenting dcache_lock observes real VFS lock traffic (§3.3)."""
+    d = EventDispatcher(k).attach()
+    m = SpinlockMonitor()
+    d.register_callback(m)
+    k.vfs.dcache_lock.instrumented = True
+    from repro.kernel.vfs.file import O_CREAT, O_WRONLY
+    k.sys.mkdir("/dir")
+    for i in range(10):
+        k.sys.close(k.sys.open(f"/dir/f{i}", O_CREAT | O_WRONLY))
+        k.sys.stat(f"/dir/f{i}")
+    assert m.events_seen > 20
+    assert m.violations == []
+    assert m.held() == {}
+    d.detach()

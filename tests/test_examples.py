@@ -1,0 +1,26 @@
+"""Every example script must run clean end to end (guards against rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must produce output"
+
+
+def test_all_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "cosy_database", "kefence_debugging",
+            "monitor_refcounts", "syscall_mining", "auto_cosy",
+            "web_sendfile"} <= names

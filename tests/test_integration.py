@@ -1,0 +1,130 @@
+"""Whole-system integration: every paper system active on one kernel.
+
+The paper's pitch is that these pieces compose: applications speed up
+with Cosy/consolidated syscalls *while* Kefence guards module memory,
+the monitors watch kernel objects, and KGCC-checked module code runs —
+all on the same machine.  This test boots exactly that machine and runs
+a mixed workload.
+"""
+
+import pytest
+
+from repro.core.cosy import CosyGCC, CosyKernelExtension, CosyLib
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock, WrapfsSuperBlock
+from repro.kernel.net import SocketLayer
+from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+from repro.safety.kefence import Kefence, KefenceMode
+from repro.safety.kgcc.modulefs import KgccFsSuperBlock
+from repro.safety.monitor import (EventCharDevice, EventDispatcher,
+                                  RefcountMonitor, SpinlockMonitor,
+                                  UserSpaceLogger)
+from repro.workloads import PostMark, PostMarkConfig, ls_legacy, ls_readdirplus
+from repro.workloads.lstool import make_directory
+
+
+@pytest.fixture
+def machine():
+    """One kernel with everything loaded."""
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    task = k.spawn("init")
+    # safety: Kefence-guarded Wrapfs over ext2 at /safe
+    k.sys.mkdir("/safe")
+    kefence = Kefence(k, KefenceMode.CRASH)
+    k.vfs.mount("/safe", WrapfsSuperBlock(k, Ext2SuperBlock(k), kefence))
+    # safety: KGCC-checked module FS at /checked
+    k.sys.mkdir("/checked")
+    kgccfs = KgccFsSuperBlock(k, RamfsSuperBlock(k, "lower2"), checked=True)
+    k.vfs.mount("/checked", kgccfs)
+    # monitoring: dispatcher + monitors + user-space logger
+    dispatcher = EventDispatcher(k).attach()
+    refmon, lockmon = RefcountMonitor(), SpinlockMonitor()
+    dispatcher.register_callback(refmon)
+    dispatcher.register_callback(lockmon)
+    dispatcher.enable_ring()
+    logger = UserSpaceLogger(k, EventCharDevice(k, dispatcher),
+                             log_path="/monitor.log")
+    k.vfs.dcache_lock.instrumented = True
+    # performance: Cosy + sockets
+    ext = CosyKernelExtension(k)
+    lib = CosyLib(k, ext)
+    SocketLayer(k)
+    return k, task, kefence, kgccfs, refmon, lockmon, logger, lib
+
+
+def test_everything_composes(machine):
+    k, task, kefence, kgccfs, refmon, lockmon, logger, lib = machine
+
+    # 1. PostMark hammers the Kefence-guarded Wrapfs — no overflows
+    pm = PostMark(k, PostMarkConfig(nfiles=15, transactions=40,
+                                    workdir="/safe/pm"))
+    result = pm.run()
+    assert result.transactions == 40
+    assert kefence.stats().overflows_detected == 0
+
+    # 2. file work on the KGCC-checked module FS — checks run clean
+    for i in range(10):
+        fd = k.sys.open(f"/checked/f{i}", O_CREAT | O_WRONLY)
+        k.sys.write(fd, b"checked bytes")
+        k.sys.close(fd)
+    assert kgccfs.engine.runtime.checks_executed > 0
+    assert kgccfs.engine.runtime.check_failures == 0
+
+    # 3. consolidated syscall beats the sequence on the same tree
+    make_directory(k, "/listing", 30)
+    with k.measure() as m_old:
+        legacy = ls_legacy(k, "/listing")
+    with k.measure() as m_new:
+        plus = ls_readdirplus(k, "/listing")
+    assert sorted(legacy) == sorted(plus)
+    assert m_new.timings.elapsed < m_old.timings.elapsed
+
+    # 4. a Cosy compound works with all the safety systems live
+    k.sys.open_write_close("/payload", b"p" * 2048)
+    region = CosyGCC().compile("""
+    int main() {
+        COSY_START();
+        int fd = open("/payload", 0);
+        char buf[2048];
+        int n = read(fd, buf, 2048);
+        close(fd);
+        return n;
+        COSY_END();
+        return 0;
+    }
+    """)
+    assert lib.install(task, region).run().value == 2048
+
+    # 5. sendfile over the socket layer
+    a, b = k.sys.socketpair()
+    src = k.sys.open("/payload", O_RDONLY)
+    assert k.sys.sendfile(a, src, 0, 2048) == 2048
+    assert k.sys.read(b, 4096) == b"p" * 2048
+
+    # 6. the monitors observed it all and found no violations
+    logger.drain()
+    logger.close()
+    assert lockmon.events_seen > 100
+    assert lockmon.violations == []
+    assert lockmon.held() == {}
+    assert k.sys.stat("/monitor.log").size > 0
+
+    # 7. offline analysis of the log agrees
+    from repro.safety.monitor.offline import analyze, load_event_log
+    events = load_event_log(k, "/monitor.log",
+                            k.event_hook.__self__.sites)
+    report = analyze(events)
+    assert report.leaked_locks == {}
+
+
+def test_kefence_still_catches_bugs_on_the_full_machine(machine):
+    k, *_ = machine
+    kefence = next(h.__self__ for h in k.mmu.fault_handlers
+                   if hasattr(h, "__self__"))
+    from repro.errors import BufferOverflow
+    from repro.kernel.memory import AddressSpace
+    buf = kefence.malloc(50, site="integration")
+    with pytest.raises(BufferOverflow):
+        k.mmu.write(AddressSpace(k.kernel_pt), buf + 50, b"!")
+    kefence.free(buf)

@@ -1,0 +1,137 @@
+"""Workload generators: correctness and characteristic behaviour."""
+
+import pytest
+
+from repro.core.consolidation import SyscallGraph, find_heavy_paths
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock
+from repro.workloads import (CompileBench, CompileBenchConfig,
+                             DBWorkloadConfig, InteractiveConfig,
+                             InteractiveSession, PostMark, PostMarkConfig,
+                             RecordStore, CosyRecordStore, ls_legacy,
+                             ls_readdirplus, synth_mail_server_trace,
+                             synth_web_server_trace)
+from repro.workloads.dbapp import build_database
+from repro.workloads.lstool import make_directory
+
+
+def test_postmark_runs_and_cleans_up(ext2_kernel):
+    cfg = PostMarkConfig(nfiles=20, transactions=50)
+    result = PostMark(ext2_kernel, cfg).run()
+    assert result.transactions == 50
+    assert result.files_created >= 20
+    assert result.files_created == result.files_deleted  # pool fully deleted
+    assert result.bytes_written > 0
+    assert result.timings.elapsed > 0
+    assert result.dcache_lock_hits > 100
+    from repro.errors import Errno
+    with pytest.raises(Errno):
+        ext2_kernel.sys.stat("/postmark")
+
+
+def test_postmark_deterministic_with_seed(kernel):
+    cfg = PostMarkConfig(nfiles=10, transactions=30, seed=9)
+    r1 = PostMark(kernel, cfg).run()
+    k2 = Kernel()
+    k2.mount_root(RamfsSuperBlock(k2))
+    k2.spawn("init")
+    r2 = PostMark(k2, cfg).run()
+    assert r1.bytes_written == r2.bytes_written
+    assert r1.bytes_read == r2.bytes_read
+
+
+def test_postmark_checkpoint_fires(kernel):
+    hits = []
+    cfg = PostMarkConfig(nfiles=5, transactions=20)
+    PostMark(kernel, cfg, checkpoint=lambda: hits.append(1)).run()
+    assert len(hits) == 20
+
+
+def test_compilebench_runs(kernel):
+    cfg = CompileBenchConfig(nfiles=8, headers=6)
+    bench = CompileBench(kernel, cfg)
+    result = bench.run()
+    assert result.sources_compiled == 8
+    assert result.bytes_read > 0
+    assert kernel.sys.stat("/obj/a.out").size > 0
+    # compile is CPU-bound: user time should dominate iowait on ramfs
+    assert result.timings.user > result.timings.iowait
+
+
+def test_lstool_variants_agree(kernel):
+    make_directory(kernel, "/dir", 40)
+    legacy = sorted(ls_legacy(kernel, "/dir"))
+    plus = sorted(ls_readdirplus(kernel, "/dir"))
+    assert legacy == plus
+    assert len(legacy) == 40
+
+
+def test_lstool_readdirplus_faster(kernel):
+    make_directory(kernel, "/dir", 100)
+    with kernel.measure() as m_legacy:
+        ls_legacy(kernel, "/dir")
+    with kernel.measure() as m_plus:
+        ls_readdirplus(kernel, "/dir")
+    assert m_plus.timings.elapsed < m_legacy.timings.elapsed
+    assert m_plus.syscalls < m_legacy.syscalls
+
+
+def test_interactive_session_produces_readdir_stat_runs(kernel):
+    from repro.core.consolidation import SyscallTracer, find_sequences
+    session = InteractiveSession(kernel, InteractiveConfig(
+        commands=40, ndirs=3, files_per_dir=15))
+    session.prepare()
+    with SyscallTracer(kernel) as tracer:
+        session.run()
+    matches = find_sequences(tracer)
+    assert any(m.pattern == "readdir-stat" for m in matches)
+
+
+def test_recordstore_sequential_and_random(kernel):
+    cfg = DBWorkloadConfig(nrecords=50)
+    build_database(kernel, cfg)
+    store = RecordStore(kernel, cfg)
+    seq1 = store.sequential_scan()
+    seq2 = store.sequential_scan()
+    assert seq1 == seq2 != 0
+    r1 = store.random_lookups(30)
+    r2 = store.random_lookups(30)
+    assert r1 == r2
+
+
+def test_cosy_recordstore_matches_plain(kernel):
+    """The Cosy port must compute identical checksums (§2.3 'minimal code
+    changes ... over that of unmodified versions')."""
+    cfg = DBWorkloadConfig(nrecords=40)
+    build_database(kernel, cfg)
+    task = kernel.current
+    plain = RecordStore(kernel, cfg)
+    cosy = CosyRecordStore(kernel, task, cfg)
+    assert cosy.sequential_scan() == plain.sequential_scan()
+    assert cosy.random_lookups(25) == plain.random_lookups(25)
+
+
+def test_cosy_recordstore_fewer_syscalls(kernel):
+    cfg = DBWorkloadConfig(nrecords=60)
+    build_database(kernel, cfg)
+    plain = RecordStore(kernel, cfg)
+    cosy = CosyRecordStore(kernel, kernel.current, cfg)
+    with kernel.measure() as m_plain:
+        plain.sequential_scan()
+    with kernel.measure() as m_cosy:
+        cosy.sequential_scan()
+    assert m_cosy.syscalls == 1
+    assert m_plain.syscalls > 60
+    assert m_cosy.timings.elapsed < m_plain.timings.elapsed
+
+
+def test_server_traces_minable():
+    web = synth_web_server_trace(100)
+    mail = synth_mail_server_trace(50)
+    g = SyscallGraph()
+    g.add_sequence(web)
+    g.add_sequence(mail)
+    paths = find_heavy_paths(g, min_weight=10)
+    assert paths, "server traces must yield heavy consolidation candidates"
+    flat = [name for path, _ in paths for name in path]
+    assert "read" in flat or "stat" in flat
