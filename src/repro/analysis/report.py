@@ -85,3 +85,29 @@ class ComparisonTable:
 
     def print(self) -> None:
         print("\n" + self.render())
+
+
+def fault_injection_report(registry) -> str:
+    """Render per-failpoint hit/injected/observed counters plus the tail of
+    the deterministic injection trace — the report benchmarks print when
+    they ran under an armed fault schedule (``REPRO_FAULT_SEED``)."""
+    lines = ["== fault injection =="]
+    stats = registry.stats()
+    width = max([len(name) for name in stats] + [len("failpoint")])
+    lines.append(f"{'failpoint':<{width}}  {'hits':>8}  {'injected':>8}  "
+                 f"{'observed':>8}")
+    any_traffic = False
+    for name, (hits, injected, observed) in stats.items():
+        if not hits:
+            continue
+        any_traffic = True
+        lines.append(f"{name:<{width}}  {hits:>8}  {injected:>8}  {observed:>8}")
+    if not any_traffic:
+        lines.append("  (no failpoints armed)")
+    tail = registry.trace[-10:]
+    if tail:
+        lines.append(f"  trace: {len(registry.trace)} decisions, last "
+                     f"{len(tail)}:")
+        for rec in tail:
+            lines.append(f"    {rec}")
+    return "\n".join(lines)

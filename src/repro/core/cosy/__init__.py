@@ -19,7 +19,9 @@ Three components, exactly as the paper describes:
 
 from repro.core.cosy.ops import (Op, Arg, ArgKind, OpCode, MATH_OPS,
                                  COSY_MAGIC)
-from repro.core.cosy.compound import CompoundBuilder, decode_compound, encode_compound
+from repro.core.cosy.compound import (CompoundBuilder, CompoundFault,
+                                      CompoundStatus, decode_compound,
+                                      encode_compound)
 from repro.core.cosy.shared_buffer import SharedBuffer
 from repro.core.cosy.safety import (CosyProtection, CosyWatchdog,
                                     FunctionIsolation)
@@ -32,7 +34,8 @@ from repro.core.cosy.trust import TrustManager
 
 __all__ = [
     "Op", "Arg", "ArgKind", "OpCode", "MATH_OPS", "COSY_MAGIC",
-    "CompoundBuilder", "decode_compound", "encode_compound",
+    "CompoundBuilder", "CompoundFault", "CompoundStatus",
+    "decode_compound", "encode_compound",
     "SharedBuffer", "CosyProtection", "CosyWatchdog", "FunctionIsolation",
     "CosyKernelExtension", "CosyGCC", "CompiledRegion",
     "UnsupportedConstruct", "CosyLib",

@@ -11,8 +11,50 @@ from dataclasses import dataclass
 
 from repro.core.cosy.ops import (Arg, HEADER_SIZE, MATH_OPS, MAX_SLOTS, Op,
                                  OpCode, pack_header, unpack_header)
-from repro.errors import CosyError
+from repro.errors import CosyError, Errno, errno_name
 from repro.kernel.syscalls.table import SYSCALL_NRS
+
+
+@dataclass
+class CompoundStatus:
+    """Outcome record of one compound execution (§2.1 partial-failure).
+
+    When one element of a compound fails, the whole compound stops *at*
+    that element: everything before it has fully taken effect, nothing
+    after it ran.  This record says how far execution got and — on
+    failure — which element stopped it and with what errno.
+    """
+
+    ops_completed: int = 0
+    failed_index: int | None = None
+    errno: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failed_index is None
+
+
+class CompoundFault(Errno):
+    """A compound stopped because one of its elements failed.
+
+    Subclasses :class:`~repro.errors.Errno` so callers that handle normal
+    syscall failures handle compound failures identically; additionally
+    carries the §2.1 bookkeeping: the index of the failing op, its name,
+    and the slot values at the moment of failure (results of every op
+    that completed — e.g. fds opened earlier in the compound, which remain
+    valid and must be closed by the caller).
+    """
+
+    def __init__(self, errno: int, failed_index: int, op_name: str,
+                 slots: list[int], ops_completed: int, msg: str = ""):
+        super().__init__(errno, errno_name(errno),
+                         f"compound op {failed_index} ({op_name}) failed"
+                         f"{': ' + msg if msg else ''}")
+        self.failed_index = failed_index
+        self.op_name = op_name
+        self.slots = list(slots)
+        self.status = CompoundStatus(ops_completed=ops_completed,
+                                     failed_index=failed_index, errno=errno)
 
 
 def encode_compound(ops: list[Op], nslots: int) -> bytes:

@@ -23,11 +23,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.cminus import ast_nodes as ast
-from repro.core.cosy.compound import decode_compound
+from repro.core.cosy.compound import (CompoundFault, CompoundStatus,
+                                      decode_compound)
 from repro.core.cosy.ops import Arg, ArgKind, MATH_OP_NAMES, Op, OpCode
 from repro.core.cosy.safety import CosyProtection, CosyWatchdog, FunctionIsolation
 from repro.core.cosy.shared_buffer import SharedBuffer
-from repro.errors import CosyError, EBADF, raise_errno
+from repro.errors import (CosyError, EBADF, ENOMEM, Errno, OutOfMemory,
+                          raise_errno)
 from repro.kernel.clock import Mode
 from repro.kernel.syscalls.table import syscall_name
 from repro.kernel.vfs.file import O_APPEND
@@ -60,7 +62,10 @@ class CosyKernelExtension:
         self._functions: dict[int, _RegisteredFunction] = {}
         self._next_func_id = 1
         self.compounds_executed = 0
+        self.compounds_failed = 0
         self.ops_executed = 0
+        #: status of the most recent compound (§2.1 partial-failure record)
+        self.last_status: CompoundStatus | None = None
         #: optional §2.4 trust manager (set by TrustManager itself)
         self.trust_manager = None
 
@@ -100,6 +105,8 @@ class CosyKernelExtension:
         isolation = FunctionIsolation(kernel, task, shared, self.protection)
         self.compounds_executed += 1
         task.kernel_entry_cycles = kernel.clock.now
+        status = CompoundStatus()
+        self.last_status = status
         pc = 0
         try:
             while pc < len(ops):
@@ -109,7 +116,21 @@ class CosyKernelExtension:
                 self.ops_executed += 1
                 if op.opcode is OpCode.END:
                     break
-                pc = self._exec_op(op, pc, slots, shared, isolation)
+                try:
+                    pc = self._exec_op(op, pc, slots, shared, isolation)
+                except (Errno, OutOfMemory) as exc:
+                    # §2.1 partial failure: the compound stops at the
+                    # failing element.  Ops before pc have fully taken
+                    # effect (their results are in `slots`); nothing after
+                    # pc ran.  Report which element failed, with errno.
+                    errno = exc.errno if isinstance(exc, Errno) else ENOMEM
+                    status.failed_index = pc
+                    status.errno = errno
+                    self.compounds_failed += 1
+                    raise CompoundFault(errno, pc, _op_label(op), slots,
+                                        status.ops_completed,
+                                        str(exc)) from exc
+                status.ops_completed += 1
         finally:
             task.kernel_entry_cycles = None
             isolation.release()
@@ -282,6 +303,15 @@ class CosyKernelExtension:
                 shared.write_kernel(off, b"".join(batch))
             return used
         raise CosyError(f"syscall '{name}' is not available in compounds")
+
+
+def _op_label(op: Op) -> str:
+    """Human-readable name of a compound op for failure reports."""
+    if op.opcode is OpCode.SYSCALL:
+        return syscall_name(op.extra)
+    if op.opcode is OpCode.CALLF:
+        return f"callf#{op.extra}"
+    return op.opcode.name.lower()
 
 
 def _pack_dirent(entry) -> bytes:

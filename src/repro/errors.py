@@ -70,12 +70,14 @@ class Errno(KernelError):
 
 
 # errno values follow asm-generic/errno-base.h
-EPERM, ENOENT, EIO, EBADF, ENOMEM, EACCES, EFAULT, EEXIST = 1, 2, 5, 9, 12, 13, 14, 17
+EPERM, ENOENT, EINTR, EIO, EBADF, EAGAIN = 1, 2, 4, 5, 9, 11
+ENOMEM, EACCES, EFAULT, EEXIST = 12, 13, 14, 17
 ENOTDIR, EISDIR, EINVAL, ENFILE, EMFILE, ENOSPC, ERANGE = 20, 21, 22, 23, 24, 28, 34
 ENOTEMPTY, ETIME = 39, 62
 
 _ERRNO_NAMES = {
-    EPERM: "EPERM", ENOENT: "ENOENT", EIO: "EIO", EBADF: "EBADF",
+    EPERM: "EPERM", ENOENT: "ENOENT", EINTR: "EINTR", EIO: "EIO",
+    EBADF: "EBADF", EAGAIN: "EAGAIN",
     ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT", EEXIST: "EEXIST",
     ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL", ENFILE: "ENFILE",
     EMFILE: "EMFILE", ENOSPC: "ENOSPC", ERANGE: "ERANGE",
@@ -94,7 +96,15 @@ def raise_errno(errno: int, msg: str = "") -> None:
 
 
 class OutOfMemory(KernelError):
-    """An allocator could not satisfy a request."""
+    """An allocator could not satisfy a request.
+
+    Inside the kernel this propagates as an exception (allocation failure
+    unwinds the operation); the syscall dispatcher translates it into an
+    errno-style :class:`Errno` ENOMEM at the user boundary, so user code
+    never sees the bare kernel type.
+    """
+
+    errno = ENOMEM
 
 
 class WatchdogExpired(KernelError):

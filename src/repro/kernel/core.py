@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 from repro.kernel.clock import Clock, Mode
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
+from repro.kernel.faultinject import FaultRegistry, arm_from_env
 from repro.kernel.memory.kmalloc import KmallocAllocator
 from repro.kernel.memory.mmu import MMU
 from repro.kernel.memory.paging import PageTable
@@ -45,7 +46,7 @@ class KmallocFacade:
         self._kernel = kernel
 
     def malloc(self, size: int, site: str = "?") -> int:
-        return self._kernel.kmalloc.kmalloc(size)
+        return self._kernel.kmalloc.kmalloc(size, site)
 
     def free(self, addr: int) -> None:
         self._kernel.kmalloc.kfree(addr)
@@ -58,15 +59,19 @@ class Kernel:
                  ram_bytes: int = 884 * 1024 * 1024):
         self.costs = costs if costs is not None else DEFAULT_COSTS
         self.clock = Clock(hz=self.costs.hz)
+        self.syslog = Syslog()
+        #: kernel-wide failpoint registry; dormant until an injection arms it.
+        self.faults = FaultRegistry(self)
         self.physmem = PhysicalMemory(ram_bytes)
         self.kernel_pt = PageTable()
         self.mmu = MMU(self.physmem, self.clock, self.costs)
         self.kmalloc = KmallocAllocator(self.physmem, self.kernel_pt,
-                                        self.clock, self.costs)
+                                        self.clock, self.costs,
+                                        faults=self.faults)
         self.vmalloc = VmallocAllocator(self.physmem, self.kernel_pt,
-                                        self.clock, self.costs, mmu=self.mmu)
+                                        self.clock, self.costs, mmu=self.mmu,
+                                        faults=self.faults)
         self.gdt = SegmentTable()
-        self.syslog = Syslog()
         self.vfs = VFS(self)
         self.sched = Scheduler(self)
         self.sys = SyscallInterface(self)
@@ -78,6 +83,8 @@ class Kernel:
         #: events when these are set (the §3.3 "instrumented kernel" builds).
         self.instrument_all_locks = False
         self.instrument_all_refcounts = False
+        # CI smoke mode: REPRO_FAULT_SEED arms a seeded low-rate schedule.
+        arm_from_env(self.faults)
         self.printk(KERN_INFO, "kernel booted")
 
     # ------------------------------------------------------------- plumbing

@@ -55,6 +55,11 @@ class Disk:
             raise_errno(EIO, f"read of block {block} beyond device {self.name}")
         self.reads += 1
         self._charge(block)
+        # Media error after the request was issued: the seek was still paid.
+        errno = self.kernel.faults.should_fail("disk.read", self.name)
+        if errno is not None:
+            raise_errno(errno, f"read of block {block} on {self.name}: "
+                               f"fault-injected")
         return self._blocks.get(block, bytes(BLOCK_SIZE))
 
     def write_block(self, block: int, data: bytes) -> None:
@@ -64,6 +69,10 @@ class Disk:
             raise ValueError(f"block write must be {BLOCK_SIZE} bytes, got {len(data)}")
         self.writes += 1
         self._charge(block)
+        errno = self.kernel.faults.should_fail("disk.write", self.name)
+        if errno is not None:
+            raise_errno(errno, f"write of block {block} on {self.name}: "
+                               f"fault-injected")
         self._blocks[block] = bytes(data)
 
 
@@ -83,8 +92,17 @@ class BufferCache:
         while len(self._cache) > self.capacity:
             block, data = self._cache.popitem(last=False)
             if block in self._dirty:
+                try:
+                    self.disk.write_block(block, bytes(data))
+                except Exception:
+                    # Failed write-back must not lose the only copy of the
+                    # data: keep the block cached (and dirty) at the LRU
+                    # head so a later flush can retry, then let the error
+                    # reach whoever forced the eviction.
+                    self._cache[block] = data
+                    self._cache.move_to_end(block, last=False)
+                    raise
                 self._dirty.discard(block)
-                self.disk.write_block(block, bytes(data))
 
     def read(self, block: int) -> bytearray:
         """Return the cached block (read-through on miss)."""
@@ -129,7 +147,12 @@ class BufferCache:
         self._dirty.discard(block)
 
     def sync(self) -> None:
-        """Flush all dirty blocks, in block order (elevator-style)."""
+        """Flush all dirty blocks, in block order (elevator-style).
+
+        A failed write leaves its block (and all not-yet-written blocks)
+        dirty, so the error propagates as errno and a retry after the
+        fault clears flushes the remainder — nothing is silently dropped.
+        """
         for block in sorted(self._dirty):
             self.disk.write_block(block, bytes(self._cache[block]))
-        self._dirty.clear()
+            self._dirty.discard(block)

@@ -207,8 +207,15 @@ class Ext2SuperBlock(SuperBlock):
         if not self._free_blocks:
             raise_errno(ENOSPC, "filesystem full")
         block = self._free_blocks.pop()
-        # A fresh block's prior contents are dead: no read-modify-write.
-        self.bcache.adopt_zeroed(block)
+        try:
+            # A fresh block's prior contents are dead: no read-modify-write.
+            self.bcache.adopt_zeroed(block)
+        except BaseException:
+            # Adopting can force an eviction whose write-back fails (EIO);
+            # return the block to the free list so it isn't leaked.
+            self.bcache.invalidate(block)
+            self._free_blocks.append(block)
+            raise
         return block
 
     def free_block(self, block: int) -> None:

@@ -72,14 +72,28 @@ class WrapfsInode(Inode):
     def create(self, name: str, mode: int) -> "WrapfsInode":
         buf = self._name_buffer(name)
         try:
-            return self._wrap(self.lower.create(name, mode))
+            lower_child = self.lower.create(name, mode)
+            try:
+                return self._wrap(lower_child)
+            except BaseException:
+                # Creating the wrapper failed (e.g. ENOMEM on its private
+                # data): unwind the lower create so the operation is atomic
+                # — otherwise the file exists below but the dcache keeps a
+                # stale negative dentry and a retry hits EEXIST.
+                self.lower.unlink(name)
+                raise
         finally:
             self.wsb.allocator.free(buf)
 
     def mkdir(self, name: str) -> "WrapfsInode":
         buf = self._name_buffer(name)
         try:
-            return self._wrap(self.lower.mkdir(name))
+            lower_child = self.lower.mkdir(name)
+            try:
+                return self._wrap(lower_child)
+            except BaseException:
+                self.lower.rmdir(name)
+                raise
         finally:
             self.wsb.allocator.free(buf)
 
@@ -107,11 +121,13 @@ class WrapfsInode(Inode):
         if not isinstance(new_dir, WrapfsInode):
             raise TypeError("rename target must be a Wrapfs directory")
         buf1 = self._name_buffer(old_name)
-        buf2 = self._name_buffer(new_name)
         try:
-            self.lower.rename(old_name, new_dir.lower, new_name)
+            buf2 = self._name_buffer(new_name)
+            try:
+                self.lower.rename(old_name, new_dir.lower, new_name)
+            finally:
+                self.wsb.allocator.free(buf2)
         finally:
-            self.wsb.allocator.free(buf2)
             self.wsb.allocator.free(buf1)
 
     def readdir(self) -> list[DirEntry]:

@@ -42,6 +42,7 @@ class SpinLock:
         self.held = False
         self.holder_pid: int | None = None
         self.acquisitions = 0
+        self.contentions = 0
         self._acquired_at = 0
 
     def lock(self, site: str = "?") -> None:
@@ -51,6 +52,11 @@ class SpinLock:
                 "spinlock-no-recursion",
                 f"'{self.name}' re-acquired while held (at {site})",
             )
+        if self.kernel.faults.should_fail("lock.acquire", self.name) is not None:
+            # Injected contention: another CPU "held" the lock, so this
+            # acquisition spins for a schedule-away-and-back round trip.
+            self.contentions += 1
+            self.kernel.clock.charge(2 * self.kernel.costs.context_switch)
         self.kernel.clock.charge(self.kernel.costs.spinlock_pair // 2)
         self.held = True
         self.holder_pid = self.kernel.current.pid if self.kernel.current else None

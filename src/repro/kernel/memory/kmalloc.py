@@ -38,11 +38,12 @@ class KmallocAllocator:
     """Slab-like allocator in [KMALLOC_BASE, KMALLOC_END)."""
 
     def __init__(self, physmem: PhysicalMemory, kernel_pt: PageTable,
-                 clock: Clock, costs: CostModel):
+                 clock: Clock, costs: CostModel, faults=None):
         self.physmem = physmem
         self.kernel_pt = kernel_pt
         self.clock = clock
         self.costs = costs
+        self.faults = faults  # FaultRegistry, or None when standalone
         self._brk = KMALLOC_BASE
         self._freelists: dict[int, list[int]] = {cls: [] for cls in SIZE_CLASSES}
         #: addr -> (requested size, size class)
@@ -76,12 +77,15 @@ class KmallocAllocator:
 
     # ---------------------------------------------------------------- API
 
-    def kmalloc(self, size: int) -> int:
+    def kmalloc(self, size: int, site: str = "?") -> int:
         """Allocate ``size`` bytes; returns the kernel virtual address."""
         if size <= 0:
             raise AllocatorMisuse(f"kmalloc of non-positive size {size}")
         cls = size_class_for(size)
         self.clock.charge(self.costs.kmalloc, Mode.SYSTEM)
+        if self.faults is not None and \
+                self.faults.should_fail("kmalloc", site) is not None:
+            raise OutOfMemory(f"kmalloc({size}) at {site}: fault-injected")
         freelist = self._freelists[cls]
         addr = freelist.pop() if freelist else self._grow(cls)
         self.live[addr] = (size, cls)

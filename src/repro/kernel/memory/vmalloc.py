@@ -53,12 +53,13 @@ class VmallocAllocator:
 
     def __init__(self, physmem: PhysicalMemory, kernel_pt: PageTable,
                  clock: Clock, costs: CostModel, *, use_vfree_hash: bool = True,
-                 mmu=None):
+                 mmu=None, faults=None):
         self.physmem = physmem
         self.kernel_pt = kernel_pt
         self.clock = clock
         self.costs = costs
         self.mmu = mmu  # for per-page TLB invalidation on vfree
+        self.faults = faults  # FaultRegistry, or None when standalone
         self.use_vfree_hash = use_vfree_hash
         self._cursor = VMALLOC_BASE
         #: base address -> area (the Kefence "hash table")
@@ -86,6 +87,11 @@ class VmallocAllocator:
             raise AllocatorMisuse(f"vmalloc of non-positive size {size}")
         if align not in ("end", "start"):
             raise ValueError(f"align must be 'end' or 'start', not {align!r}")
+        if self.faults is not None and \
+                self.faults.should_fail("vmalloc", site) is not None:
+            # A failed attempt still pays the base cost before giving up.
+            self.clock.charge(self.costs.vmalloc_base, Mode.SYSTEM)
+            raise OutOfMemory(f"vmalloc({size}) at {site}: fault-injected")
         npages = (size + PAGE_SIZE - 1) // PAGE_SIZE
         nguard = 0
         if guard:

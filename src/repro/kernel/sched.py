@@ -86,7 +86,9 @@ class Scheduler:
         of timesharing.  Explicit transfers use :meth:`switch_to`.
         """
         now = self.kernel.clock.now
-        if now - self._last_switch < self.kernel.costs.sched_quantum:
+        # Injected "preemption": the quantum is treated as already expired.
+        forced = self.kernel.faults.should_fail("sched.preempt", "tick") is not None
+        if not forced and now - self._last_switch < self.kernel.costs.sched_quantum:
             return False
         self.kernel.clock.charge(self.kernel.costs.sched_tick)
         self.preemptions += 1

@@ -51,8 +51,19 @@ class FileOpsMixin:
             inode.truncate(0)
         file = File(dentry, flags)
         inode.i_count.get("sys_open")
-        inode.open_file(file)
-        return task.alloc_fd(file)
+        try:
+            inode.open_file(file)
+        except BaseException:
+            # open_file failed (e.g. injected ENOMEM in a stackable FS's
+            # private-data allocation): drop the reference we just took.
+            inode.i_count.put("sys_open")
+            raise
+        try:
+            return task.alloc_fd(file)
+        except BaseException:
+            inode.release_file(file)
+            inode.i_count.put("sys_open")
+            raise
 
     def do_close(self, fd: int) -> int:
         task = self.kernel.current

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import Errno
+from repro.errors import ENOMEM, Errno, OutOfMemory, errno_name
 from repro.kernel.clock import Mode
 from repro.kernel.syscalls.consolidated import ConsolidatedMixin
 from repro.kernel.syscalls.dir_ops import DirOpsMixin
@@ -94,6 +94,11 @@ class SyscallInterface(FileOpsMixin, DirOpsMixin, ConsolidatedMixin):
             except Errno as e:
                 errno = e.errno
                 raise
+            except OutOfMemory as e:
+                # Allocation failure inside a handler surfaces to user space
+                # as -ENOMEM, never as a bare kernel exception type.
+                errno = ENOMEM
+                raise Errno(ENOMEM, errno_name(ENOMEM), str(e)) from e
         finally:
             clock.pop_mode()
             task.stime += clock.system - start_system

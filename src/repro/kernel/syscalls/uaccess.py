@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.errors import raise_errno
 from repro.kernel.clock import Mode
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,36 +58,43 @@ class UserCopy:
 
     # ---------------------------------------------------- size-based charges
 
-    def charge_from_user(self, nbytes: int) -> None:
+    def charge_from_user(self, nbytes: int, site: str = "?") -> None:
         """Account for copying ``nbytes`` of user data into the kernel."""
         if nbytes < 0:
             raise ValueError("negative copy size")
+        errno = self.kernel.faults.should_fail("copy_from_user", site)
+        if errno is not None:
+            raise_errno(errno, "copy_from_user: fault-injected")
         self.kernel.clock.charge(self.kernel.costs.uaccess_cost(nbytes), Mode.SYSTEM)
         self.stats.from_user_bytes += nbytes
         self.stats.from_user_calls += 1
 
-    def charge_to_user(self, nbytes: int) -> None:
+    def charge_to_user(self, nbytes: int, site: str = "?") -> None:
         """Account for copying ``nbytes`` of kernel data out to user space."""
         if nbytes < 0:
             raise ValueError("negative copy size")
+        errno = self.kernel.faults.should_fail("copy_to_user", site)
+        if errno is not None:
+            raise_errno(errno, "copy_to_user: fault-injected")
         self.kernel.clock.charge(self.kernel.costs.uaccess_cost(nbytes), Mode.SYSTEM)
         self.stats.to_user_bytes += nbytes
         self.stats.to_user_calls += 1
 
     # ------------------------------------------------- address-based copies
+    # The charge (and its failpoint) comes first: an injected EFAULT means
+    # the access itself failed, so no bytes may move.
 
     def copy_from_user(self, uaddr: int, nbytes: int) -> bytes:
         """Copy real bytes out of the current task's user memory."""
         task = self.kernel.current
-        data = self.kernel.mmu.read(task.aspace, uaddr, nbytes)
         self.charge_from_user(nbytes)
-        return data
+        return self.kernel.mmu.read(task.aspace, uaddr, nbytes)
 
     def copy_to_user(self, uaddr: int, data: bytes) -> None:
         """Copy real bytes into the current task's user memory."""
         task = self.kernel.current
-        self.kernel.mmu.write(task.aspace, uaddr, data)
         self.charge_to_user(len(data))
+        self.kernel.mmu.write(task.aspace, uaddr, data)
 
     def strncpy_from_user(self, uaddr: int, maxlen: int = 4096) -> str:
         """Copy a NUL-terminated string from user memory."""

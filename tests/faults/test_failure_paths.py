@@ -1,0 +1,219 @@
+"""Failure-path regressions: injected faults must unwind cleanly.
+
+The contract under test: after any injected ``ENOMEM``/``EIO``, (a) the
+error reaches the caller as errno, (b) kernel bookkeeping — allocator live
+sets, inode refcounts, the buffer cache — returns to its pre-call state,
+and (c) retrying once faults are cleared succeeds.
+"""
+
+import pytest
+
+from repro.errors import EIO, ENOMEM, Errno
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock, WrapfsSuperBlock
+from repro.kernel.vfs import O_CREAT, O_RDWR, O_WRONLY
+
+
+@pytest.fixture
+def wk():
+    """Kernel with wrapfs (kmalloc-backed) over ramfs mounted at /mnt."""
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("init")
+    k.sys.mkdir("/mnt")
+    lower = RamfsSuperBlock(k, "lower")
+    k.vfs.mount("/mnt", WrapfsSuperBlock(k, lower, k.kma))
+    return k
+
+
+def kmalloc_baseline(k):
+    return (len(k.kmalloc.live), k.kmalloc.live_bytes)
+
+
+# ------------------------------------------------------------ ENOMEM paths
+
+def test_enomem_during_open_leaks_nothing(wk):
+    k = wk
+    # Prime: create the file and its interned wrapper once, then close.
+    k.sys.close(k.sys.open("/mnt/f", O_CREAT | O_WRONLY))
+    inode = k.vfs.path_walk("/mnt/f", k.current.cwd).inode
+    refs = inode.i_count.value
+    base = kmalloc_baseline(k)
+    with k.faults.inject("kmalloc", site="wrapfs:file_private"):
+        for _ in range(3):
+            with pytest.raises(Errno) as exc:
+                k.sys.open("/mnt/f", O_WRONLY)
+            assert exc.value.errno == ENOMEM
+    assert kmalloc_baseline(k) == base       # no leaked private data
+    assert inode.i_count.value == refs       # the open's ref was put back
+    # Retry with faults cleared succeeds.
+    fd = k.sys.open("/mnt/f", O_WRONLY)
+    assert k.sys.close(fd) == 0
+    assert kmalloc_baseline(k) == base
+
+
+def test_enomem_during_lookup_name_buffer_leaks_nothing(wk):
+    k = wk
+    # Create the file in the lower FS directly so the wrapfs path is
+    # dcache-cold and stat() must go through WrapfsInode.lookup.
+    wrapfs = k.vfs.path_walk("/mnt", k.current.cwd).inode.sb
+    wrapfs.lower_sb.root_inode.create("cold", 0o644 | 0o100000)
+    base = kmalloc_baseline(k)
+    with k.faults.inject("kmalloc", site="wrapfs:name"):
+        with pytest.raises(Errno) as exc:
+            k.sys.stat("/mnt/cold")
+        assert exc.value.errno == ENOMEM
+    assert kmalloc_baseline(k) == base
+
+
+def test_enomem_during_write_leaks_nothing(wk):
+    k = wk
+    fd = k.sys.open("/mnt/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"before")
+    base = kmalloc_baseline(k)
+    with k.faults.inject("kmalloc", site="wrapfs:page_buffer"):
+        with pytest.raises(Errno) as exc:
+            k.sys.write(fd, b"lost")
+        assert exc.value.errno == ENOMEM
+    assert kmalloc_baseline(k) == base
+    # The failed write staged nothing into the lower file.
+    assert k.sys.fstat(fd).size == len(b"before")
+    assert k.sys.write(fd, b" after") == 6
+    k.sys.close(fd)
+
+
+def test_enomem_during_create_unwinds_lower_file(wk):
+    """If the wrapper inode's private data can't be allocated, the lower
+    create must be unwound — otherwise the file exists below a stale
+    negative dentry and retrying the create hits EEXIST forever."""
+    k = wk
+    base = kmalloc_baseline(k)
+    with k.faults.inject("kmalloc", site="wrapfs:inode_private"):
+        with pytest.raises(Errno) as exc:
+            k.sys.open("/mnt/new", O_CREAT | O_WRONLY)
+        assert exc.value.errno == ENOMEM
+    assert kmalloc_baseline(k) == base
+    # The lower filesystem does not keep a half-created orphan.
+    wrapfs = k.vfs.path_walk("/mnt", k.current.cwd).inode.sb
+    assert wrapfs.lower_sb.root_inode.lookup("new") is None
+    # Retry with faults cleared: the create now succeeds.
+    fd = k.sys.open("/mnt/new", O_CREAT | O_WRONLY)
+    assert k.sys.write(fd, b"ok") == 2
+    k.sys.close(fd)
+
+
+def test_enomem_during_rename_frees_both_name_buffers(wk):
+    """The second name buffer's allocation failing must still free the
+    first (the latent leak this subsystem was built to catch)."""
+    k = wk
+    k.sys.open_write_close("/mnt/old", b"x")
+    base = kmalloc_baseline(k)
+    # rename allocates old-name then new-name buffers: fail the 2nd.
+    with k.faults.inject("kmalloc", site="wrapfs:name", at_call=2):
+        with pytest.raises(Errno) as exc:
+            k.sys.rename("/mnt/old", "/mnt/new")
+        assert exc.value.errno == ENOMEM
+    assert kmalloc_baseline(k) == base
+    assert k.sys.stat("/mnt/old").size == 1  # rename never happened
+    k.sys.rename("/mnt/old", "/mnt/new")     # retry succeeds
+    assert k.sys.stat("/mnt/new").size == 1
+
+
+# ---------------------------------------------------------------- EIO paths
+
+def test_eio_on_writeback_propagates_as_errno_and_is_retryable():
+    k = Kernel()
+    sb = Ext2SuperBlock(k)
+    k.mount_root(sb)
+    k.spawn("init")
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"d" * (4096 * 3))
+    dirty_before = len(sb.bcache._dirty)
+    assert dirty_before >= 3
+    with k.faults.inject("disk.write", at_call=2):
+        with pytest.raises(Errno) as exc:
+            k.sys.sync()
+        assert exc.value.errno == EIO
+    # One block flushed; the failed one and everything after stay dirty.
+    assert len(sb.bcache._dirty) == dirty_before - 1
+    k.sys.sync()
+    assert not sb.bcache._dirty
+    # The data survived the failed sync intact.
+    k.sys.close(fd)
+    assert k.sys.open_read_close("/f") == b"d" * (4096 * 3)
+
+
+def test_eio_on_eviction_keeps_block_dirty_and_cached():
+    """Write-back forced by eviction fails: the victim must be reinstated
+    (still cached, still dirty) so no data is lost, and the error must
+    reach the caller as errno, not a Python traceback."""
+    k = Kernel()
+    sb = Ext2SuperBlock(k, cache_blocks=2)
+    k.mount_root(sb)
+    k.spawn("init")
+    fd = k.sys.open("/f", O_CREAT | O_RDWR)
+    k.sys.write(fd, b"a" * 4096)
+    k.sys.write(fd, b"b" * 4096)
+    with k.faults.inject("disk.write", every=1):
+        with pytest.raises(Errno) as exc:
+            k.sys.write(fd, b"c" * 4096)  # 3rd block forces an eviction
+        assert exc.value.errno == EIO
+    # The victim is still cached and dirty — nothing was dropped.
+    assert sb.bcache._dirty
+    k.sys.sync()
+    k.sys.close(fd)
+    data = k.sys.open_read_close("/f")
+    assert data[:4096] == b"a" * 4096 and data[4096:8192] == b"b" * 4096
+
+
+def test_eio_during_block_alloc_leaks_no_blocks():
+    """Allocating a fresh block can force an eviction whose write-back
+    fails: the just-popped free block must go back on the free list, or
+    it is owned by nobody forever."""
+    k = Kernel()
+    sb = Ext2SuperBlock(k, cache_blocks=1)
+    k.mount_root(sb)
+    k.spawn("init")
+    fd = k.sys.open("/f", O_CREAT | O_RDWR)
+    k.sys.write(fd, b"a" * 4096)  # block 0: dirty, fills the 1-block cache
+    free_before = len(sb._free_blocks)
+    with k.faults.inject("disk.write", every=1):
+        with pytest.raises(Errno) as exc:
+            k.sys.write(fd, b"b" * 4096)  # alloc block 1 -> evict block 0
+        assert exc.value.errno == EIO
+    allocated = sum(len(i.blocks_list) for i in sb.inodes.values()
+                    if hasattr(i, "blocks_list"))
+    assert allocated + len(sb._free_blocks) == sb.disk.nblocks
+    assert len(sb._free_blocks) == free_before  # nothing silently lost
+    # Retry once faults clear: the same write now succeeds and syncs.
+    assert k.sys.write(fd, b"b" * 4096) == 4096
+    k.sys.sync()
+    k.sys.close(fd)
+
+
+def test_eio_surfaces_through_cold_read():
+    k = Kernel()
+    sb = Ext2SuperBlock(k, cache_blocks=1)
+    k.mount_root(sb)
+    k.spawn("init")
+    k.sys.open_write_close("/f", b"z" * 4096)
+    k.sys.open_write_close("/g", b"w" * 4096)  # evicts /f's block
+    k.sys.sync()
+    with k.faults.inject("disk.read", every=1):
+        with pytest.raises(Errno) as exc:
+            k.sys.open_read_close("/f")
+        assert exc.value.errno == EIO
+    assert k.sys.open_read_close("/f") == b"z" * 4096
+
+
+# ------------------------------------------- errno uniformity (audit result)
+
+def test_allocator_exhaustion_is_enomem_at_boundary(wk):
+    """Even real (non-injected) allocator exhaustion must reach user code
+    as Errno ENOMEM: the boundary translates bare OutOfMemory uniformly."""
+    k = wk
+    from repro.kernel.memory.layout import KMALLOC_END
+    k.kmalloc._brk = KMALLOC_END  # exhaust the kmalloc region for real
+    with pytest.raises(Errno) as exc:
+        k.sys.open("/mnt/x", O_CREAT | O_WRONLY)
+    assert exc.value.errno == ENOMEM

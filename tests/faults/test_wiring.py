@@ -1,0 +1,229 @@
+"""Every failpoint, exercised through the real kernel paths it guards."""
+
+import pytest
+
+from repro.analysis.report import fault_injection_report
+from repro.errors import (EFAULT, EIO, ENOMEM, Errno, OutOfMemory)
+from repro.kernel import Kernel, SpinLock
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock, WrapfsSuperBlock
+from repro.kernel.syslog import KERN_WARNING
+from repro.kernel.vfs import O_CREAT, O_RDWR, O_WRONLY
+
+
+def wrapfs_kernel():
+    """ramfs root with a kmalloc-hungry wrapfs mounted at /mnt."""
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("init")
+    k.sys.mkdir("/mnt")
+    lower = RamfsSuperBlock(k, "lower")
+    k.vfs.mount("/mnt", WrapfsSuperBlock(k, lower, k.kma))
+    return k
+
+
+# -------------------------------------------------------------- allocators
+
+def test_kmalloc_failpoint_direct():
+    k = Kernel()
+    with k.faults.inject("kmalloc", every=1):
+        with pytest.raises(OutOfMemory):
+            k.kmalloc.kmalloc(64)
+    assert k.kmalloc.kmalloc(64)  # disarmed: back to normal
+
+
+def test_vmalloc_failpoint_direct():
+    k = Kernel()
+    before = k.vmalloc.outstanding_pages
+    with k.faults.inject("vmalloc", every=1):
+        with pytest.raises(OutOfMemory):
+            k.vmalloc.vmalloc(8192, site="test")
+    assert k.vmalloc.outstanding_pages == before  # nothing half-mapped
+
+
+def test_kmalloc_enomem_reaches_user_as_errno(kernel=None):
+    """OutOfMemory inside a handler surfaces as Errno ENOMEM, never as a
+    bare kernel exception (the syscall-boundary translation)."""
+    k = wrapfs_kernel()
+    with k.faults.inject("kmalloc", site="wrapfs:file_private"):
+        with pytest.raises(Errno) as exc:
+            k.sys.open("/mnt/f", O_CREAT | O_WRONLY)
+    assert exc.value.errno == ENOMEM
+    assert not isinstance(exc.value, OutOfMemory)
+
+
+# -------------------------------------------------------------------- disk
+
+def test_disk_write_failpoint():
+    k = Kernel()
+    k.mount_root(Ext2SuperBlock(k))
+    k.spawn("init")
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"x" * 4096)
+    with k.faults.inject("disk.write", errno=EIO, every=1):
+        with pytest.raises(Errno) as exc:
+            k.sys.sync()
+    assert exc.value.errno == EIO
+    k.sys.sync()  # faults cleared: the dirty block is still there to flush
+    assert k.sys.close(fd) == 0
+
+
+def test_disk_read_failpoint():
+    k = Kernel()
+    sb = Ext2SuperBlock(k, cache_blocks=2)
+    k.mount_root(sb)
+    k.spawn("init")
+    fd = k.sys.open("/f", O_CREAT | O_RDWR)
+    k.sys.write(fd, b"y" * (4096 * 4))  # 4 blocks: most evict + write back
+    k.sys.sync()
+    # Push the file's blocks out of the tiny cache so reads go to disk.
+    fd2 = k.sys.open("/g", O_CREAT | O_RDWR)
+    k.sys.write(fd2, b"z" * (4096 * 2))
+    k.sys.sync()
+    k.sys.lseek(fd, 0)
+    with k.faults.inject("disk.read", every=1):
+        with pytest.raises(Errno) as exc:
+            k.sys.read(fd, 4096)
+    assert exc.value.errno == EIO
+
+
+# ------------------------------------------------------------------ uaccess
+
+def test_copy_from_user_failpoint():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("init")
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    with k.faults.inject("copy_from_user", at_call=1):
+        with pytest.raises(Errno) as exc:
+            k.sys.write(fd, b"data")
+    assert exc.value.errno == EFAULT
+    # The copy failed before the file was touched.
+    assert k.sys.fstat(fd).size == 0
+    assert k.sys.write(fd, b"data") == 4
+
+
+def test_copy_to_user_failpoint():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("init")
+    k.sys.open_write_close("/f", b"payload")
+    with k.faults.inject("copy_to_user", at_call=1):
+        with pytest.raises(Errno) as exc:
+            k.sys.open_read_close("/f")
+    assert exc.value.errno == EFAULT
+
+
+# -------------------------------------------------------------------- locks
+
+def test_lock_acquire_failpoint_injects_contention():
+    k = Kernel()
+    lk = SpinLock(k, "dcache_lock")
+    before = k.clock.now
+    lk.lock(); lk.unlock()
+    uncontended = k.clock.now - before
+    with k.faults.inject("lock.acquire", site="dcache_lock", every=1):
+        before = k.clock.now
+        lk.lock(); lk.unlock()
+        contended = k.clock.now - before
+    assert lk.contentions == 1
+    assert contended == uncontended + 2 * k.costs.context_switch
+    assert not lk.held
+
+
+def test_lock_site_filter_targets_one_lock():
+    k = Kernel()
+    a, b = SpinLock(k, "lock_a"), SpinLock(k, "lock_b")
+    with k.faults.inject("lock.acquire", site="lock_a", every=1):
+        a.lock(); a.unlock()
+        b.lock(); b.unlock()
+    assert a.contentions == 1 and b.contentions == 0
+
+
+# ---------------------------------------------------------------- scheduler
+
+def test_sched_preempt_failpoint_forces_preemption():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("init")
+    base = k.sched.preemptions
+    with k.faults.inject("sched.preempt", every=1):
+        k.sys.getpid()  # each dispatch ends at a preemption point
+    assert k.sched.preemptions > base
+
+
+# ------------------------------------------------------- syslog + reporting
+
+def test_injections_logged_to_syslog():
+    k = Kernel()
+    with k.faults.inject("kmalloc", at_call=1):
+        with pytest.raises(OutOfMemory):
+            k.kmalloc.kmalloc(32, "test:site")
+    records = k.syslog.grep("fault-inject:")
+    assert records and records[-1].level == KERN_WARNING
+    assert "kmalloc@test:site" in records[-1].message
+    k.faults.log_summary()
+    assert k.syslog.grep("fault-inject: summary kmalloc")
+
+
+def test_fault_injection_report_renders():
+    k = Kernel()
+    with k.faults.inject("kmalloc", every=2):
+        for _ in range(3):
+            try:
+                k.kmalloc.kmalloc(32)
+            except OutOfMemory:
+                pass
+    text = fault_injection_report(k.faults)
+    assert "failpoint" in text and "kmalloc" in text
+    assert "trace:" in text
+    empty = fault_injection_report(Kernel().faults)
+    assert "no failpoints armed" in empty
+
+
+# ------------------------------------------------------------- determinism
+
+def _workload(k):
+    fd = k.sys.open("/w", O_CREAT | O_RDWR)
+    for i in range(20):
+        try:
+            k.sys.write(fd, bytes([i]) * 512)
+        except Errno:
+            pass
+    try:
+        k.sys.close(fd)
+    except Errno:
+        pass
+
+
+def test_identical_seed_identical_trace():
+    sigs = []
+    for _ in range(2):
+        k = Kernel()
+        k.mount_root(Ext2SuperBlock(k))
+        k.spawn("init")
+        k.faults.inject("disk.write", probability=0.2, seed=99)
+        k.faults.inject("copy_from_user", probability=0.1, seed=100)
+        _workload(k)
+        sigs.append(k.faults.trace_signature())
+    assert sigs[0] == sigs[1]
+    assert sigs[0]  # the schedule actually fired
+
+
+def test_unarmed_registry_changes_nothing():
+    """With no faults configured the kernel's behavior is bit-identical —
+    same cycles, same syscall results — to a never-touched registry
+    (observe-mode arming is also behavior-neutral)."""
+    results = []
+    for observe_armed in (False, True):
+        k = Kernel()
+        k.mount_root(Ext2SuperBlock(k))
+        k.spawn("init")
+        if observe_armed:
+            k.faults.inject("disk.write", probability=0.5, seed=1,
+                            observe=True)
+            k.faults.inject("kmalloc", probability=0.5, seed=2, observe=True)
+        _workload(k)
+        k.sys.sync()
+        results.append((k.clock.now, k.sys.total_syscalls,
+                        k.sys.open_read_close("/w")[:16]))
+    assert results[0] == results[1]

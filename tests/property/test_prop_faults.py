@@ -1,0 +1,170 @@
+"""Property tests: CoSy compounds under random seeded fault schedules.
+
+The §2.1 contract, checked against arbitrary schedules: whenever an
+injected fault interrupts a compound, (a) the failure is reported as a
+:class:`CompoundFault` naming the failing element and errno, (b) the
+kernel is left consistent — fd table sane, inode refcounts cover the open
+files, ext2 block accounting exact — and (c) once faults are cleared the
+same compound runs to completion and repeated runs reach a kmalloc
+steady state (no per-failure leak).
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cosy import (CompoundFault, CosyGCC, CosyKernelExtension,
+                             CosyLib)
+from repro.errors import EIO, ENOMEM
+from repro.kernel import Kernel
+from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock, WrapfsSuperBlock
+
+# open(path, 66): 66 == O_CREAT | O_RDWR.  Three writes of n bytes reach
+# three ext2 blocks at n == 4096, forcing evictions through the 2-block
+# buffer cache (disk.write traffic); the re-open + read goes back to disk
+# for whatever was evicted (disk.read traffic); every wrapfs hop kmallocs.
+_SRC = """
+int main() {
+    int n;
+    COSY_START();
+    int fd = open("/mnt/f", 66);
+    char buf[4096];
+    int w1 = write(fd, buf, n);
+    int w2 = write(fd, buf, n);
+    int w3 = write(fd, buf, n);
+    close(fd);
+    int fd2 = open("/mnt/f", 0);
+    int r = read(fd2, buf, n);
+    close(fd2);
+    return w1 + w2 + w3 + r;
+    COSY_END();
+    return 0;
+}
+"""
+_REGION = CosyGCC().compile(_SRC)
+
+
+def make_kernel():
+    """Wrapfs (kmalloc-hungry) over a tiny-cache ext2, compound installed."""
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    task = k.spawn("app")
+    k.sys.mkdir("/mnt")
+    lower = Ext2SuperBlock(k, name="lower", cache_blocks=2)
+    k.vfs.mount("/mnt", WrapfsSuperBlock(k, lower, k.kma))
+    ext = CosyKernelExtension(k)
+    installed = CosyLib(k, ext).install(task, _REGION)
+    return k, task, ext, lower, installed
+
+
+def arm(k, schedule):
+    for failpoint, policy in schedule:
+        if failpoint == "kmalloc":
+            # Confine allocation faults to the filesystem under test so
+            # the schedule never fails Cosy's own infrastructure.
+            k.faults.inject("kmalloc", site="wrapfs:*", **policy)
+        else:
+            k.faults.inject(failpoint, **policy)
+
+
+def check_consistent(k, lower):
+    """Kernel-wide consistency: fd table, refcounts, ext2 metadata."""
+    for task in k.tasks:
+        open_refs = Counter()
+        for f in task.fds.values():
+            # Every open file points at a live, registered inode.
+            assert f.inode.sb.inodes.get(f.inode.ino) is f.inode
+            open_refs[f.inode] += 1
+        for inode, refs in open_refs.items():
+            assert inode.i_count.value >= refs
+    # Block accounting is exact: no double allocation, no lost blocks.
+    allocated = [b for inode in lower.inodes.values()
+                 for b in getattr(inode, "blocks_list", ())]
+    assert len(allocated) == len(set(allocated))
+    assert set(allocated).isdisjoint(lower._free_blocks)
+    assert len(allocated) + len(lower._free_blocks) == lower.disk.nblocks
+
+
+_policies = st.one_of(
+    st.fixed_dictionaries({"at_call": st.integers(min_value=1, max_value=15)}),
+    st.fixed_dictionaries({"every": st.integers(min_value=2, max_value=6)}),
+    st.fixed_dictionaries({
+        "probability": st.floats(min_value=0.05, max_value=0.5),
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    }),
+)
+
+_schedules = st.lists(
+    st.tuples(st.sampled_from(["kmalloc", "disk.write", "disk.read"]),
+              _policies),
+    min_size=1, max_size=3)
+
+_sizes = st.sampled_from([512, 1024, 3000, 4096])
+
+
+@given(_schedules, _sizes)
+@settings(max_examples=25, deadline=None)
+def test_compound_under_faults_fails_clean_and_recovers(schedule, n):
+    k, task, ext, lower, installed = make_kernel()
+    arm(k, schedule)
+    fault = None
+    result = None
+    try:
+        result = installed.run({"n": n})
+    except CompoundFault as f:
+        fault = f
+    k.faults.clear()
+
+    if fault is not None:
+        # The failure names the element and carries an injected errno.
+        assert fault.errno in (ENOMEM, EIO)
+        assert fault.failed_index >= 0
+        assert fault.op_name
+        assert ext.last_status == fault.status
+        assert not fault.status.ok
+        assert fault.status.errno == fault.errno
+        assert fault.status.failed_index == fault.failed_index
+    else:
+        # The schedule happened not to fire in the compound's window.
+        assert result.value == 4 * n
+
+    check_consistent(k, lower)
+
+    # An interrupted compound may leave fds open (ops before the failing
+    # element took effect); they are closable, and then the table is empty.
+    for fd in sorted(task.fds):
+        assert k.sys.close(fd) == 0
+    assert not task.fds
+    check_consistent(k, lower)
+
+    # Retry with faults cleared: the same compound now succeeds.
+    assert installed.run({"n": n}).value == 4 * n
+    k.sys.sync()
+    assert not lower.bcache._dirty
+
+    # Steady state: repeated runs do not grow the kmalloc live set, so the
+    # earlier failure cannot have leaked allocations either.
+    base = (len(k.kmalloc.live), k.kmalloc.live_bytes)
+    assert installed.run({"n": n}).value == 4 * n
+    assert (len(k.kmalloc.live), k.kmalloc.live_bytes) == base
+    check_consistent(k, lower)
+
+
+@given(_schedules, st.sampled_from([1024, 4096]))
+@settings(max_examples=10, deadline=None)
+def test_identical_schedule_identical_failure(schedule, n):
+    """Replaying a schedule on a fresh kernel reproduces the same fault at
+    the same element with the same injection trace (full determinism)."""
+    outcomes = []
+    for _ in range(2):
+        k, task, ext, lower, installed = make_kernel()
+        arm(k, schedule)
+        try:
+            installed.run({"n": n})
+            failure = None
+        except CompoundFault as f:
+            failure = (f.failed_index, f.errno, f.op_name,
+                       f.status.ops_completed)
+        outcomes.append((failure, k.faults.trace_signature()))
+    assert outcomes[0] == outcomes[1]
