@@ -1,0 +1,112 @@
+"""A2 (extension, §2.4 + eBPF-style verification): trust three ways.
+
+The paper's trust manager turns security checks off only *after* watching
+untrusted code run cleanly for a while — every warmup call pays the
+full-isolation far-call cost.  A load-time verifier moves that cost to
+registration: a function it proves safe starts at DATA_ONLY protection on
+its very first call, for a one-time analysis charge.
+
+Measured here, on an ls-style compound that calls a user formatting
+helper once per directory entry:
+
+* **full-isolation** — every call pays segment far-call overhead;
+* **trust-warmup** — the first ``threshold`` calls pay it, then the
+  function is promoted;
+* **verifier-promoted** — zero calls pay it; registration pays the
+  one-time verification cost instead.
+
+Expected shape: verifier < warmup < full on total cycles, with the
+verifier's advantage equal to the warmup period's far-call overhead minus
+the (small, amortized-once) load-time analysis charge.
+"""
+
+from __future__ import annotations
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable
+from repro.core.cosy import (CosyGCC, CosyKernelExtension, CosyLib,
+                             CosyProtection, TrustManager)
+from repro.safety.verifier import LoadTimeVerifier
+
+#: directory entries the compound "formats", one helper call each
+ENTRIES = 300
+#: trust-manager promotion threshold (calls spent in full isolation)
+THRESHOLD = 100
+
+_SRC = """
+int format_entry(int ino) {
+    int digits[20];
+    int n;
+    n = 0;
+    if (ino < 0) { ino = 0 - ino; }
+    for (int i = 0; i < 20; i++) {
+        digits[i] = ino %% 10;
+        ino = ino / 10;
+        if (ino > 0) { n = n + 1; }
+    }
+    return n + 1;
+}
+int main() {
+    COSY_START();
+    int width = 0;
+    for (int i = 0; i < %(entries)d; i++) width = width + format_entry(i * 37);
+    return width;
+    COSY_END();
+    return 0;
+}
+"""
+
+
+def _run_variant(variant: str) -> dict[str, float]:
+    kernel = fresh_kernel("ramfs")
+    region = CosyGCC().compile(_SRC % {"entries": ENTRIES})
+    if variant == "full":
+        ext = CosyKernelExtension(kernel,
+                                  protection=CosyProtection.FULL_ISOLATION)
+    elif variant == "warmup":
+        ext = CosyKernelExtension(kernel,
+                                  protection=CosyProtection.FULL_ISOLATION)
+        TrustManager(ext, threshold=THRESHOLD)
+    elif variant == "verified":
+        ext = CosyKernelExtension(kernel,
+                                  protection=CosyProtection.FULL_ISOLATION,
+                                  verifier=LoadTimeVerifier())
+        TrustManager(ext, threshold=THRESHOLD)
+    else:
+        raise ValueError(variant)
+    lib = CosyLib(kernel, ext)
+    with kernel.measure() as m:
+        installed = lib.install(kernel.current, region)  # registration here
+        result = installed.run()
+    assert result.value > 0
+    return {"cycles": m.delta.elapsed, "value": result.value}
+
+
+def test_verifier_promotion_beats_warmup(run_once):
+    def _measure():
+        return {v: _run_variant(v) for v in ("full", "warmup", "verified")}
+
+    res = run_once(_measure)
+    full = res["full"]["cycles"]
+    warmup = res["warmup"]["cycles"]
+    verified = res["verified"]["cycles"]
+    assert res["full"]["value"] == res["warmup"]["value"] \
+        == res["verified"]["value"]
+
+    table = ComparisonTable(
+        "A2", "load-time verification vs trust warmup (ls-style compound)")
+    table.add("full isolation, every call", "baseline (far calls)",
+              f"{full:,.0f} cycles", holds=True)
+    table.add(f"trust warmup ({THRESHOLD} calls)",
+              "cheaper: far calls only during warmup",
+              f"{warmup:,.0f} cycles ({100 * (full - warmup) / full:.1f}% "
+              f"less)", holds=warmup < full)
+    table.add("verifier-promoted (0 warmup)",
+              "cheapest: one-time load cost, no far calls",
+              f"{verified:,.0f} cycles ({100 * (full - verified) / full:.1f}%"
+              f" less)", holds=verified < warmup)
+    table.note(f"{ENTRIES} helper calls per run; verification charged at "
+               f"register_function time")
+    table.print()
+    assert table.all_hold

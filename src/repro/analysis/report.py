@@ -87,6 +87,51 @@ class ComparisonTable:
         print("\n" + self.render())
 
 
+def verifier_report(report, *, optimize_report=None,
+                    deinstrument_disabled: int = 0) -> str:
+    """Render the load-time verifier section of an analysis report.
+
+    ``report`` is a :class:`repro.safety.verifier.VerifierReport`
+    (duck-typed).  When a KGCC :class:`OptimizeReport` is supplied, the
+    section also attributes eliminated checks to their eliminating pass —
+    statically proven by the verifier, removed by the classic static pass,
+    CSE'd, or (via ``deinstrument_disabled``) disabled dynamically.
+    """
+    lines = [f"== load-time verifier: {report.filename} =="]
+    hist = report.histogram()
+    total_funcs = sum(hist.values()) or 1
+    for verdict, count in hist.items():
+        name = getattr(verdict, "name", str(verdict))
+        lines.append(f"  {name:<12} {count:>4} function(s) "
+                     f"({100.0 * count / total_funcs:.0f}%)")
+    proven, unproven, violation = report.site_stats()
+    sites = proven + unproven + violation
+    if sites:
+        lines.append(f"  check sites: {sites} total — {proven} proven "
+                     f"({100.0 * proven / sites:.0f}%), {unproven} unproven, "
+                     f"{violation} violations")
+    else:
+        lines.append("  check sites: none")
+    for name in report.rejected():
+        for reason in report.functions[name].reject_reasons():
+            lines.append(f"  REJECT {name}: {reason}")
+    lines.append(f"  load-time work: {report.total_nodes} AST nodes analyzed")
+    if optimize_report is not None:
+        lines.append("  checks eliminated by pass:")
+        lines.append(f"    static (sizeof/const bounds): "
+                     f"{optimize_report.checks_removed_static}")
+        lines.append(f"    verifier (abstract interp):   "
+                     f"{optimize_report.checks_removed_verified}")
+        lines.append(f"    CSE:                          "
+                     f"{optimize_report.checks_removed_cse}")
+        if deinstrument_disabled:
+            lines.append(f"    dynamic deinstrumentation:    "
+                         f"{deinstrument_disabled}")
+        lines.append(f"    remaining at run time:        "
+                     f"{optimize_report.checks_after - deinstrument_disabled}")
+    return "\n".join(lines)
+
+
 def fault_injection_report(registry) -> str:
     """Render per-failpoint hit/injected/observed counters plus the tail of
     the deterministic injection trace — the report benchmarks print when

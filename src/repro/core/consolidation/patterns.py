@@ -109,7 +109,6 @@ def find_sequences(tracer: SyscallTracer, pid: int | None = None
                 i = j
                 continue
         if r.name == "open" and i + 1 < len(records):
-            fd = None
             nxt = records[i + 1]
             if nxt.name in ("read", "write") and i + 2 < len(records) \
                     and records[i + 2].name == "close":

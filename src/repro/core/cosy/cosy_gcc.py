@@ -44,7 +44,7 @@ from repro.cminus import ast_nodes as ast
 from repro.cminus.ctypes import ArrayType, PointerType
 from repro.cminus.parser import parse
 from repro.core.cosy.compound import CompoundBuilder, encode_compound
-from repro.core.cosy.ops import Arg, MATH_OPS, Op, OpCode
+from repro.core.cosy.ops import Arg, MATH_OPS, Op
 from repro.errors import CosyError
 from repro.kernel.syscalls.table import SYSCALL_NRS
 
@@ -89,13 +89,34 @@ class CompiledRegion:
 class CosyGCC:
     """The compiler.  Stateless; ``compile()`` may be called repeatedly."""
 
-    def compile(self, source: str, func: str = "main") -> CompiledRegion:
+    def compile(self, source: str, func: str = "main", *,
+                require_bounded_loops: bool = False) -> CompiledRegion:
+        """Compile the marked region of ``func``.
+
+        With ``require_bounded_loops=True`` the region is refused (with
+        :class:`~repro.errors.VerifierReject`) unless every loop in it has
+        a provable bound — the eBPF-style alternative to relying on the
+        run-time watchdog (see :mod:`repro.safety.verifier.termination`).
+        """
         program = parse(source)
         fdef = program.funcs.get(func)
         if fdef is None:
             raise CosyError(f"function '{func}' not found")
         region = self._extract_region(fdef)
+        if require_bounded_loops:
+            self._check_bounded(func, region)
         return _RegionCompiler(program, fdef, region).compile()
+
+    @staticmethod
+    def _check_bounded(func: str, region: list[ast.Stmt]) -> None:
+        from repro.safety.verifier.termination import check_termination
+        bounds = check_termination(ast.Block(stmts=list(region), line=0))
+        unbounded = [b for b in bounds if not b.bounded]
+        if unbounded:
+            from repro.errors import VerifierReject
+            raise VerifierReject(func, [
+                f"line {b.line}: loop bound not provable: {b.reason}"
+                for b in unbounded])
 
     @staticmethod
     def _extract_region(fdef: ast.FuncDef) -> list[ast.Stmt]:

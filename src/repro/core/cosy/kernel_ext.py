@@ -54,7 +54,8 @@ class CosyKernelExtension:
 
     def __init__(self, kernel: "Kernel", *,
                  protection: CosyProtection = CosyProtection.DATA_ONLY,
-                 max_kernel_cycles: int = DEFAULT_MAX_KERNEL_CYCLES):
+                 max_kernel_cycles: int = DEFAULT_MAX_KERNEL_CYCLES,
+                 verifier=None):
         self.kernel = kernel
         self.protection = protection
         self.watchdog = CosyWatchdog(kernel, max_kernel_cycles)
@@ -68,6 +69,14 @@ class CosyKernelExtension:
         self.last_status: CompoundStatus | None = None
         #: optional §2.4 trust manager (set by TrustManager itself)
         self.trust_manager = None
+        #: optional load-time verifier (e.g.
+        #: :class:`repro.safety.verifier.LoadTimeVerifier` — duck-typed so
+        #: the core package keeps no import of the safety tools).  When
+        #: set, every register_function() is verified: REJECT refuses the
+        #: load, and verdicts are published to the trust manager.
+        self.verifier = verifier
+        #: func_id -> effective load-time verdict (when a verifier is set)
+        self.verdicts: dict[int, object] = {}
 
     def unload(self) -> None:
         self.watchdog.disarm()
@@ -76,12 +85,33 @@ class CosyKernelExtension:
 
     def register_function(self, program: ast.Program, func: str,
                           *, handcrafted: bool = False) -> int:
-        """Register a compiled user function; returns its CALLF id."""
+        """Register a compiled user function; returns its CALLF id.
+
+        When a load-time verifier is attached, the function is statically
+        verified *here* — the one-time analysis cost is charged to kernel
+        time, a REJECT verdict refuses the registration with
+        :class:`~repro.errors.VerifierReject`, and PROVEN_SAFE verdicts are
+        published to the trust manager so the function can start at
+        DATA_ONLY protection without any warmup runs.
+        """
         if func not in program.funcs:
             raise CosyError(f"function '{func}' not defined in program")
+        verdict = None
+        if self.verifier is not None and not handcrafted:
+            fv = self.verifier.verdict_for(program, func)
+            self.kernel.clock.charge(
+                self.kernel.costs.verifier_cost(fv.nodes), Mode.SYSTEM)
+            if fv.effective.name == "REJECT":
+                from repro.errors import VerifierReject
+                raise VerifierReject(func, fv.reject_reasons())
+            verdict = fv.effective
         func_id = self._next_func_id
         self._next_func_id += 1
         self._functions[func_id] = _RegisteredFunction(program, func, handcrafted)
+        if verdict is not None:
+            self.verdicts[func_id] = verdict
+            if self.trust_manager is not None:
+                self.trust_manager.note_verdict(func_id, verdict)
         return func_id
 
     # ----------------------------------------------------------- execution

@@ -14,6 +14,14 @@ never trusted again).
 
 This is the Cosy-level twin of KGCC's dynamic deinstrumentation
 (:mod:`repro.safety.kgcc.deinstrument`).
+
+When the kernel extension carries a load-time verifier
+(:class:`repro.safety.verifier.LoadTimeVerifier`), functions it proved
+safe skip the observation period entirely: the extension publishes each
+verdict via :meth:`TrustManager.note_verdict` and statically-proven
+functions start at DATA_ONLY from their very first call.  A fault still
+pins them — dynamic evidence of escape always beats a static proof,
+since the proof covers only the analyzed program text.
 """
 
 from __future__ import annotations
@@ -39,33 +47,56 @@ class TrustManager:
         self.clean_runs: Counter = Counter()
         self.promoted: set[int] = set()
         self.pinned: set[int] = set()
+        #: functions the load-time verifier proved safe — trusted from
+        #: their first call, no warmup (§2.4 meets eBPF-style verification)
+        self.statically_proven: set[int] = set()
         ext.trust_manager = self
+        # pick up verdicts for functions registered before we attached
+        for func_id, verdict in getattr(ext, "verdicts", {}).items():
+            self.note_verdict(func_id, verdict)
 
     # -------------------------------------------------------------- policy
+
+    def note_verdict(self, func_id: int, verdict) -> None:
+        """Record a load-time verifier verdict for a registered function.
+
+        Only PROVEN_SAFE changes policy (immediate DATA_ONLY).  A
+        NEEDS_CHECKS function goes through the normal observation period;
+        REJECT never reaches here (registration already refused it).
+        """
+        if getattr(verdict, "name", str(verdict)) == "PROVEN_SAFE":
+            self.statically_proven.add(func_id)
 
     def protection_for(self, func_id: int) -> CosyProtection:
         if func_id in self.pinned:
             return CosyProtection.FULL_ISOLATION
-        if func_id in self.promoted:
+        if func_id in self.promoted or func_id in self.statically_proven:
             return CosyProtection.DATA_ONLY
         return CosyProtection.FULL_ISOLATION
 
     def record_clean(self, func_id: int) -> None:
-        if func_id in self.pinned or func_id in self.promoted:
+        if (func_id in self.pinned or func_id in self.promoted
+                or func_id in self.statically_proven):
             return
         self.clean_runs[func_id] += 1
         if self.clean_runs[func_id] >= self.threshold:
             self.promoted.add(func_id)
 
     def record_fault(self, func_id: int, fault: HardwareFault) -> None:
-        """An escape attempt: demote and never trust again."""
+        """An escape attempt: demote and never trust again.
+
+        A statically-proven function that faults loses its static trust
+        too — the dynamic evidence wins."""
         self.promoted.discard(func_id)
+        self.statically_proven.discard(func_id)
         self.pinned.add(func_id)
         self.clean_runs[func_id] = 0
 
     def status(self, func_id: int) -> str:
         if func_id in self.pinned:
             return "pinned-isolated"
+        if func_id in self.statically_proven:
+            return "verified"
         if func_id in self.promoted:
             return "trusted"
         return f"observing ({self.clean_runs[func_id]}/{self.threshold})"

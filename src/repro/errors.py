@@ -172,6 +172,24 @@ class InvariantViolation(SafetyViolation):
         super().__init__(f"invariant '{rule}' violated: {detail}")
 
 
+class VerifierReject(SafetyViolation):
+    """The load-time verifier refused to load a function.
+
+    Raised at ``register_function`` time (the eBPF-style moment: before the
+    code ever runs in the kernel) when abstract interpretation proved an
+    out-of-bounds access, a use of an uninitialized pointer, or — for Cosy
+    compounds — a loop with no provable bound.  Carries the per-site
+    reasons so the module author can see exactly what was refused.
+    """
+
+    def __init__(self, func: str, reasons: list[str]):
+        self.func = func
+        self.reasons = list(reasons)
+        detail = "; ".join(self.reasons) if self.reasons else "unspecified"
+        super().__init__(
+            f"verifier rejected function '{func}': {detail}")
+
+
 class CosyError(ReproError):
     """Malformed compound, unsupported construct, or decode failure (§2.3)."""
 

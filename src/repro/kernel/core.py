@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.kernel.clock import Clock, Mode
+from repro.kernel.clock import Clock
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
 from repro.kernel.faultinject import FaultRegistry, arm_from_env
 from repro.kernel.memory.kmalloc import KmallocAllocator

@@ -144,6 +144,14 @@ class CostModel:
     #: cost of registering/unregistering an object in the address map.
     kgcc_register: int = 260
 
+    # -- load-time verifier -----------------------------------------------------
+    #: fixed cost of verifying one function at module-load time (CFG build,
+    #: worklist setup).  Charged once per register_function, never per call —
+    #: the whole point of the eBPF-style design is moving the cost here.
+    verifier_load_base: int = 5_000
+    #: per-AST-node cost of the abstract-interpretation fixpoint.
+    verifier_per_node: int = 120
+
     # -- event monitor (§3.3) --------------------------------------------------
     #: log_event fast path when no dispatcher is attached (compiled-out).
     monitor_disabled: int = 0
@@ -171,6 +179,11 @@ class CostModel:
     def memcpy_cost(self, nbytes: int) -> int:
         """Cycles for one in-kernel memcpy of ``nbytes``."""
         return int(nbytes * self.memcpy_per_byte)
+
+    def verifier_cost(self, nodes: int) -> int:
+        """One-time cycles to verify a function of ``nodes`` AST nodes at
+        load time (see docs/VERIFIER.md and docs/COST_MODEL.md)."""
+        return self.verifier_load_base + nodes * self.verifier_per_node
 
     def disk_cycles(self, nbytes: int, *, sequential: bool) -> int:
         """I/O-wait cycles for one disk request."""

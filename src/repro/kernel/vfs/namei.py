@@ -16,7 +16,6 @@ from repro.errors import EEXIST, EINVAL, ENOENT, ENOTDIR, ENOTEMPTY, raise_errno
 from repro.kernel.clock import Mode
 from repro.kernel.locks import SpinLock
 from repro.kernel.vfs.dentry import Dentry
-from repro.kernel.vfs.inode import Inode
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.core import Kernel

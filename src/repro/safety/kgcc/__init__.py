@@ -22,9 +22,12 @@ paper describes:
 from repro.safety.kgcc.splay import SplayTree
 from repro.safety.kgcc.addrmap import MemObject, OOBObject, ObjectMap
 from repro.safety.kgcc.runtime import KgccRuntime
-from repro.safety.kgcc.instrument import instrument, InstrumentationReport
-from repro.safety.kgcc.optimize import (eliminate_safe_static_checks,
-                                        eliminate_common_checks, optimize,
+from repro.safety.kgcc.instrument import (instrument, FuncTypes,
+                                          InstrumentationReport)
+from repro.safety.kgcc.optimize import (const_fold,
+                                        eliminate_safe_static_checks,
+                                        eliminate_common_checks,
+                                        eliminate_verified_checks, optimize,
                                         OptimizeReport)
 from repro.safety.kgcc.deinstrument import DynamicDeinstrumenter
 from repro.safety.kgcc.selective import Rule, SelectiveReport, apply_rules
@@ -33,8 +36,9 @@ from repro.safety.kgcc.hotpatch import HotPatcher, PatchRecord
 
 __all__ = [
     "SplayTree", "MemObject", "OOBObject", "ObjectMap", "KgccRuntime",
-    "instrument", "InstrumentationReport",
-    "eliminate_safe_static_checks", "eliminate_common_checks", "optimize",
+    "instrument", "FuncTypes", "InstrumentationReport",
+    "const_fold", "eliminate_safe_static_checks", "eliminate_common_checks",
+    "eliminate_verified_checks", "optimize",
     "OptimizeReport", "DynamicDeinstrumenter",
     "Rule", "SelectiveReport", "apply_rules", "KgccFsSuperBlock",
     "HotPatcher", "PatchRecord",

@@ -21,7 +21,7 @@ which is the whole point of patching a running kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cminus import ast_nodes as ast
 from repro.cminus.parser import _Parser
@@ -114,7 +114,7 @@ class HotPatcher:
     def _instrument_patch(self, new_def: ast.FuncDef) -> int:
         """Run the KGCC pass over just the patched function, merging the
         new check sites into the module's existing report."""
-        from repro.safety.kgcc.instrument import _FuncTypes
+        from repro.safety.kgcc.instrument import FuncTypes
 
         # Sibling symbols and structs stay visible for type inference.
         shim = ast.Program(funcs={new_def.name: new_def},
@@ -122,7 +122,7 @@ class HotPatcher:
         for fname, fdef in self.program.funcs.items():
             shim.funcs.setdefault(fname, fdef)
         inst = _Instrumenter(shim, f"{self.filename}:gen{self._generation}")
-        inst._types = _FuncTypes(shim, new_def)
+        inst._types = FuncTypes(shim, new_def)
         new_def.body = inst._instr_stmt(new_def.body)
         report = inst.report
         for site, nodes in report.sites.items():

@@ -45,8 +45,12 @@ class InstrumentationReport:
         return [c for nodes in self.sites.values() for c in nodes]
 
 
-class _FuncTypes:
-    """name -> declared CType for one function (flow-insensitive)."""
+class FuncTypes:
+    """name -> declared CType for one function (flow-insensitive).
+
+    Public because the load-time verifier reuses it to scale pointer
+    arithmetic and size memory accesses exactly the way this pass does.
+    """
 
     def __init__(self, program: ast.Program, fdef: ast.FuncDef):
         self.types: dict[str, CType] = {}
@@ -108,6 +112,10 @@ class _FuncTypes:
         return INT
 
 
+#: backwards-compatible alias (pre-verifier name)
+_FuncTypes = FuncTypes
+
+
 def _side_effect_free(expr: ast.Expr) -> bool:
     if isinstance(expr, (ast.IntLit, ast.StrLit, ast.Ident)):
         return True
@@ -131,7 +139,7 @@ class _Instrumenter:
         self.program = program
         self.filename = filename
         self.report = InstrumentationReport()
-        self._types: _FuncTypes | None = None
+        self._types: FuncTypes | None = None
 
     # ---------------------------------------------------------------- sites
 
@@ -164,7 +172,7 @@ class _Instrumenter:
                         if isinstance(a, ast.Ident):
                             addr_taken.add(a.name)  # may escape via the call
         for func in self.program.funcs.values():
-            self._types = _FuncTypes(self.program, func)
+            self._types = FuncTypes(self.program, func)
             func.body = self._instr_stmt(func.body)
         # Registration exemptions: scalar locals never address-taken.
         for func in self.program.funcs.values():

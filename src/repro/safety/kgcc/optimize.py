@@ -5,11 +5,16 @@ checks. ... Another technique, common subexpression elimination, allowed
 us to reduce the number of checks inserted by more than half for typical
 kernel code."
 
-Two passes over an instrumented AST:
+Three passes over an instrumented AST:
 
 * :func:`eliminate_safe_static_checks` — remove deref checks that are
-  provably safe at compile time: a literal, in-bounds index into a local
-  array whose address never escapes.
+  provably safe at compile time: a constant (literal, ``sizeof``-derived,
+  or constant-folded), in-bounds index into a local array whose address
+  never escapes.
+* :func:`eliminate_verified_checks` — remove every check whose site the
+  load-time verifier (:mod:`repro.safety.verifier`) proved safe by
+  abstract interpretation; this subsumes the static pass on straight-line
+  code and additionally handles loops, guards, and pointer arithmetic.
 * :func:`eliminate_common_checks` — CSE over checks: within straight-line
   code, a check identical to an earlier one whose operands have not been
   reassigned (and with no intervening call, which could free heap objects)
@@ -29,19 +34,23 @@ from repro.cminus.ctypes import ArrayType
 class OptimizeReport:
     checks_before: int = 0
     checks_removed_static: int = 0
+    checks_removed_verified: int = 0
     checks_removed_cse: int = 0
 
     @property
+    def checks_removed(self) -> int:
+        return (self.checks_removed_static + self.checks_removed_verified
+                + self.checks_removed_cse)
+
+    @property
     def checks_after(self) -> int:
-        return (self.checks_before - self.checks_removed_static
-                - self.checks_removed_cse)
+        return self.checks_before - self.checks_removed
 
     @property
     def removed_fraction(self) -> float:
         if self.checks_before == 0:
             return 0.0
-        return (self.checks_removed_static + self.checks_removed_cse) \
-            / self.checks_before
+        return self.checks_removed / self.checks_before
 
 
 def _count_checks(program: ast.Program) -> int:
@@ -50,10 +59,58 @@ def _count_checks(program: ast.Program) -> int:
 
 # --------------------------------------------------------------- static pass
 
+def const_fold(expr: ast.Expr) -> int | None:
+    """Evaluate ``expr`` to an int when it is a compile-time constant.
+
+    Handles literals, ``sizeof`` (with a resolved type), unary minus and
+    bitwise-not, and the usual integer binary operators.  Returns ``None``
+    for anything non-constant (including division by zero, which is left
+    for the runtime to fault on).
+    """
+    if isinstance(expr, ast.Check):
+        return const_fold(expr.inner)
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.SizeOf) and expr.ctype is not None:
+        return expr.ctype.size
+    if isinstance(expr, ast.UnOp):
+        v = const_fold(expr.operand)
+        if v is None:
+            return None
+        if expr.op == "-":
+            return -v
+        if expr.op == "~":
+            return ~v
+        if expr.op == "!":
+            return 0 if v else 1
+        return None
+    if isinstance(expr, ast.BinOp):
+        left = const_fold(expr.left)
+        right = const_fold(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: int(left / right),
+                "%": lambda: left - int(left / right) * right,
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+                "<<": lambda: left << right,
+                ">>": lambda: left >> right,
+            }[expr.op]()
+        except (KeyError, ZeroDivisionError, ValueError):
+            return None
+    return None
+
+
 def eliminate_safe_static_checks(program: ast.Program,
                                  report: OptimizeReport | None = None
                                  ) -> OptimizeReport:
-    """Drop deref checks on provably-in-bounds literal indexing."""
+    """Drop deref checks on provably-in-bounds constant indexing."""
     report = report or OptimizeReport(checks_before=_count_checks(program))
     for func in program.funcs.values():
         # local arrays whose address never escapes in this function
@@ -83,15 +140,41 @@ def eliminate_safe_static_checks(program: ast.Program,
                 return False
             if not isinstance(inner.base, ast.Ident):
                 return False
-            if not isinstance(inner.index, ast.IntLit):
+            index = const_fold(inner.index)
+            if index is None:
                 return False
             name = inner.base.name
             if name in escaped or name not in arrays:
                 return False
-            return 0 <= inner.index.value < arrays[name]
+            return 0 <= index < arrays[name]
 
         removed = _replace_checks(func.body, is_safe)
         report.checks_removed_static += removed
+    return report
+
+
+# ------------------------------------------------------------ verifier pass
+
+def eliminate_verified_checks(program: ast.Program, verifier_report,
+                              report: OptimizeReport | None = None
+                              ) -> OptimizeReport:
+    """Drop every check at a site the load-time verifier proved safe.
+
+    ``verifier_report`` is a
+    :class:`~repro.safety.verifier.VerifierReport` produced by verifying
+    this program (after instrumentation, with the same filename, so the
+    site keys line up).  A site is dropped only when *every* check
+    instance at that key was classified ``PROVEN``, which makes the
+    removal sound regardless of how many AST nodes share the source line.
+    """
+    report = report or OptimizeReport(checks_before=_count_checks(program))
+    proven = verifier_report.proven_sites()
+    if not proven:
+        return report
+    for func in program.funcs.values():
+        removed = _replace_checks(func.body,
+                                  lambda check: check.site in proven)
+        report.checks_removed_verified += removed
     return report
 
 
@@ -316,9 +399,18 @@ def _replace_checks(stmt: ast.Stmt, predicate) -> int:
     return removed
 
 
-def optimize(program: ast.Program) -> OptimizeReport:
-    """Run both passes; returns the combined report."""
+def optimize(program: ast.Program,
+             verifier_report=None) -> OptimizeReport:
+    """Run all elimination passes; returns the combined report.
+
+    When ``verifier_report`` (a verified :class:`VerifierReport` for this
+    program) is supplied, checks at verifier-proven sites are removed
+    between the static and CSE passes — they cost zero cycles at run time,
+    paid for once by the load-time verification charge in the cost model.
+    """
     report = OptimizeReport(checks_before=_count_checks(program))
     eliminate_safe_static_checks(program, report)
+    if verifier_report is not None:
+        eliminate_verified_checks(program, verifier_report, report)
     eliminate_common_checks(program, report)
     return report

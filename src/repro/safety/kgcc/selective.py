@@ -55,6 +55,9 @@ class SelectiveReport:
     checks_total: int = 0
     checks_kept: int = 0
     kept_sites: set[str] = field(default_factory=set)
+    #: rules that matched no check site at all — almost always a typo in
+    #: the pattern (e.g. "refcont*"); surfaced via syslog as well
+    unmatched_rules: list["Rule"] = field(default_factory=list)
 
     @property
     def checks_disabled(self) -> int:
@@ -88,12 +91,19 @@ def _base_variable(expr: ast.Expr) -> str | None:
 
 
 def apply_rules(program: ast.Program, report: InstrumentationReport,
-                rules: list[Rule]) -> SelectiveReport:
+                rules: list[Rule], *,
+                syslog=None) -> SelectiveReport:
     """Keep only rule-matching checks enabled; disable the rest.
 
     Disabled checks stay in the AST (they cost nothing at run time and can
     be re-enabled), so selective instrumentation composes with dynamic
     deinstrumentation.
+
+    A rule that matches nothing is reported in
+    :attr:`SelectiveReport.unmatched_rules` and, when a
+    :class:`~repro.kernel.syslog.Syslog` is supplied, logged at
+    ``KERN_WARNING`` — a dead whitelist entry usually means a misspelled
+    pattern silently leaving code unprotected... or *believed* protected.
     """
     result = SelectiveReport()
     if not rules:
@@ -102,15 +112,31 @@ def apply_rules(program: ast.Program, report: InstrumentationReport,
             result.checks_kept += 1
             result.kept_sites.add(check.site)
         return result
+    matched: set[int] = set()
     for func_name, func in program.funcs.items():
         for node in ast.walk(func.body):
             if not isinstance(node, ast.Check):
                 continue
             result.checks_total += 1
             var = _base_variable(node.inner)
-            keep = any(r.matches(func_name, var, node.kind) for r in rules)
+            keep = False
+            for i, rule in enumerate(rules):
+                if rule.matches(func_name, var, node.kind):
+                    matched.add(i)
+                    keep = True
             node.enabled = keep
             if keep:
                 result.checks_kept += 1
                 result.kept_sites.add(node.site)
+    for i, rule in enumerate(rules):
+        if i not in matched:
+            result.unmatched_rules.append(rule)
+            if syslog is not None:
+                from repro.kernel.syslog import KERN_WARNING
+                syslog.printk(
+                    KERN_WARNING,
+                    f"kgcc: selective rule matched no check sites: "
+                    f"functions={rule.functions!r} "
+                    f"variables={rule.variables!r} "
+                    f"kinds={sorted(rule.kinds)}")
     return result

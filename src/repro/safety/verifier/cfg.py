@@ -1,0 +1,224 @@
+"""Control-flow graph over the C-minus AST.
+
+One :class:`CFG` per function.  Blocks hold straight-line statements
+(``VarDecl`` / ``ExprStmt`` / ``Return``); control flow lives in the block
+terminator.  ``if``/``while``/``for``/``break``/``continue``/``return``
+are all lowered here, and the condition block of every loop is marked as a
+*loop header* — the abstract interpreter widens there so the analysis
+terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cminus import ast_nodes as ast
+
+
+@dataclass
+class Jump:
+    target: int
+
+
+@dataclass
+class CondJump:
+    """Branch on ``cond``: true → ``then_target``, false → ``else_target``."""
+
+    cond: ast.Expr
+    then_target: int
+    else_target: int
+
+
+@dataclass
+class Ret:
+    value: Optional[ast.Expr] = None
+
+
+Terminator = Jump | CondJump | Ret
+
+
+@dataclass
+class BasicBlock:
+    bid: int
+    stmts: list[ast.Stmt] = field(default_factory=list)
+    term: Optional[Terminator] = None          # None only during building
+    preds: list[int] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    is_loop_header: bool = False
+
+
+@dataclass
+class CFG:
+    func: str
+    blocks: list[BasicBlock]
+    entry: int = 0
+
+    @property
+    def loop_headers(self) -> list[int]:
+        return [b.bid for b in self.blocks if b.is_loop_header]
+
+    def rpo(self) -> list[int]:
+        """Reverse post-order from the entry (stable iteration order that
+        visits predecessors before successors outside of back edges)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(bid: int) -> None:
+            if bid in seen:
+                return
+            seen.add(bid)
+            for succ in self.blocks[bid].succs:
+                visit(succ)
+            order.append(bid)
+
+        visit(self.entry)
+        return list(reversed(order))
+
+    def render(self) -> str:
+        lines = [f"cfg {self.func}: {len(self.blocks)} blocks"]
+        for b in self.blocks:
+            head = "loop-header " if b.is_loop_header else ""
+            term = type(b.term).__name__ if b.term is not None else "?"
+            lines.append(f"  B{b.bid} {head}stmts={len(b.stmts)} "
+                         f"term={term} succs={b.succs}")
+        return "\n".join(lines)
+
+
+class _Builder:
+    def __init__(self, func: ast.FuncDef):
+        self.func = func
+        self.blocks: list[BasicBlock] = []
+        self.current = self._new_block()
+        #: (continue target bid, break target bid) per enclosing loop
+        self.loop_stack: list[tuple[int, int]] = []
+
+    def _new_block(self, *, loop_header: bool = False) -> BasicBlock:
+        block = BasicBlock(bid=len(self.blocks), is_loop_header=loop_header)
+        self.blocks.append(block)
+        return block
+
+    def _seal(self, term: Terminator) -> None:
+        """Terminate the current block if still open."""
+        if self.current.term is None:
+            self.current.term = term
+
+    def _start(self, block: BasicBlock) -> None:
+        self.current = block
+
+    # ------------------------------------------------------------- building
+
+    def build(self) -> CFG:
+        self._stmt_list(self.func.body.stmts
+                        if isinstance(self.func.body, ast.Block)
+                        else [self.func.body])
+        self._seal(Ret(None))  # implicit return at the end of the body
+        self._link()
+        return CFG(func=self.func.name, blocks=self.blocks)
+
+    def _link(self) -> None:
+        for b in self.blocks:
+            if isinstance(b.term, Jump):
+                b.succs = [b.term.target]
+            elif isinstance(b.term, CondJump):
+                b.succs = [b.term.then_target, b.term.else_target]
+            else:
+                b.succs = []
+            for s in b.succs:
+                self.blocks[s].preds.append(b.bid)
+
+    def _stmt_list(self, stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if self.current.term is not None:
+                # unreachable code after break/continue/return: park it in a
+                # fresh, unlinked block so the analysis simply never visits it
+                self._start(self._new_block())
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._stmt_list(stmt.stmts)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.current.stmts.append(stmt)
+            self._seal(Ret(stmt.value))
+        elif isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                self._seal(Jump(self.loop_stack[-1][1]))
+            else:
+                self._seal(Ret(None))
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_stack:
+                self._seal(Jump(self.loop_stack[-1][0]))
+            else:
+                self._seal(Ret(None))
+        else:
+            self.current.stmts.append(stmt)
+
+    def _if(self, stmt: ast.If) -> None:
+        then_block = self._new_block()
+        else_block = self._new_block() if stmt.orelse is not None else None
+        join = self._new_block()
+        self._seal(CondJump(stmt.cond, then_block.bid,
+                            else_block.bid if else_block else join.bid))
+        self._start(then_block)
+        self._stmt(stmt.then)
+        self._seal(Jump(join.bid))
+        if else_block is not None:
+            self._start(else_block)
+            assert stmt.orelse is not None
+            self._stmt(stmt.orelse)
+            self._seal(Jump(join.bid))
+        self._start(join)
+
+    def _while(self, stmt: ast.While) -> None:
+        head = self._new_block(loop_header=True)
+        body = self._new_block()
+        exit_block = self._new_block()
+        self._seal(Jump(head.bid))
+        self._start(head)
+        head.term = CondJump(stmt.cond, body.bid, exit_block.bid)
+        self.loop_stack.append((head.bid, exit_block.bid))
+        try:
+            self._start(body)
+            self._stmt(stmt.body)
+            self._seal(Jump(head.bid))
+        finally:
+            self.loop_stack.pop()
+        self._start(exit_block)
+
+    def _for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        head = self._new_block(loop_header=True)
+        body = self._new_block()
+        step = self._new_block()
+        exit_block = self._new_block()
+        self._seal(Jump(head.bid))
+        self._start(head)
+        if stmt.cond is not None:
+            head.term = CondJump(stmt.cond, body.bid, exit_block.bid)
+        else:
+            head.term = Jump(body.bid)
+        self.loop_stack.append((step.bid, exit_block.bid))
+        try:
+            self._start(body)
+            self._stmt(stmt.body)
+            self._seal(Jump(step.bid))
+        finally:
+            self.loop_stack.pop()
+        self._start(step)
+        if stmt.step is not None:
+            step.stmts.append(ast.ExprStmt(line=stmt.line, expr=stmt.step))
+        self._seal(Jump(head.bid))
+        self._start(exit_block)
+
+
+def build_cfg(func: ast.FuncDef) -> CFG:
+    """Build the control-flow graph of one function."""
+    return _Builder(func).build()

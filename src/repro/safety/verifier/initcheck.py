@@ -1,0 +1,172 @@
+"""Definite-initialization dataflow pass.
+
+Forward must-analysis over the CFG: a variable is *definitely initialized*
+at a point if every path from the entry assigns it first.  The verifier
+uses the result two ways:
+
+* dereferencing a pointer that is **definitely uninitialized** is a
+  load-time ``REJECT`` (the access can never be valid);
+* dereferencing a **maybe-uninitialized** pointer is unprovable, so its
+  runtime check must stay.
+
+Parameters and globals count as initialized (the caller/loader supplies
+them).  Arrays and structs are storage, not scalars — indexing an
+uninitialized array is fine (the *elements* are garbage ints, which the
+interval domain already treats as TOP), so only scalar ``int``/pointer
+declarations participate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cminus import ast_nodes as ast
+from repro.cminus.ctypes import ArrayType, StructType
+from repro.safety.verifier.cfg import CFG, CondJump, Ret
+
+
+class InitState(enum.Enum):
+    UNINIT = "uninitialized"       # declared, never assigned on any path
+    MAYBE = "maybe-uninitialized"  # assigned on some paths only
+    INIT = "initialized"           # assigned on every path
+
+    def join(self, other: "InitState") -> "InitState":
+        if self is other:
+            return self
+        return InitState.MAYBE
+
+
+@dataclass
+class InitFacts:
+    """Per-function result: the init state of every scalar at every block
+    entry, plus flat per-variable summaries at their first risky use."""
+
+    entry_states: dict[int, dict[str, InitState]] = field(default_factory=dict)
+
+    def state_at(self, bid: int, name: str) -> InitState:
+        return self.entry_states.get(bid, {}).get(name, InitState.INIT)
+
+
+def scalar_decls(func: ast.FuncDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(func.body):
+        if isinstance(node, ast.VarDecl) and not isinstance(
+                node.ctype, (ArrayType, StructType)):
+            names.add(node.name)
+    return names
+
+
+def _assigned_names(expr: ast.Expr | None) -> set[str]:
+    """Scalars directly assigned anywhere inside ``expr``."""
+    names: set[str] = set()
+    if expr is None:
+        return names
+    for node in ast.walk(expr):
+        target = None
+        if isinstance(node, ast.Assign):
+            target = node.target
+        elif isinstance(node, ast.PostIncDec):
+            target = node.target
+        elif isinstance(node, ast.UnOp) and node.op in ("++", "--"):
+            target = node.operand
+        while isinstance(target, ast.Check):
+            target = target.inner
+        if isinstance(target, ast.Ident):
+            names.add(target.name)
+        if isinstance(node, ast.AddrOf):
+            # &x handed out: writes through the alias may initialize x —
+            # treat as assigned (sound for a *must*-uninitialized query:
+            # it can only move UNINIT toward INIT, never hide a real
+            # uninitialized use from... see note below)
+            target = node.target
+            if isinstance(target, ast.Ident):
+                names.add(target.name)
+    return names
+
+
+# NOTE on the &x rule: the verifier's REJECT needs "definitely
+# uninitialized on every path".  Once &x escapes, some alias may have
+# initialized x, so x can no longer be *definitely* uninitialized — for
+# that query, marking it assigned is the conservative direction.  The
+# NEEDS_CHECKS direction (maybe-uninitialized) errs toward keeping runtime
+# checks, which is also sound.
+
+
+def advance_expr(state: dict[str, InitState], expr: ast.Expr | None,
+                 scalars: set[str]) -> None:
+    """Update ``state`` in place for one evaluated expression."""
+    for name in _assigned_names(expr):
+        if name in scalars:
+            state[name] = InitState.INIT
+
+
+def advance(state: dict[str, InitState], stmt: ast.Stmt,
+            scalars: set[str]) -> None:
+    """Update ``state`` in place for one straight-line statement.
+
+    This is the single-statement transfer of the dataflow below; the
+    verifier's collect pass replays it to know the init state at each
+    check site *within* a block (block-entry facts alone are too coarse).
+    """
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.name in scalars:
+            state[stmt.name] = (InitState.INIT if stmt.init is not None
+                                else InitState.UNINIT)
+        if stmt.init is not None:
+            advance_expr(state, stmt.init, scalars)
+    elif isinstance(stmt, ast.ExprStmt):
+        advance_expr(state, stmt.expr, scalars)
+    elif isinstance(stmt, ast.Return) and stmt.value is not None:
+        advance_expr(state, stmt.value, scalars)
+
+
+def definite_init(func: ast.FuncDef, cfg: CFG) -> InitFacts:
+    """Run the must-initialized dataflow to fixpoint over ``cfg``."""
+    scalars = scalar_decls(func)
+    params = {p.name for p in func.params}
+    bottom = {name: InitState.UNINIT for name in scalars}
+
+    facts = InitFacts()
+    entry_state = dict(bottom)
+    facts.entry_states[cfg.entry] = entry_state
+
+    def transfer(bid: int, state: dict[str, InitState]) -> dict[str, InitState]:
+        out = dict(state)
+        block = cfg.blocks[bid]
+        for stmt in block.stmts:
+            advance(out, stmt, scalars)
+        term = block.term
+        cond = term.cond if isinstance(term, CondJump) else (
+            term.value if isinstance(term, Ret) else None)
+        advance_expr(out, cond, scalars)
+        return out
+
+    worklist = [cfg.entry]
+    while worklist:
+        bid = worklist.pop()
+        in_state = facts.entry_states.get(bid)
+        if in_state is None:
+            continue
+        out_state = transfer(bid, in_state)
+        for succ in cfg.blocks[bid].succs:
+            prev = facts.entry_states.get(succ)
+            if prev is None:
+                facts.entry_states[succ] = dict(out_state)
+                worklist.append(succ)
+            else:
+                changed = False
+                for name in scalars:
+                    joined = prev.get(name, InitState.UNINIT).join(
+                        out_state.get(name, InitState.UNINIT))
+                    if joined is not prev.get(name):
+                        prev[name] = joined
+                        changed = True
+                if changed:
+                    worklist.append(succ)
+
+    # params and globals are always initialized; patch them in everywhere
+    for state in facts.entry_states.values():
+        for name in params:
+            state[name] = InitState.INIT
+    return facts

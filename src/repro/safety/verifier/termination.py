@@ -1,0 +1,239 @@
+"""Bounded-loop (termination) check for Cosy regions.
+
+The Cosy watchdog (§2.3) kills a compound *after* it has burned its
+kernel-time budget; an eBPF-style verifier instead refuses to load code it
+cannot prove terminating.  This pass proves the common shape — a counted
+loop — and reports everything else as unbounded:
+
+* the condition compares an **induction variable** against a
+  **loop-invariant bound** (``i < n``, ``n > i``, ``i >= 0``, ...);
+* the induction variable is updated by a nonzero integer constant, in the
+  direction that approaches the bound, by a top-level statement of the
+  loop body (or the ``for`` step) that executes on every iteration;
+* nothing else in the loop assigns the induction variable or any variable
+  the bound reads, and none of them has its address taken anywhere in the
+  function (no aliased updates behind the analysis's back).
+
+A loop that contains an unconditional top-level ``break`` or ``return``
+is bounded regardless of its condition (each iteration before it runs at
+most once).  Nested loops must all be bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cminus import ast_nodes as ast
+
+_FLIP = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+@dataclass
+class LoopBound:
+    """Verdict for one loop."""
+
+    line: int
+    bounded: bool
+    reason: str
+    induction_var: str | None = None
+
+
+def _unwrap(expr: ast.Expr | None) -> ast.Expr | None:
+    while isinstance(expr, ast.Check):
+        expr = expr.inner
+    return expr
+
+
+def _step_of(expr: ast.Expr | None) -> tuple[str, int] | None:
+    """If ``expr`` updates a single variable by a nonzero constant, return
+    ``(name, delta)``; otherwise None."""
+    expr = _unwrap(expr)
+    if isinstance(expr, ast.PostIncDec) and isinstance(
+            _unwrap(expr.target), ast.Ident):
+        name = _unwrap(expr.target).name          # type: ignore[union-attr]
+        return name, (1 if expr.op == "++" else -1)
+    if isinstance(expr, ast.UnOp) and expr.op in ("++", "--") \
+            and isinstance(_unwrap(expr.operand), ast.Ident):
+        name = _unwrap(expr.operand).name         # type: ignore[union-attr]
+        return name, (1 if expr.op == "++" else -1)
+    if isinstance(expr, ast.Assign):
+        target = _unwrap(expr.target)
+        if not isinstance(target, ast.Ident):
+            return None
+        value = _unwrap(expr.value)
+        if expr.op in ("+", "-") and isinstance(value, ast.IntLit) \
+                and value.value != 0:
+            return target.name, (value.value if expr.op == "+"
+                                 else -value.value)
+        if expr.op == "":
+            # i = i + c  /  i = i - c
+            if isinstance(value, ast.BinOp) and value.op in ("+", "-"):
+                left, right = _unwrap(value.left), _unwrap(value.right)
+                if (isinstance(left, ast.Ident) and left.name == target.name
+                        and isinstance(right, ast.IntLit)
+                        and right.value != 0):
+                    return target.name, (right.value if value.op == "+"
+                                         else -right.value)
+                if (value.op == "+" and isinstance(right, ast.Ident)
+                        and right.name == target.name
+                        and isinstance(left, ast.IntLit)
+                        and left.value != 0):
+                    return target.name, left.value
+    return None
+
+
+def _names_in(expr: ast.Expr | None) -> set[str]:
+    if expr is None:
+        return set()
+    return {n.name for n in ast.walk(expr) if isinstance(n, ast.Ident)}
+
+
+def _assigned_in(node: ast.Node | None) -> set[str]:
+    """All variables assigned (directly) anywhere under ``node``."""
+    out: set[str] = set()
+    if node is None:
+        return out
+    for n in ast.walk(node):
+        target = None
+        if isinstance(n, ast.Assign):
+            target = _unwrap(n.target)
+        elif isinstance(n, ast.PostIncDec):
+            target = _unwrap(n.target)
+        elif isinstance(n, ast.UnOp) and n.op in ("++", "--"):
+            target = _unwrap(n.operand)
+        if isinstance(target, ast.Ident):
+            out.add(target.name)
+    return out
+
+
+def _addr_taken(func_body: ast.Stmt) -> set[str]:
+    out: set[str] = set()
+    for n in ast.walk(func_body):
+        if isinstance(n, ast.AddrOf) and isinstance(
+                _unwrap(n.target), ast.Ident):
+            out.add(_unwrap(n.target).name)       # type: ignore[union-attr]
+    return out
+
+
+def _has_unconditional_exit(body: ast.Stmt) -> bool:
+    """True if a top-level statement of ``body`` always leaves the loop."""
+    stmts = body.stmts if isinstance(body, ast.Block) else [body]
+    return any(isinstance(s, (ast.Break, ast.Return)) for s in stmts)
+
+
+def _split_cond(cond: ast.Expr) -> tuple[str, ast.Expr, ast.Expr] | None:
+    """Normalize ``cond`` to (op, Ident side, bound side) with the
+    identifier on the left; returns None for unsupported shapes."""
+    cond = _unwrap(cond)
+    if not isinstance(cond, ast.BinOp) or cond.op not in _FLIP:
+        return None
+    left, right = _unwrap(cond.left), _unwrap(cond.right)
+    if isinstance(left, ast.Ident):
+        return cond.op, left, right
+    if isinstance(right, ast.Ident):
+        return _FLIP[cond.op], right, left
+    return None
+
+
+def _check_one_loop(loop: ast.While | ast.For, body: ast.Stmt,
+                    cond: ast.Expr | None, step_expr: ast.Expr | None,
+                    addr_taken: set[str]) -> LoopBound:
+    if _has_unconditional_exit(body):
+        return LoopBound(loop.line, True, "unconditional break/return")
+    if cond is None:
+        return LoopBound(loop.line, False, "no loop condition")
+    split = _split_cond(cond)
+    if split is None:
+        return LoopBound(
+            loop.line, False,
+            "condition is not a comparison against a bound")
+    op, var_node, bound = split
+    var = var_node.name
+
+    # find the constant-step update of the induction variable: in the
+    # `for` step, or as a top-level statement of the body
+    candidates: list[ast.Expr | None] = [step_expr]
+    stmts = body.stmts if isinstance(body, ast.Block) else [body]
+    candidates += [s.expr for s in stmts if isinstance(s, ast.ExprStmt)]
+    delta = None
+    for cand in candidates:
+        step = _step_of(cand)
+        if step is not None and step[0] == var:
+            delta = step[1]
+            break
+    if delta is None:
+        return LoopBound(loop.line, False,
+                         f"no constant-step update of '{var}' on every "
+                         f"iteration", var)
+
+    # the step must approach the bound
+    approaching = (delta > 0) if op in ("<", "<=") else (delta < 0)
+    if not approaching:
+        return LoopBound(loop.line, False,
+                         f"'{var}' steps by {delta:+d}, away from the "
+                         f"'{op}' bound", var)
+
+    # neither the induction variable nor the bound may change elsewhere
+    protected = {var} | _names_in(bound)
+    assigned = _assigned_in(body)
+    if step_expr is not None:
+        assigned |= _assigned_in(step_expr)
+    extra_updates = 0
+    for cand in candidates:
+        step = _step_of(cand)
+        if step is not None and step[0] == var:
+            extra_updates += 1
+    # one sanctioned update of var; any assignment to a bound variable, or
+    # a second assignment to var beyond the sanctioned one, is disqualifying
+    if (protected - {var}) & assigned:
+        return LoopBound(loop.line, False,
+                         "loop body modifies the bound", var)
+    var_assignments = _count_assignments(body, var) + (
+        _count_assignments_expr(step_expr, var))
+    if var_assignments > 1:
+        return LoopBound(loop.line, False,
+                         f"'{var}' is assigned more than once per "
+                         f"iteration", var)
+    if (protected & addr_taken):
+        return LoopBound(loop.line, False,
+                         "induction/bound variable has its address taken",
+                         var)
+    return LoopBound(loop.line, True,
+                     f"counted loop on '{var}' (step {delta:+d})", var)
+
+
+def _count_assignments(node: ast.Node, name: str) -> int:
+    count = 0
+    for n in ast.walk(node):
+        target = None
+        if isinstance(n, ast.Assign):
+            target = _unwrap(n.target)
+        elif isinstance(n, ast.PostIncDec):
+            target = _unwrap(n.target)
+        elif isinstance(n, ast.UnOp) and n.op in ("++", "--"):
+            target = _unwrap(n.operand)
+        if isinstance(target, ast.Ident) and target.name == name:
+            count += 1
+    return count
+
+
+def _count_assignments_expr(expr: ast.Expr | None, name: str) -> int:
+    if expr is None:
+        return 0
+    return _count_assignments(expr, name)
+
+
+def check_termination(body: ast.Stmt) -> list[LoopBound]:
+    """Classify every loop under ``body`` (a function body or a Cosy
+    region wrapped in a Block).  Returns one :class:`LoopBound` per loop;
+    the code is bounded iff every entry has ``bounded=True``."""
+    addr_taken = _addr_taken(body)
+    results: list[LoopBound] = []
+    for node in ast.walk(body):
+        if isinstance(node, ast.While):
+            results.append(_check_one_loop(node, node.body, node.cond,
+                                           None, addr_taken))
+        elif isinstance(node, ast.For):
+            results.append(_check_one_loop(node, node.body, node.cond,
+                                           node.step, addr_taken))
+    return results

@@ -1,0 +1,1246 @@
+"""The load-time verifier: abstract interpretation over C-minus.
+
+For every function the verifier builds the CFG, runs a worklist fixpoint
+over the combined interval × pointer-provenance domain (widening at loop
+headers), and then replays one *collect* pass over the stable states to
+classify every checkable site:
+
+* ``PROVEN`` — the access is in bounds for every object the pointer can
+  derive from, on every abstract path that reaches it: the runtime check
+  is redundant and may be removed;
+* ``UNPROVEN`` — the verifier cannot decide (unknown provenance, a
+  parameter-sized object, a widened index): the runtime check must stay;
+* ``VIOLATION`` — the access is out of bounds for *every* possible
+  pointee whenever it executes, or dereferences a definitely
+  uninitialized pointer: the function is refused at load time.
+
+Per-function verdicts aggregate the sites (``PROVEN_SAFE`` /
+``NEEDS_CHECKS`` / ``REJECT``); the *effective* verdict also folds in the
+call graph, since a function is only as safe as what it calls.  With
+``require_termination=True`` (the Cosy load path) an unbounded loop is
+itself a ``REJECT``.
+
+Soundness posture: abstract reachability over-approximates concrete
+reachability, so a site the fixpoint never reaches is concretely dead and
+a ``PROVEN`` site stays in bounds on every real execution.  Conversely a
+``VIOLATION`` means "faults whenever reached" — like the eBPF verifier,
+code that is wrong on an abstractly-reachable path is refused even if
+that path never runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cminus import ast_nodes as ast
+from repro.cminus.ctypes import ArrayType, CType, PointerType, StructType
+from repro.safety.verifier.cfg import (BasicBlock, CondJump, Jump,
+                                       build_cfg)
+from repro.safety.verifier.initcheck import (InitFacts, InitState, advance,
+                                             advance_expr, definite_init,
+                                             scalar_decls)
+from repro.safety.verifier.intervals import Interval
+from repro.safety.verifier.provenance import (NULL_REGION, PointerValue,
+                                              Region, UNKNOWN_REGION,
+                                              escaped_names)
+from repro.safety.verifier.termination import LoopBound, check_termination
+
+#: kernel-checked library routines that may themselves raise at runtime —
+#: calling one caps the caller at NEEDS_CHECKS (the fault surface moved
+#: into the library, where the verifier cannot see).
+CHECKED_EXTERNS = frozenset(
+    {"malloc", "free", "memcpy", "memset", "strlen", "strcpy"})
+
+#: block-visit budget per function; exceeding it degrades to NEEDS_CHECKS
+MAX_BLOCK_VISITS = 10_000
+
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class Verdict(enum.Enum):
+    PROVEN_SAFE = "proven-safe"
+    NEEDS_CHECKS = "needs-checks"
+    REJECT = "reject"
+
+    @property
+    def rank(self) -> int:
+        return {"reject": 0, "needs-checks": 1, "proven-safe": 2}[self.value]
+
+    @staticmethod
+    def worst(*verdicts: "Verdict") -> "Verdict":
+        return min(verdicts, key=lambda v: v.rank)
+
+
+class SiteStatus(enum.Enum):
+    PROVEN = "proven"
+    UNPROVEN = "unproven"
+    VIOLATION = "violation"
+
+
+@dataclass
+class SiteFinding:
+    """The verifier's judgement of one check site."""
+
+    site: str            # "filename:line:kind" — matches KGCC site keys
+    kind: str            # deref | arith | call
+    line: int
+    status: SiteStatus
+    reason: str
+    func: str = ""
+
+    def describe(self) -> str:
+        return f"{self.site} [{self.status.value}] {self.reason}"
+
+
+@dataclass
+class FunctionVerdict:
+    name: str
+    verdict: Verdict                       # from this function's body alone
+    effective: Verdict                     # after folding in callees
+    findings: list[SiteFinding] = field(default_factory=list)
+    loops: list[LoopBound] = field(default_factory=list)
+    calls: set[str] = field(default_factory=set)
+    nodes: int = 0                         # AST size, for load-cost charging
+
+    def _count(self, status: SiteStatus) -> int:
+        return sum(1 for f in self.findings if f.status is status)
+
+    @property
+    def proven_count(self) -> int:
+        return self._count(SiteStatus.PROVEN)
+
+    @property
+    def unproven_count(self) -> int:
+        return self._count(SiteStatus.UNPROVEN)
+
+    @property
+    def violation_count(self) -> int:
+        return self._count(SiteStatus.VIOLATION)
+
+    def reject_reasons(self) -> list[str]:
+        reasons = [f.describe() for f in self.findings
+                   if f.status is SiteStatus.VIOLATION]
+        reasons += [f"line {lb.line}: unbounded loop — {lb.reason}"
+                    for lb in self.loops if not lb.bounded]
+        return reasons
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.effective.value}"
+                f" (own {self.verdict.value};"
+                f" {self.proven_count} proven,"
+                f" {self.unproven_count} unproven,"
+                f" {self.violation_count} violations)")
+
+
+@dataclass
+class VerifierReport:
+    """Whole-program result of :func:`verify_program`."""
+
+    filename: str
+    functions: dict[str, FunctionVerdict] = field(default_factory=dict)
+    require_termination: bool = False
+
+    # ------------------------------------------------------------- queries
+
+    def verdict_for(self, name: str) -> Verdict:
+        fv = self.functions.get(name)
+        return fv.effective if fv is not None else Verdict.NEEDS_CHECKS
+
+    def all_findings(self) -> list[SiteFinding]:
+        return [f for fv in self.functions.values() for f in fv.findings]
+
+    def site_findings(self) -> dict[str, list[SiteFinding]]:
+        out: dict[str, list[SiteFinding]] = {}
+        for f in self.all_findings():
+            out.setdefault(f.site, []).append(f)
+        return out
+
+    def proven_sites(self) -> set[str]:
+        """Site keys whose every finding is PROVEN — these runtime checks
+        may be dropped.  Keys match the KGCC instrumenter's site strings."""
+        proven: set[str] = set()
+        for site, findings in self.site_findings().items():
+            if findings and all(f.status is SiteStatus.PROVEN
+                                for f in findings):
+                if findings[0].kind in ("deref", "arith"):
+                    proven.add(site)
+        return proven
+
+    def histogram(self) -> dict[Verdict, int]:
+        out = {v: 0 for v in Verdict}
+        for fv in self.functions.values():
+            out[fv.effective] += 1
+        return out
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(fv.nodes for fv in self.functions.values())
+
+    def site_stats(self) -> tuple[int, int, int]:
+        """(proven, unproven, violation) counts over deref/arith sites."""
+        counts = [0, 0, 0]
+        for f in self.all_findings():
+            if f.kind in ("deref", "arith"):
+                counts[(SiteStatus.PROVEN, SiteStatus.UNPROVEN,
+                        SiteStatus.VIOLATION).index(f.status)] += 1
+        return counts[0], counts[1], counts[2]
+
+    def rejected(self) -> list[str]:
+        return [name for name, fv in self.functions.items()
+                if fv.effective is Verdict.REJECT]
+
+    def render(self) -> str:
+        proven, unproven, violation = self.site_stats()
+        lines = [f"verifier report for {self.filename}",
+                 f"  sites: {proven} proven, {unproven} unproven, "
+                 f"{violation} violations"]
+        for fv in sorted(self.functions.values(), key=lambda f: f.name):
+            lines.append("  " + fv.describe())
+            for finding in fv.findings:
+                if finding.status is not SiteStatus.PROVEN:
+                    lines.append("    " + finding.describe())
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# the per-function abstract interpreter
+# --------------------------------------------------------------------------
+
+Value = Interval | PointerValue
+
+_FuncTypesFactory = None  # resolved lazily to avoid import cycles
+
+
+def _func_types(program: ast.Program, func: ast.FuncDef):
+    global _FuncTypesFactory
+    if _FuncTypesFactory is None:
+        from repro.safety.kgcc.instrument import FuncTypes
+        _FuncTypesFactory = FuncTypes
+    return _FuncTypesFactory(program, func)
+
+
+def _pure(expr: ast.Expr | None) -> bool:
+    """Side-effect-free modulo Check wrappers (checks only observe)."""
+    if expr is None:
+        return True
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Call, ast.Assign, ast.PostIncDec)):
+            return False
+        if isinstance(node, ast.UnOp) and node.op in ("++", "--"):
+            return False
+    return True
+
+
+def _contains_call(expr: ast.Expr | None) -> bool:
+    return expr is not None and any(isinstance(n, ast.Call)
+                                    for n in ast.walk(expr))
+
+
+def _unwrap(expr: ast.Expr | None) -> ast.Expr | None:
+    while isinstance(expr, ast.Check):
+        expr = expr.inner
+    return expr
+
+
+def _scope_info(func: ast.FuncDef, outer: set[str],
+                ) -> tuple[set[str], dict[str, list[tuple[int, ...]]]]:
+    """Scope structure of ``func``: which declarations make flat per-name
+    tracking unsound, and where each declaration lives.
+
+    Returns ``(shadowed, paths)``:
+
+    * ``shadowed`` — names declared while the same name is visible from an
+      *enclosing* scope (a param, global, or outer declaration): a later
+      read might mean either storage, so these are never tracked.  Names
+      declared several times with different shapes (type kind or size) are
+      included too — their conflated storage region would be wrong for one
+      of the declarations.  Sibling-scope redeclarations of one shape (the
+      ubiquitous back-to-back ``for (int i = ...)`` loops) are *not*
+      shadowed: at any point at most one instance is live, so flat
+      strong-update tracking is exact.
+    * ``paths`` — declaration scope paths per name (one per declaration;
+      the function's top-level scope is ``()``), used to refuse pointer
+      values that would outlive their pointee's scope.
+    """
+    shadowed: set[str] = set()
+    paths: dict[str, list[tuple[int, ...]]] = {}
+    shapes: dict[str, tuple] = {}
+    counter = [0]
+
+    def decl(d: ast.VarDecl, path: tuple[int, ...],
+             visible: frozenset[str]) -> None:
+        if d.name in visible:
+            shadowed.add(d.name)
+        shape = (type(d.ctype).__name__, getattr(d.ctype, "size", 0))
+        if shapes.setdefault(d.name, shape) != shape:
+            shadowed.add(d.name)
+        paths.setdefault(d.name, []).append(path)
+
+    def block(body: list[ast.Stmt], path: tuple[int, ...],
+              visible: frozenset[str]) -> None:
+        local: set[str] = set()
+        for s in body:
+            one(s, path, visible, local)
+
+    def nested(s: ast.Stmt | None, path: tuple[int, ...],
+               visible: frozenset[str]) -> None:
+        if s is None:
+            return
+        counter[0] += 1
+        sub = path + (counter[0],)
+        if isinstance(s, ast.Block):
+            block(s.stmts, sub, visible)
+        else:
+            one(s, sub, visible, set())
+
+    def one(s: ast.Stmt, path: tuple[int, ...],
+            visible: frozenset[str], local: set[str]) -> None:
+        if isinstance(s, ast.VarDecl):
+            decl(s, path, visible)
+            local.add(s.name)
+        elif isinstance(s, ast.Block):
+            nested(s, path, visible | frozenset(local))
+        elif isinstance(s, ast.If):
+            nested(s.then, path, visible | frozenset(local))
+            nested(s.orelse, path, visible | frozenset(local))
+        elif isinstance(s, ast.While):
+            nested(s.body, path, visible | frozenset(local))
+        elif isinstance(s, ast.For):
+            counter[0] += 1
+            sub = path + (counter[0],)
+            inner: set[str] = set()
+            if s.init is not None:
+                one(s.init, sub, visible | frozenset(local), inner)
+            nested(s.body, sub, visible | frozenset(local) | frozenset(inner))
+
+    block(func.body.stmts, (), frozenset(outer))
+    return shadowed, paths
+
+
+class _Analyzer:
+    def __init__(self, program: ast.Program, func: ast.FuncDef,
+                 filename: str, trusted_externs: frozenset[str]):
+        self.program = program
+        self.func = func
+        self.filename = filename
+        self.trusted = trusted_externs
+        self.types = _func_types(program, func)
+        self.cfg = build_cfg(func)
+        self.scalars = scalar_decls(func)
+        self.escaped = escaped_names(func)
+        self.initfacts: InitFacts = definite_init(func, self.cfg)
+
+        # names with ambiguous storage (nested shadowing of a param/global
+        # or an outer declaration, or redeclarations of different shapes)
+        # are never tracked — reads give TOP/unknown.  scope_paths records
+        # where each tracked declaration lives so pointer values never
+        # outlive their pointee's scope (see _fits_scope).
+        params = {p.name for p in func.params}
+        globals_ = {g.name for g in program.globals}
+        self.untracked, self.scope_paths = _scope_info(
+            func, params | globals_)
+        for p in func.params:
+            self.scope_paths.setdefault(p.name, [()])
+
+        # fixed storage regions: local arrays/structs/scalars and globals
+        self.decl_types: dict[str, CType] = {}
+        self.regions: dict[str, Region] = {}
+        for g in program.globals:
+            self.decl_types[g.name] = g.ctype
+            self.regions[g.name] = Region("global", g.name, g.ctype.size)
+        for node in ast.walk(func.body):
+            if isinstance(node, ast.VarDecl) and node.name not in self.untracked:
+                self.decl_types[node.name] = node.ctype
+                self.regions[node.name] = Region("local", node.name,
+                                                 node.ctype.size)
+        for p in func.params:
+            self.decl_types[p.name] = p.ctype
+            self.regions[p.name] = Region("local", p.name, p.ctype.size)
+        self.param_names = params
+
+        # analysis products
+        self.findings: list[SiteFinding] = []
+        self.calls: set[str] = set()
+        self.budget_exceeded = False
+
+        # collect-pass machinery
+        self._collecting = False
+        self._classify_enabled = True
+        self._cur_init: dict[str, InitState] = {}
+        self._site_override: ast.Check | None = None
+        self._last_addr: PointerValue | None = None
+
+    # ----------------------------------------------------------- utilities
+
+    def _is_tracked(self, name: str) -> bool:
+        if name in self.untracked:
+            return False
+        t = self.decl_types.get(name)
+        if t is None or isinstance(t, (ArrayType, StructType)):
+            return False
+        return name in self.scalars or name in self.param_names
+
+    def _default(self, ctype: CType | None) -> Value:
+        if isinstance(ctype, (PointerType, ArrayType)):
+            return PointerValue.unknown()
+        return Interval.top()
+
+    def _fits_scope(self, value: Value, target_name: str) -> Value:
+        """Demote a pointer stored into ``target_name`` if any pointee is a
+        local whose scope does not enclose the target's scope: the pointee
+        dies first, and a later dereference through the target would hit
+        freed stack storage (KGCC faults it — so must never be PROVEN)."""
+        if not isinstance(value, PointerValue):
+            return value
+        tpaths = self.scope_paths.get(target_name) or [()]
+        for region, _ in value.pointees:
+            if region.kind != "local":
+                continue
+            lpaths = self.scope_paths.get(region.name) or [()]
+            for lp in lpaths:
+                for tp in tpaths:
+                    if tp[:len(lp)] != lp:
+                        return PointerValue.unknown()
+        return value
+
+    def _coerce(self, value: Value, ctype: CType | None) -> Value:
+        if isinstance(ctype, (PointerType, ArrayType)):
+            if isinstance(value, PointerValue):
+                return value
+            if isinstance(value, Interval) and value.is_const \
+                    and value.lo == 0:
+                return PointerValue.to_region(NULL_REGION)
+            return PointerValue.unknown()
+        if isinstance(value, Interval):
+            return value
+        return Interval.top()
+
+    def _demote_freed(self, value: Value) -> Value:
+        """A call may free heap objects (and, pathologically, string
+        storage): forget that provenance."""
+        if not isinstance(value, PointerValue):
+            return value
+        if all(r.kind not in ("heap", "string") for r, _ in value.pointees):
+            return value
+        pointees = tuple(
+            (UNKNOWN_REGION, Interval.top()) if r.kind in ("heap", "string")
+            else (r, iv)
+            for r, iv in value.pointees)
+        return PointerValue(pointees)
+
+    def _havoc_calls(self, state: dict[str, Value]) -> None:
+        """At any call: escaped locals may be rewritten through aliases,
+        heap objects may be freed."""
+        for name in list(state):
+            state[name] = self._demote_freed(state[name])
+            if name in self.escaped:
+                state[name] = self._default(self.decl_types.get(name))
+
+    def _havoc_store(self, state: dict[str, Value],
+                     addr: PointerValue | None) -> None:
+        """A store through ``addr`` may hit any escaped scalar the pointer
+        can alias."""
+        if addr is None or addr.is_unknown:
+            names = self.escaped
+        else:
+            names = set()
+            for region, _ in addr.pointees:
+                if region.kind in ("param", "unknown"):
+                    names = self.escaped
+                    break
+                if region.kind in ("local", "global") \
+                        and self._is_tracked(region.name):
+                    names.add(region.name)
+        for name in names:
+            if name in state:
+                state[name] = self._default(self.decl_types.get(name))
+
+    # -------------------------------------------------------------- sites
+
+    def _record(self, site: str, kind: str, line: int, status: SiteStatus,
+                reason: str) -> None:
+        if self._collecting and self._classify_enabled:
+            self.findings.append(SiteFinding(
+                site=site, kind=kind, line=line, status=status,
+                reason=reason, func=self.func.name))
+
+    def _uninit_state(self, ptr_expr: ast.Expr) -> InitState | None:
+        base = _unwrap(ptr_expr)
+        if isinstance(base, ast.Ident) and self._is_tracked(base.name) \
+                and isinstance(self.decl_types.get(base.name), PointerType):
+            return self._cur_init.get(base.name, InitState.INIT)
+        return None
+
+    def _classify_deref(self, node: ast.Expr, addr: PointerValue | None,
+                        access_size: int, site: str, line: int,
+                        ptr_expr: ast.Expr) -> None:
+        if not (self._collecting and self._classify_enabled):
+            return
+        init = self._uninit_state(ptr_expr)
+        if init is InitState.UNINIT:
+            name = _unwrap(ptr_expr).name  # type: ignore[union-attr]
+            self._record(site, "deref", line, SiteStatus.VIOLATION,
+                         f"pointer '{name}' is used before initialization "
+                         f"on every path")
+            return
+        if addr is None:
+            self._record(site, "deref", line, SiteStatus.UNPROVEN,
+                         "address has no computable provenance")
+            return
+        statuses: list[tuple[SiteStatus, str]] = []
+        for region, iv in addr.pointees:
+            statuses.append(self._judge_access(region, iv, access_size,
+                                               one_past=False))
+        status, reason = self._merge_judgements(statuses)
+        if status is SiteStatus.PROVEN and init is InitState.MAYBE:
+            name = _unwrap(ptr_expr).name  # type: ignore[union-attr]
+            status, reason = SiteStatus.UNPROVEN, (
+                f"pointer '{name}' may be uninitialized on some path")
+        self._record(site, "deref", line, status, reason)
+
+    def _classify_arith(self, result: PointerValue | None, site: str,
+                        line: int) -> None:
+        if not (self._collecting and self._classify_enabled):
+            return
+        if result is None:
+            self._record(site, "arith", line, SiteStatus.UNPROVEN,
+                         "result has no computable provenance")
+            return
+        statuses = [self._judge_access(region, iv, 0, one_past=True)
+                    for region, iv in result.pointees]
+        status, reason = self._merge_judgements(statuses)
+        # arithmetic that strays is legal (an OOB peer is made); removing
+        # the check is only safe when the result provably needs no peer,
+        # so a would-be VIOLATION is merely unproven here
+        if status is SiteStatus.VIOLATION:
+            status = SiteStatus.UNPROVEN
+        self._record(site, "arith", line, status, reason)
+
+    def _judge_access(self, region: Region, offset: Interval,
+                      access_size: int,
+                      one_past: bool) -> tuple[SiteStatus, str]:
+        if not region.provable:
+            return SiteStatus.UNPROVEN, (
+                f"object size unknown at load time: {region.describe()}")
+        assert region.size is not None
+        limit = region.size - access_size if not one_past else region.size
+        lo_ok = offset.definitely_ge(0)
+        hi_ok = offset.hi is not None and offset.hi <= limit
+        if lo_ok and hi_ok:
+            return SiteStatus.PROVEN, (
+                f"offset {offset} within {region.describe()}")
+        if (offset.hi is not None and offset.hi < 0) or \
+                (offset.lo is not None and offset.lo > limit):
+            return SiteStatus.VIOLATION, (
+                f"offset {offset} is out of bounds for {region.describe()}"
+                f" (valid: [0, {limit}])")
+        return SiteStatus.UNPROVEN, (
+            f"offset {offset} may leave {region.describe()}"
+            f" (valid: [0, {limit}])")
+
+    @staticmethod
+    def _merge_judgements(statuses: list[tuple[SiteStatus, str]]
+                          ) -> tuple[SiteStatus, str]:
+        if not statuses:
+            return SiteStatus.UNPROVEN, "pointer has no provenance"
+        if all(s is SiteStatus.PROVEN for s, _ in statuses):
+            return SiteStatus.PROVEN, "; ".join(r for _, r in statuses)
+        if all(s is SiteStatus.VIOLATION for s, _ in statuses):
+            return SiteStatus.VIOLATION, "; ".join(r for _, r in statuses)
+        for s, r in statuses:
+            if s is not SiteStatus.PROVEN:
+                return SiteStatus.UNPROVEN, r
+        return SiteStatus.UNPROVEN, "unprovable"
+
+    def _site_key(self, kind: str, line: int) -> str:
+        return f"{self.filename}:{line}:{kind}"
+
+    # --------------------------------------------------------- evaluation
+
+    def eval(self, expr: ast.Expr | None, state: dict[str, Value]) -> Value:
+        if expr is None:
+            return Interval.top()
+        method = getattr(self, "_eval_" + type(expr).__name__, None)
+        if method is None:
+            return Interval.top()
+        return method(expr, state)
+
+    def _eval_IntLit(self, expr: ast.IntLit, state) -> Value:
+        return Interval.const(expr.value)
+
+    def _eval_StrLit(self, expr: ast.StrLit, state) -> Value:
+        region = Region("string", repr(expr.value), len(expr.value) + 1)
+        return PointerValue.to_region(region)
+
+    def _eval_Ident(self, expr: ast.Ident, state) -> Value:
+        t = self.decl_types.get(expr.name)
+        if isinstance(t, (ArrayType, StructType)) \
+                and expr.name not in self.untracked:
+            return PointerValue.to_region(self.regions[expr.name])
+        if self._is_tracked(expr.name) and expr.name in state:
+            return state[expr.name]
+        return self._default(t if not isinstance(t, StructType) else None)
+
+    def _eval_SizeOf(self, expr: ast.SizeOf, state) -> Value:
+        if expr.ctype is not None:
+            return Interval.const(expr.ctype.size)
+        t = self.types.type_of(expr.expr) if expr.expr is not None else None
+        return Interval.const(t.size) if t is not None else Interval.top()
+
+    def _eval_Check(self, expr: ast.Check, state) -> Value:
+        prev = self._site_override
+        self._site_override = expr
+        try:
+            return self.eval(expr.inner, state)
+        finally:
+            self._site_override = prev
+
+    def _take_site(self, kind: str, line: int) -> tuple[str, int, int | None]:
+        """Site key + line + instrumented access size for the node being
+        classified (uses the wrapping Check if present)."""
+        check = self._site_override
+        self._site_override = None
+        if check is not None and check.kind == kind:
+            return check.site, check.line, check.access_size
+        return self._site_key(kind, line), line, None
+
+    def _access_size_of(self, expr: ast.Expr) -> int:
+        t = self.types.type_of(expr)
+        return t.size if t is not None and t.size > 0 else 1
+
+    def _elem_size(self, expr: ast.Expr) -> int | None:
+        """Byte stride for pointer arithmetic on ``expr``'s value."""
+        t = self.types.type_of(expr)
+        if isinstance(t, PointerType):
+            return max(1, t.pointee.size)
+        if isinstance(t, ArrayType):
+            return max(1, t.elem.size)
+        return None
+
+    def _address_of(self, expr: ast.Expr,
+                    state) -> tuple[PointerValue | None, ast.Expr]:
+        """(abstract address, pointer subexpression) of an lvalue access.
+        Returns ``None`` address when provenance is not computable."""
+        if isinstance(expr, ast.Deref):
+            pv = self.eval(expr.ptr, state)
+            return (pv if isinstance(pv, PointerValue) else None), expr.ptr
+        if isinstance(expr, ast.Index):
+            base = self.eval(expr.base, state)
+            idx = self.eval(expr.index, state)
+            if _contains_call(expr.index) and isinstance(base, PointerValue):
+                # the index expression may have freed what base points at
+                base = self._demote_freed(base)
+            elem = self.types.type_of(expr)
+            if not isinstance(base, PointerValue) or elem is None \
+                    or not isinstance(idx, Interval):
+                return None, expr.base
+            stride = max(1, elem.size)
+            return base.shift(idx.mul(Interval.const(stride))), expr.base
+        if isinstance(expr, ast.Member) and expr.arrow:
+            base = self.eval(expr.base, state)
+            t = self.types.type_of(expr.base)
+            struct = t.pointee if isinstance(t, PointerType) else None
+            if not isinstance(base, PointerValue) \
+                    or not isinstance(struct, StructType):
+                return None, expr.base
+            try:
+                offset, _ftype = struct.field(expr.field_name)
+            except KeyError:
+                return None, expr.base
+            return base.shift(Interval.const(offset)), expr.base
+        return None, expr
+
+    def _eval_access(self, expr: ast.Expr, state) -> Value:
+        """Shared read path for Deref / Index / Member(arrow)."""
+        site, line, isize = self._take_site("deref", expr.line)
+        addr, ptr_expr = self._address_of(expr, state)
+        access_size = isize if isize is not None \
+            else self._access_size_of(expr)
+        self._classify_deref(expr, addr, access_size, site, line, ptr_expr)
+        self._last_addr = addr
+        return self._default(self.types.type_of(expr))
+
+    def _eval_Deref(self, expr: ast.Deref, state) -> Value:
+        return self._eval_access(expr, state)
+
+    def _eval_Index(self, expr: ast.Index, state) -> Value:
+        return self._eval_access(expr, state)
+
+    def _eval_Member(self, expr: ast.Member, state) -> Value:
+        if expr.arrow:
+            return self._eval_access(expr, state)
+        self.eval(expr.base, state)  # x.f: no dereference, no check
+        return self._default(self.types.type_of(expr))
+
+    def _eval_AddrOf(self, expr: ast.AddrOf, state) -> Value:
+        target = _unwrap(expr.target)
+        if isinstance(target, ast.Ident):
+            region = self.regions.get(target.name)
+            if region is not None and target.name not in self.untracked:
+                return PointerValue.to_region(region)
+            return PointerValue.unknown()
+        if isinstance(target, ast.Index):
+            base = self.eval(target.base, state)
+            idx = self.eval(target.index, state)
+            elem = self.types.type_of(target)
+            if isinstance(base, PointerValue) and elem is not None \
+                    and isinstance(idx, Interval):
+                return base.shift(idx.mul(Interval.const(max(1, elem.size))))
+            return PointerValue.unknown()
+        if isinstance(target, ast.Deref):
+            pv = self.eval(target.ptr, state)
+            return pv if isinstance(pv, PointerValue) \
+                else PointerValue.unknown()
+        if isinstance(target, ast.Member):
+            addr, _ = self._address_of(
+                ast.Member(line=target.line, base=target.base,
+                           field_name=target.field_name, arrow=True)
+                if target.arrow else target, state)
+            if target.arrow and addr is not None:
+                return addr
+            if not target.arrow:
+                base = self.eval(ast.AddrOf(line=target.line,
+                                            target=target.base), state)
+                t = self.types.type_of(target.base)
+                if isinstance(base, PointerValue) \
+                        and isinstance(t, StructType):
+                    try:
+                        offset, _ = t.field(target.field_name)
+                        return base.shift(Interval.const(offset))
+                    except KeyError:
+                        pass
+        return PointerValue.unknown()
+
+    def _eval_BinOp(self, expr: ast.BinOp, state) -> Value:
+        left = self.eval(expr.left, state)
+        if _contains_call(expr.right) and isinstance(left, PointerValue):
+            # the right side may free what the left points at
+            left = self._demote_freed(left)
+        right = self.eval(expr.right, state)
+        op = expr.op
+
+        if op in _CMP_OPS:
+            if isinstance(left, Interval) and isinstance(right, Interval):
+                return left.cmp(op, right)
+            return Interval(0, 1)
+        if op in ("&&", "||"):
+            return Interval(0, 1)
+
+        ptr_left = isinstance(left, PointerValue)
+        ptr_right = isinstance(right, PointerValue)
+        if op in ("+", "-") and (ptr_left or ptr_right):
+            result = self._ptr_arith(expr, left, right, state)
+            wrapped = (self._site_override is not None
+                       and self._site_override.kind == "arith")
+            # classify when wrapped in an arith Check, or (raw ASTs) when
+            # the instrumenter *would* wrap it — side-effect-free only
+            if wrapped or _pure(expr):
+                site, line, _ = self._take_site("arith", expr.line)
+                self._classify_arith(
+                    result if isinstance(result, PointerValue) else None,
+                    site, line)
+            return result
+        if ptr_left or ptr_right:
+            return Interval.top()
+
+        assert isinstance(left, Interval) and isinstance(right, Interval)
+        if op == "+":
+            return left.add(right)
+        if op == "-":
+            return left.sub(right)
+        if op == "*":
+            return left.mul(right)
+        if op == "/":
+            return left.div(right)
+        if op == "%":
+            return left.mod(right)
+        if op == "&":
+            if right.is_const and right.lo is not None and right.lo >= 0:
+                return Interval(0, right.lo)
+            if left.is_const and left.lo is not None and left.lo >= 0:
+                return Interval(0, left.lo)
+        return Interval.top()
+
+    def _ptr_arith(self, expr: ast.BinOp, left: Value, right: Value,
+                   state) -> Value:
+        if isinstance(left, PointerValue) and isinstance(right, PointerValue):
+            return Interval.top()  # pointer difference
+        ptr, num = (left, right) if isinstance(left, PointerValue) \
+            else (right, left)
+        if not isinstance(num, Interval):
+            return PointerValue.unknown()
+        stride = self._elem_size(expr)
+        if stride is None:
+            return PointerValue.unknown()
+        delta = num.mul(Interval.const(stride))
+        if expr.op == "-":
+            if not isinstance(left, PointerValue):
+                return PointerValue.unknown()  # n - p is not a pointer
+            delta = delta.neg()
+        return ptr.shift(delta)
+
+    def _eval_UnOp(self, expr: ast.UnOp, state) -> Value:
+        if expr.op in ("++", "--"):
+            return self._incdec(expr.operand, expr.op, state, prefix=True)
+        operand = self.eval(expr.operand, state)
+        if expr.op == "-" and isinstance(operand, Interval):
+            return operand.neg()
+        if expr.op == "!":
+            return Interval(0, 1)
+        return Interval.top()
+
+    def _eval_PostIncDec(self, expr: ast.PostIncDec, state) -> Value:
+        return self._incdec(expr.target, expr.op, state, prefix=False)
+
+    def _incdec(self, target: ast.Expr, op: str, state,
+                *, prefix: bool) -> Value:
+        target = _unwrap(target)
+        if not isinstance(target, ast.Ident) \
+                or not self._is_tracked(target.name):
+            if target is not None and not isinstance(target, ast.Ident):
+                addr, _ = self._address_of(target, state)
+                self._havoc_store(state, addr)
+            return Interval.top()
+        old = state.get(target.name,
+                        self._default(self.decl_types.get(target.name)))
+        step = 1 if op == "++" else -1
+        if isinstance(old, PointerValue):
+            stride = self._elem_size(target) or 1
+            new: Value = old.shift(Interval.const(step * stride))
+        elif isinstance(old, Interval):
+            new = old.add(Interval.const(step))
+        else:
+            new = Interval.top()
+        state[target.name] = new
+        return new if prefix else old
+
+    def _eval_Assign(self, expr: ast.Assign, state) -> Value:
+        value = self.eval(expr.value, state)
+        target = expr.target
+        bare = _unwrap(target)
+        if isinstance(bare, ast.Ident):
+            if self._is_tracked(bare.name):
+                t = self.decl_types.get(bare.name)
+                if expr.op:
+                    old = state.get(bare.name, self._default(t))
+                    value = self._compound(old, expr.op, value, bare)
+                state[bare.name] = self._coerce(
+                    self._fits_scope(value, bare.name), t)
+                return state[bare.name]
+            return value
+        if isinstance(bare, ast.Member) and not bare.arrow:
+            self.eval(target, state)  # x.f = v: named storage, no aliasing
+            return value
+        # store through memory: evaluating the lvalue classifies its check
+        # (one evaluation only — the address is latched in _last_addr)
+        if isinstance(target, (ast.Check, ast.Deref, ast.Index, ast.Member)):
+            self._last_addr = None
+            self.eval(target, state)
+            self._havoc_store(state, self._last_addr)
+        return value
+
+    def _compound(self, old: Value, op: str, value: Value,
+                  target: ast.Ident) -> Value:
+        if isinstance(old, PointerValue) and op in ("+", "-") \
+                and isinstance(value, Interval):
+            stride = self._elem_size(target) or 1
+            delta = value.mul(Interval.const(stride))
+            return old.shift(delta if op == "+" else delta.neg())
+        if isinstance(old, Interval) and isinstance(value, Interval):
+            if op == "+":
+                return old.add(value)
+            if op == "-":
+                return old.sub(value)
+            if op == "*":
+                return old.mul(value)
+            if op == "/":
+                return old.div(value)
+            if op == "%":
+                return old.mod(value)
+        return Interval.top() if isinstance(old, Interval) \
+            else PointerValue.unknown()
+
+    def _eval_Call(self, expr: ast.Call, state) -> Value:
+        arg_values = [self.eval(a, state) for a in expr.args]
+        self._havoc_calls(state)
+
+        name = expr.func
+        line = expr.line
+        if name in self.program.funcs:
+            self.calls.add(name)
+        elif name == "malloc":
+            size = arg_values[0] if arg_values else Interval.top()
+            if isinstance(size, Interval) and size.is_const \
+                    and size.lo is not None and size.lo > 0:
+                region = Region("heap", f"malloc@{line}", size.lo)
+                return PointerValue.to_region(region)
+            self._record(self._site_key("call", line), "call", line,
+                         SiteStatus.UNPROVEN,
+                         "malloc with unproven-positive size may fault")
+        elif name in CHECKED_EXTERNS:
+            self._record(self._site_key("call", line), "call", line,
+                         SiteStatus.UNPROVEN,
+                         f"call to checked extern '{name}' may fault "
+                         f"at runtime")
+        elif name not in self.trusted:
+            self._record(self._site_key("call", line), "call", line,
+                         SiteStatus.UNPROVEN,
+                         f"call to unknown extern '{name}'")
+        fdef = self.program.funcs.get(name)
+        if fdef is not None:
+            return self._default(fdef.ret_type)
+        return Interval.top()
+
+    # ----------------------------------------------------------- transfer
+
+    def _transfer(self, block: BasicBlock, state: dict[str, Value],
+                  ) -> list[tuple[int, dict[str, Value]]]:
+        state = dict(state)
+        if self._collecting:
+            entry_init = self.initfacts.entry_states.get(block.bid, {})
+            self._cur_init = dict(entry_init)
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, state)
+            if self._collecting:
+                advance(self._cur_init, stmt, self.scalars)
+        term = block.term
+        if isinstance(term, Jump):
+            return [(term.target, state)]
+        if isinstance(term, CondJump):
+            self.eval(term.cond, state)
+            if self._collecting:
+                advance_expr(self._cur_init, term.cond, self.scalars)
+            out: list[tuple[int, dict[str, Value]]] = []
+            t_state = self._refine(term.cond, state, True)
+            f_state = self._refine(term.cond, state, False)
+            if t_state is not None:
+                out.append((term.then_target, t_state))
+            if f_state is not None:
+                out.append((term.else_target, f_state))
+            return out
+        return []  # Ret: the Return stmt in block.stmts already evaluated
+
+    def _exec_stmt(self, stmt: ast.Stmt, state: dict[str, Value]) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                value = self.eval(stmt.init, state)
+                if self._is_tracked(stmt.name):
+                    state[stmt.name] = self._coerce(
+                        self._fits_scope(value, stmt.name), stmt.ctype)
+            elif self._is_tracked(stmt.name):
+                state[stmt.name] = self._default(stmt.ctype)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.eval(stmt.expr, state)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.eval(stmt.value, state)
+
+    # --------------------------------------------------------- refinement
+
+    def _refine(self, cond: ast.Expr, state: dict[str, Value],
+                branch: bool) -> dict[str, Value] | None:
+        """State for one branch of ``cond``; None when infeasible."""
+        if not _pure(cond):
+            return dict(state)
+        new = dict(state)
+        feasible = self._refine_into(cond, new, branch)
+        return new if feasible else None
+
+    def _refine_into(self, cond: ast.Expr, state: dict[str, Value],
+                     branch: bool) -> bool:
+        cond = _unwrap(cond)
+        if isinstance(cond, ast.UnOp) and cond.op == "!":
+            return self._refine_into(cond.operand, state, not branch)
+        if isinstance(cond, ast.BinOp) and cond.op == "&&" and branch:
+            return (self._refine_into(cond.left, state, True)
+                    and self._refine_into(cond.right, state, True))
+        if isinstance(cond, ast.BinOp) and cond.op == "||" and not branch:
+            return (self._refine_into(cond.left, state, False)
+                    and self._refine_into(cond.right, state, False))
+        if isinstance(cond, ast.IntLit):
+            truth = cond.value != 0
+            return truth == branch
+        if isinstance(cond, ast.Ident) and self._is_tracked(cond.name):
+            cur = state.get(cond.name)
+            if isinstance(cur, Interval):
+                refined = self._refine_truthy(cur, branch)
+                if refined.empty:
+                    return False
+                state[cond.name] = refined
+            elif isinstance(cur, PointerValue):
+                return self._refine_null(cond.name, cur, branch, state)
+            return True
+        if isinstance(cond, ast.BinOp) and cond.op in ("==", "!="):
+            lhs, rhs = _unwrap(cond.left), _unwrap(cond.right)
+            for ident, zero in ((lhs, rhs), (rhs, lhs)):
+                if isinstance(ident, ast.Ident) \
+                        and self._is_tracked(ident.name) \
+                        and isinstance(zero, ast.IntLit) and zero.value == 0:
+                    cur = state.get(ident.name)
+                    if isinstance(cur, PointerValue):
+                        nonnull = (cond.op == "!=") == branch
+                        return self._refine_null(ident.name, cur, nonnull,
+                                                 state)
+        if isinstance(cond, ast.BinOp) and cond.op in _CMP_OPS:
+            op = cond.op if branch else self._negate(cond.op)
+            ok = self._refine_cmp(cond.left, op, cond.right, state)
+            if ok is False:
+                return False
+            ok2 = self._refine_cmp(cond.right, self._flip(op), cond.left,
+                                   state)
+            return ok2 is not False
+        return True
+
+    @staticmethod
+    def _negate(op: str) -> str:
+        return {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+                "==": "!=", "!=": "=="}[op]
+
+    @staticmethod
+    def _flip(op: str) -> str:
+        return {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+                "==": "==", "!=": "!="}[op]
+
+    @staticmethod
+    def _refine_null(name: str, pv: PointerValue, nonnull: bool,
+                     state: dict[str, Value]) -> bool:
+        """Refine a tracked pointer under a null test.  Returns False when
+        the branch is infeasible (pointer is definitely null)."""
+        if nonnull:
+            kept = tuple((r, iv) for r, iv in pv.pointees
+                         if r.kind != "null")
+            if not kept:
+                return False
+            state[name] = PointerValue(kept)
+        else:
+            # p == 0: on this branch the value is exactly null
+            state[name] = PointerValue.to_region(NULL_REGION)
+        return True
+
+    @staticmethod
+    def _refine_truthy(iv: Interval, truthy: bool) -> Interval:
+        if not truthy:
+            return iv.meet(Interval.const(0))
+        if iv.lo == 0:
+            return Interval(1, iv.hi)
+        if iv.hi == 0:
+            return Interval(iv.lo, -1)
+        return iv
+
+    def _refine_cmp(self, lhs: ast.Expr, op: str, rhs: ast.Expr,
+                    state: dict[str, Value]) -> bool | None:
+        """Refine ``lhs`` (an Ident) under ``lhs op rhs``.  Returns False
+        when the branch is infeasible, None when not applicable."""
+        lhs = _unwrap(lhs)
+        if not isinstance(lhs, ast.Ident) or not self._is_tracked(lhs.name):
+            return None
+        cur = state.get(lhs.name)
+        if not isinstance(cur, Interval):
+            return None
+        was_collecting = self._classify_enabled
+        self._classify_enabled = False
+        try:
+            bound = self.eval(rhs, dict(state))
+        finally:
+            self._classify_enabled = was_collecting
+        if not isinstance(bound, Interval):
+            return None
+        allowed = Interval.top()
+        if op == "<" and bound.hi is not None:
+            allowed = Interval(None, bound.hi - 1)
+        elif op == "<=" and bound.hi is not None:
+            allowed = Interval(None, bound.hi)
+        elif op == ">" and bound.lo is not None:
+            allowed = Interval(bound.lo + 1, None)
+        elif op == ">=" and bound.lo is not None:
+            allowed = Interval(bound.lo, None)
+        elif op == "==":
+            allowed = bound
+        refined = cur.meet(allowed)
+        if refined.empty:
+            return False
+        state[lhs.name] = refined
+        return True
+
+    # ------------------------------------------------------------ fixpoint
+
+    def _initial_state(self) -> dict[str, Value]:
+        state: dict[str, Value] = {}
+        for p in self.func.params:
+            if isinstance(p.ctype, (PointerType, ArrayType)):
+                state[p.name] = PointerValue.to_region(
+                    Region("param", p.name, None))
+            else:
+                state[p.name] = Interval.top()
+        for name in self.scalars:
+            if self._is_tracked(name) and name not in state:
+                state[name] = self._default(self.decl_types.get(name))
+        return state
+
+    @staticmethod
+    def _join_states(a: dict[str, Value],
+                     b: dict[str, Value], *, widen: bool) -> dict[str, Value]:
+        out: dict[str, Value] = {}
+        for name in set(a) | set(b):
+            va, vb = a.get(name), b.get(name)
+            if va is None or vb is None or type(va) is not type(vb):
+                out[name] = (va or vb) if (va is None or vb is None) \
+                    else (Interval.top() if isinstance(va, Interval)
+                          else PointerValue.unknown())
+                continue
+            if widen:
+                out[name] = va.widen(vb)  # type: ignore[arg-type]
+            else:
+                out[name] = va.join(vb)   # type: ignore[arg-type]
+        return out
+
+    def run(self) -> tuple[dict[int, dict[str, Value]], bool]:
+        """Worklist fixpoint; returns (block entry states, budget_ok)."""
+        entry_states: dict[int, dict[str, Value]] = {
+            self.cfg.entry: self._initial_state()}
+        visits: dict[int, int] = {}
+        worklist: deque[int] = deque([self.cfg.entry])
+        budget = MAX_BLOCK_VISITS
+        while worklist:
+            budget -= 1
+            if budget <= 0:
+                self.budget_exceeded = True
+                return entry_states, False
+            bid = worklist.popleft()
+            block = self.cfg.blocks[bid]
+            for succ, out_state in self._transfer(block, entry_states[bid]):
+                prev = entry_states.get(succ)
+                if prev is None:
+                    entry_states[succ] = out_state
+                    visits[succ] = 1
+                    worklist.append(succ)
+                    continue
+                joined = self._join_states(prev, out_state, widen=False)
+                use_widen = (self.cfg.blocks[succ].is_loop_header
+                             and visits.get(succ, 0) >= 2)
+                if use_widen:
+                    joined = self._join_states(prev, joined, widen=True)
+                if joined != prev:
+                    entry_states[succ] = joined
+                    visits[succ] = visits.get(succ, 0) + 1
+                    worklist.append(succ)
+        return entry_states, True
+
+    def collect(self, entry_states: dict[int, dict[str, Value]]) -> None:
+        """Replay every reachable block once, recording site findings."""
+        self._collecting = True
+        try:
+            for bid in self.cfg.rpo():
+                if bid in entry_states:
+                    self._transfer(self.cfg.blocks[bid], entry_states[bid])
+        finally:
+            self._collecting = False
+
+
+# --------------------------------------------------------------------------
+# whole-program driver
+# --------------------------------------------------------------------------
+
+def _analyze_function(program: ast.Program, func: ast.FuncDef,
+                      filename: str, trusted_externs: frozenset[str],
+                      require_termination: bool) -> FunctionVerdict:
+    analyzer = _Analyzer(program, func, filename, trusted_externs)
+    entry_states, budget_ok = analyzer.run()
+    if budget_ok:
+        analyzer.collect(entry_states)
+    loops = check_termination(func.body)
+    findings = analyzer.findings
+    if not budget_ok:
+        findings = [SiteFinding(
+            site=f"{filename}:{func.body.line}:budget", kind="budget",
+            line=func.body.line, status=SiteStatus.UNPROVEN,
+            reason="analysis budget exceeded; keeping all checks",
+            func=func.name)]
+
+    if any(f.status is SiteStatus.VIOLATION for f in findings):
+        verdict = Verdict.REJECT
+    elif require_termination and any(not lb.bounded for lb in loops):
+        verdict = Verdict.REJECT
+    elif any(f.status is SiteStatus.UNPROVEN for f in findings):
+        verdict = Verdict.NEEDS_CHECKS
+    else:
+        verdict = Verdict.PROVEN_SAFE
+
+    return FunctionVerdict(
+        name=func.name, verdict=verdict, effective=verdict,
+        findings=findings, loops=loops, calls=analyzer.calls,
+        nodes=sum(1 for _ in ast.walk(func.body)))
+
+
+def verify_program(program: ast.Program, filename: str = "<kgcc>", *,
+                   require_termination: bool = False,
+                   trusted_externs: frozenset[str] = frozenset()
+                   ) -> VerifierReport:
+    """Verify every function in ``program``.
+
+    ``filename`` must match the name given to the KGCC instrumenter so
+    that synthesized site keys line up with instrumented ones.  Programs
+    may be verified before or after instrumentation: ``Check`` wrappers
+    are transparent to the analysis and contribute their site strings.
+    """
+    report = VerifierReport(filename=filename,
+                            require_termination=require_termination)
+    for func in program.funcs.values():
+        report.functions[func.name] = _analyze_function(
+            program, func, filename, trusted_externs, require_termination)
+
+    # effective verdict: a function is only as safe as its callees
+    changed = True
+    while changed:
+        changed = False
+        for fv in report.functions.values():
+            eff = fv.effective
+            for callee in fv.calls:
+                callee_fv = report.functions.get(callee)
+                if callee_fv is not None:
+                    eff = Verdict.worst(eff, callee_fv.effective)
+            if eff is not fv.effective:
+                fv.effective = eff
+                changed = True
+    return report
+
+
+class LoadTimeVerifier:
+    """The module-loader's hook: verify at ``register_function`` time.
+
+    Constructed by the host (e.g. handed to
+    :class:`~repro.core.cosy.kernel_ext.CosyKernelExtension`); Cosy
+    compounds must additionally prove every loop bounded, so
+    ``require_termination`` defaults to True here.
+    """
+
+    def __init__(self, *, require_termination: bool = True,
+                 filename: str = "<cosy>",
+                 trusted_externs: frozenset[str] = frozenset()):
+        self.require_termination = require_termination
+        self.filename = filename
+        self.trusted_externs = trusted_externs
+        self._cache: dict[int, VerifierReport] = {}
+
+    def verify(self, program: ast.Program) -> VerifierReport:
+        key = id(program)
+        report = self._cache.get(key)
+        if report is None:
+            report = verify_program(
+                program, self.filename,
+                require_termination=self.require_termination,
+                trusted_externs=self.trusted_externs)
+            self._cache[key] = report
+        return report
+
+    def verdict_for(self, program: ast.Program,
+                    func_name: str) -> FunctionVerdict:
+        report = self.verify(program)
+        fv = report.functions.get(func_name)
+        if fv is None:
+            return FunctionVerdict(name=func_name,
+                                   verdict=Verdict.NEEDS_CHECKS,
+                                   effective=Verdict.NEEDS_CHECKS)
+        return fv

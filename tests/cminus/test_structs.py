@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cminus import Interpreter, UserMemAccess, parse
-from repro.cminus.ctypes import StructType, CHAR, INT, PointerType
+from repro.cminus.ctypes import StructType, CHAR, INT
 from repro.errors import BoundsError, CMinusError, InvalidPointer
 from repro.kernel import Kernel
 from repro.kernel.fs import RamfsSuperBlock

@@ -1,7 +1,5 @@
 """The analysis/report helpers."""
 
-import pytest
-
 from repro.analysis import ComparisonTable, fmt_bytes, fmt_seconds, pct
 
 

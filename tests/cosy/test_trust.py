@@ -84,7 +84,6 @@ def test_fault_pins_function_isolated():
     installed.run({"x": 0})
     installed.run({"x": 1})
     assert trust.protection_for(fid) is CosyProtection.DATA_ONLY  # promoted
-    from repro.errors import HardwareFault
     with pytest.raises(Exception):
         installed.run({"x": 9})  # now it misbehaves...
     # ... wait: promoted functions built by Cosy-GCC still run in a data

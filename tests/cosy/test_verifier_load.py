@@ -1,0 +1,169 @@
+"""Load-time verification at the Cosy boundary (eBPF-style registration).
+
+``CosyKernelExtension(verifier=...)`` verifies every registered user
+function: REJECT refuses the load with a typed error and per-site
+reasons, PROVEN_SAFE starts at DATA_ONLY protection with no warmup, and
+the one-time analysis cost lands on the kernel clock.  ``CosyGCC`` can
+additionally refuse regions whose loops have no provable bound.
+"""
+
+import pytest
+
+from repro.cminus.parser import parse
+from repro.core.cosy import (CosyGCC, CosyKernelExtension, CosyProtection,
+                             TrustManager)
+from repro.errors import VerifierReject
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.safety.verifier import LoadTimeVerifier, Verdict
+
+SAFE_SRC = """
+int sum() {
+    int a[8];
+    int s;
+    s = 0;
+    for (int i = 0; i < 8; i++) { a[i] = i; }
+    for (int i = 0; i < 8; i++) { s = s + a[i]; }
+    return s;
+}
+"""
+
+OOB_SRC = """
+int oops() {
+    int a[4];
+    return a[9];
+}
+"""
+
+DYNAMIC_SRC = """
+int peek(int *buf, int n) {
+    return buf[n];
+}
+"""
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    return k
+
+
+def _ext(kernel, **kw):
+    return CosyKernelExtension(kernel, verifier=LoadTimeVerifier(), **kw)
+
+
+def test_proven_function_registers_with_verdict(kernel):
+    ext = _ext(kernel)
+    fid = ext.register_function(parse(SAFE_SRC), "sum")
+    assert ext.verdicts[fid] is Verdict.PROVEN_SAFE
+
+
+def test_rejected_function_refused_with_reasons(kernel):
+    ext = _ext(kernel)
+    with pytest.raises(VerifierReject) as exc:
+        ext.register_function(parse(OOB_SRC), "oops")
+    assert exc.value.func == "oops"
+    assert any("out of bounds" in r for r in exc.value.reasons)
+    # nothing was registered: the next id is still 1
+    assert ext.register_function(parse(SAFE_SRC), "sum") == 1
+
+
+def test_verification_cost_charged_at_load(kernel):
+    ext = _ext(kernel)
+    before = kernel.clock.now
+    ext.register_function(parse(SAFE_SRC), "sum")
+    charged = kernel.clock.now - before
+    assert charged >= kernel.costs.verifier_load_base
+
+
+def test_handcrafted_functions_bypass_the_verifier(kernel):
+    ext = _ext(kernel)
+    fid = ext.register_function(parse(OOB_SRC), "oops", handcrafted=True)
+    assert fid not in ext.verdicts
+
+
+def test_no_verifier_means_no_verdicts(kernel):
+    ext = CosyKernelExtension(kernel)
+    fid = ext.register_function(parse(OOB_SRC), "oops")
+    assert ext.verdicts == {} and fid == 1
+
+
+def test_proven_function_starts_data_only(kernel):
+    ext = _ext(kernel, protection=CosyProtection.FULL_ISOLATION)
+    trust = TrustManager(ext, threshold=100)
+    fid = ext.register_function(parse(SAFE_SRC), "sum")
+    assert trust.protection_for(fid) is CosyProtection.DATA_ONLY
+    assert trust.status(fid) == "verified"
+
+
+def test_needs_checks_function_still_observes(kernel):
+    ext = _ext(kernel, protection=CosyProtection.FULL_ISOLATION)
+    trust = TrustManager(ext, threshold=3)
+    fid = ext.register_function(parse(DYNAMIC_SRC), "peek")
+    assert ext.verdicts[fid] is Verdict.NEEDS_CHECKS
+    assert trust.protection_for(fid) is CosyProtection.FULL_ISOLATION
+    assert "observing" in trust.status(fid)
+
+
+def test_fault_pins_even_statically_proven(kernel):
+    from repro.errors import ProtectionFault
+    ext = _ext(kernel)
+    trust = TrustManager(ext)
+    fid = ext.register_function(parse(SAFE_SRC), "sum")
+    trust.record_fault(fid, ProtectionFault(1, 0, "escape"))
+    assert trust.protection_for(fid) is CosyProtection.FULL_ISOLATION
+    assert trust.status(fid) == "pinned-isolated"
+    # clean runs never re-promote a pinned function
+    for _ in range(200):
+        trust.record_clean(fid)
+    assert trust.protection_for(fid) is CosyProtection.FULL_ISOLATION
+
+
+def test_trust_manager_attached_late_sees_verdicts(kernel):
+    ext = _ext(kernel)
+    fid = ext.register_function(parse(SAFE_SRC), "sum")
+    trust = TrustManager(ext)  # attached after registration
+    assert trust.protection_for(fid) is CosyProtection.DATA_ONLY
+
+
+# ------------------------------------------------------ CosyGCC loop bounds
+
+UNBOUNDED_REGION = """
+int main() {
+    int n;
+    n = 1;
+    COSY_START();
+    while (n) { n = n * 2; }
+    COSY_END();
+    return n;
+}
+"""
+
+BOUNDED_REGION = """
+int main() {
+    int s;
+    s = 0;
+    COSY_START();
+    for (int i = 0; i < 10; i++) { s = s + i; }
+    COSY_END();
+    return s;
+}
+"""
+
+
+def test_cosy_gcc_rejects_unbounded_region():
+    with pytest.raises(VerifierReject) as exc:
+        CosyGCC().compile(UNBOUNDED_REGION, require_bounded_loops=True)
+    assert "loop bound not provable" in str(exc.value)
+
+
+def test_cosy_gcc_accepts_bounded_region():
+    region = CosyGCC().compile(BOUNDED_REGION, require_bounded_loops=True)
+    assert region.ops
+
+
+def test_cosy_gcc_default_keeps_watchdog_behaviour():
+    region = CosyGCC().compile(UNBOUNDED_REGION)  # no flag: watchdog's job
+    assert region.ops

@@ -119,11 +119,13 @@ def test_lock_acquire_failpoint_injects_contention():
     k = Kernel()
     lk = SpinLock(k, "dcache_lock")
     before = k.clock.now
-    lk.lock(); lk.unlock()
+    lk.lock()
+    lk.unlock()
     uncontended = k.clock.now - before
     with k.faults.inject("lock.acquire", site="dcache_lock", every=1):
         before = k.clock.now
-        lk.lock(); lk.unlock()
+        lk.lock()
+        lk.unlock()
         contended = k.clock.now - before
     assert lk.contentions == 1
     assert contended == uncontended + 2 * k.costs.context_switch
@@ -134,8 +136,10 @@ def test_lock_site_filter_targets_one_lock():
     k = Kernel()
     a, b = SpinLock(k, "lock_a"), SpinLock(k, "lock_b")
     with k.faults.inject("lock.acquire", site="lock_a", every=1):
-        a.lock(); a.unlock()
-        b.lock(); b.unlock()
+        a.lock()
+        a.unlock()
+        b.lock()
+        b.unlock()
     assert a.contentions == 1 and b.contentions == 0
 
 

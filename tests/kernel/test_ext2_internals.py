@@ -6,7 +6,7 @@ from repro.errors import Errno
 from repro.kernel import Kernel
 from repro.kernel.fs import Ext2SuperBlock
 from repro.kernel.fs.disk import BLOCK_SIZE, BufferCache, Disk
-from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+from repro.kernel.vfs import O_CREAT, O_WRONLY
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import EINVAL, ENOTDIR, Errno
 from repro.kernel import Kernel
 from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock
-from repro.kernel.vfs import O_CREAT, O_WRONLY
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import WatchdogExpired
 from repro.kernel import Kernel
 from repro.kernel.fs import RamfsSuperBlock
 from repro.kernel.process import TaskState
@@ -57,7 +56,7 @@ def test_timeshare_cost_only_with_other_ready_tasks(k):
     before = k.clock.now
     k.sched.maybe_preempt()
     solo_cost = k.clock.now - before
-    other = k.spawn("competitor")  # READY
+    k.spawn("competitor")  # READY
     k.clock.charge(k.costs.sched_quantum + 1)
     before = k.clock.now
     k.sched.maybe_preempt()

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ProtectionFault
 from repro.kernel import Kernel
 from repro.kernel.memory import AddressSpace
-from repro.kernel.segments import (SEG_EXEC, SEG_READ, SEG_WRITE,
+from repro.kernel.segments import (SEG_EXEC, SEG_READ,
                                    SegmentDescriptor, SegmentTable,
                                    SegmentedView)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import (EBADF, EEXIST, EINVAL, EISDIR, ENOENT, ENOTDIR,
+from repro.errors import (EBADF, EEXIST, EISDIR, ENOENT, ENOTDIR,
                           ENOTEMPTY, Errno)
 from repro.kernel.vfs import (O_APPEND, O_CREAT, O_RDONLY, O_RDWR, O_TRUNC,
                               O_WRONLY)

@@ -1,8 +1,5 @@
 """Wrapfs: pass-through semantics and its allocation behaviour."""
 
-import pytest
-
-from repro.errors import Errno
 from repro.kernel import Kernel
 from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock, WrapfsSuperBlock
 from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY

@@ -401,7 +401,8 @@ def test_checked_execution_is_slower():
                                   skip_names=report.unregistered)
             kwargs = dict(check_runtime=runtime, var_hooks=runtime)
         before = k.clock.now
-        on_op = lambda: k.clock.charge(k.costs.cminus_op, Mode.USER)
+        def on_op():
+            k.clock.charge(k.costs.cminus_op, Mode.USER)
         Interpreter(program, mem, on_op=on_op, **kwargs).call("main")
         return k.clock.now - before
 
@@ -457,3 +458,78 @@ def test_deinstrumentation_pin_keeps_site_active():
     assert some_site not in deinst.disabled_sites
     deinst.enable_all()
     assert deinst.active_sites == len(report.sites)
+
+
+# ------------------------------------------------- constant-folded elimination
+
+def test_static_elimination_folds_arithmetic_indices():
+    """Indices built from constant arithmetic are as safe as literals."""
+    src = """
+    int main() {
+        int a[8];
+        a[2 + 3] = 1;
+        a[7 - 4] = 2;
+        a[2 * 2] = 3;
+        return a[14 / 2];
+    }
+    """
+    program = parse(src)
+    report = instrument(program)
+    opt = eliminate_safe_static_checks(program)
+    assert opt.checks_removed_static == report.checks_inserted
+    assert opt.checks_after == 0
+
+
+def test_static_elimination_folds_sizeof_indices():
+    src = """
+    int main() {
+        char buf[16];
+        buf[sizeof(int)] = 1;
+        buf[sizeof(int) * 2 - 1] = 2;
+        return buf[sizeof(char)];
+    }
+    """
+    program = parse(src)
+    report = instrument(program)
+    opt = eliminate_safe_static_checks(program)
+    assert opt.checks_removed_static == report.checks_inserted
+
+
+def test_static_elimination_keeps_folded_oob_index():
+    """A constant-folded index that is out of bounds must stay checked."""
+    src = """
+    int main() {
+        int a[4];
+        a[2 + 2] = 1;
+        return 0;
+    }
+    """
+    program = parse(src)
+    report = instrument(program)
+    opt = eliminate_safe_static_checks(program)
+    assert opt.checks_removed_static == 0
+    assert opt.checks_after == report.checks_inserted
+
+
+def test_static_elimination_keeps_nonconstant_index():
+    src = """
+    int main() {
+        int a[4];
+        int i = 1;
+        a[i + 1] = 1;
+        return 0;
+    }
+    """
+    program = parse(src)
+    instrument(program)
+    opt = eliminate_safe_static_checks(program)
+    assert opt.checks_removed_static == 0
+
+
+def test_const_fold_division_by_zero_is_not_constant():
+    from repro.safety.kgcc import const_fold
+    from repro.cminus import ast_nodes as ast
+    expr = ast.BinOp(op="/", left=ast.IntLit(value=4), right=ast.IntLit(value=0))
+    assert const_fold(expr) is None
+    expr = ast.BinOp(op="/", left=ast.IntLit(value=-7), right=ast.IntLit(value=2))
+    assert const_fold(expr) == -3  # C truncates toward zero

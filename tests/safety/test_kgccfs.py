@@ -5,7 +5,7 @@ import pytest
 from repro.errors import Errno
 from repro.kernel import Kernel
 from repro.kernel.fs import RamfsSuperBlock
-from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+from repro.kernel.vfs import O_CREAT, O_WRONLY
 from repro.safety.kgcc.modulefs import (INITIAL_SLOTS, KgccFsSuperBlock,
                                         MODULE_SOURCE)
 

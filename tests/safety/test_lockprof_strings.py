@@ -3,10 +3,10 @@
 import pytest
 
 from repro.cminus import Interpreter, UserMemAccess, parse
-from repro.errors import AllocatorMisuse, BoundsError, InvalidPointer
+from repro.errors import BoundsError, InvalidPointer
 from repro.kernel import Kernel
 from repro.kernel.fs import RamfsSuperBlock
-from repro.kernel.locks import EV_LOCK, EV_UNLOCK, SpinLock
+from repro.kernel.locks import EV_LOCK, EV_UNLOCK
 from repro.kernel.vfs import O_CREAT, O_WRONLY
 from repro.safety.kgcc import KgccRuntime, instrument
 from repro.safety.monitor import EventDispatcher, LockProfiler

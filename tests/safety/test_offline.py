@@ -5,10 +5,10 @@ import pytest
 from repro.kernel import Kernel
 from repro.kernel.fs import RamfsSuperBlock
 from repro.kernel.locks import EV_LOCK, EV_REF_INC, EV_UNLOCK
-from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+from repro.kernel.vfs import O_CREAT, O_WRONLY
 from repro.safety.monitor import (EventCharDevice, EventDispatcher,
                                   UserSpaceLogger)
-from repro.safety.monitor.events import Event, SiteTable
+from repro.safety.monitor.events import Event
 from repro.safety.monitor.offline import analyze, load_event_log
 
 

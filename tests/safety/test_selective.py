@@ -61,7 +61,7 @@ def test_variable_pattern_selects_sites():
 def test_function_pattern_selects_sites():
     program = parse(SRC)
     report = instrument(program)
-    sel = apply_rules(program, report, [Rule(functions="touch_data")])
+    apply_rules(program, report, [Rule(functions="touch_data")])
     interp, runtime, ref_buf, data_buf = _checked_interp(program, report)
     with pytest.raises(BoundsError):
         interp.call("touch_data", data_buf, 100)
@@ -85,3 +85,38 @@ def test_rules_compose_as_whitelist():
         Rule(functions="touch_data"),
     ])
     assert sel.checks_kept == sel.checks_total  # union covers everything
+
+
+def test_unmatched_rule_is_reported():
+    program = parse(SRC)
+    report = instrument(program)
+    dead = Rule(variables="refcont*")  # typo: matches nothing
+    live = Rule(functions="touch_data")
+    sel = apply_rules(program, report, [dead, live])
+    assert sel.unmatched_rules == [dead]
+
+
+def test_unmatched_rule_warns_via_syslog():
+    from repro.kernel.syslog import KERN_WARNING, Syslog
+    program = parse(SRC)
+    report = instrument(program)
+    log = Syslog()
+    apply_rules(program, report,
+                [Rule(variables="refcont*"), Rule(functions="touch_*")],
+                syslog=log)
+    warnings = log.at_or_above(KERN_WARNING)
+    assert len(log.grep("matched no check sites")) == 1
+    assert any("refcont*" in r.message for r in warnings)
+    # the matching rule is not warned about
+    assert not log.grep("touch_*")
+
+
+def test_all_rules_matching_logs_nothing():
+    from repro.kernel.syslog import Syslog
+    program = parse(SRC)
+    report = instrument(program)
+    log = Syslog()
+    sel = apply_rules(program, report, [Rule(functions="touch_data")],
+                      syslog=log)
+    assert sel.unmatched_rules == []
+    assert len(log) == 0

@@ -15,7 +15,7 @@ from repro.errors import Errno
 from repro.kernel import Kernel
 from repro.kernel.fs import RamfsSuperBlock
 from repro.kernel.net import SocketLayer
-from repro.kernel.vfs import O_CREAT, O_RDONLY, O_WRONLY
+from repro.kernel.vfs import O_RDONLY
 from repro.safety.kefence import Kefence, KefenceMode
 from repro.safety.monitor import EventDispatcher, SpinlockMonitor
 

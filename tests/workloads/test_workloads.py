@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.consolidation import SyscallGraph, find_heavy_paths
 from repro.kernel import Kernel
-from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock
+from repro.kernel.fs import RamfsSuperBlock
 from repro.workloads import (CompileBench, CompileBenchConfig,
                              DBWorkloadConfig, InteractiveConfig,
                              InteractiveSession, PostMark, PostMarkConfig,
