@@ -5,14 +5,24 @@ inside ``benchmark.pedantic`` (the interesting numbers are *simulated*
 cycles, which are deterministic — re-running only burns wall time), prints
 a paper-vs-measured :class:`~repro.analysis.report.ComparisonTable`, and
 records the simulated metrics in ``benchmark.extra_info``.
+
+At session end every benchmark's wall time and recorded metrics are
+written to ``benchmarks/BENCH_COSY.json`` so CI (the ``bench-smoke``
+job) and offline tooling can track them without parsing pytest output.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.kernel import Kernel
 from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock
+
+_RESULTS: list[dict] = []
 
 
 def fresh_kernel(fs: str = "ramfs", **kernel_kwargs) -> Kernel:
@@ -29,13 +39,37 @@ def fresh_kernel(fs: str = "ramfs", **kernel_kwargs) -> Kernel:
 
 
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, request):
     """Run a thunk exactly once under pytest-benchmark; returns its result."""
 
     def _run(thunk, **extra_info):
-        result = benchmark.pedantic(thunk, rounds=1, iterations=1,
+        record = {"bench": request.node.name}
+
+        def timed():
+            t0 = time.perf_counter()
+            out = thunk()
+            record["wall_seconds"] = time.perf_counter() - t0
+            return out
+
+        result = benchmark.pedantic(timed, rounds=1, iterations=1,
                                     warmup_rounds=0)
-        benchmark.extra_info.update(extra_info)
+        # callable values are resolved after the run, so benches can
+        # report metrics (simulated cycles, counters) the thunk computed
+        benchmark.extra_info.update(
+            {k: (v() if callable(v) else v) for k, v in extra_info.items()})
+        record["extra_info"] = dict(benchmark.extra_info)
+        _RESULTS.append(record)
         return result
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    out = Path(__file__).parent / "BENCH_COSY.json"
+    payload = {
+        "schema": 1,
+        "results": sorted(_RESULTS, key=lambda r: r["bench"]),
+    }
+    out.write_text(json.dumps(payload, indent=2, default=str) + "\n")

@@ -1,8 +1,8 @@
 """Result formatting and comparison against the paper's published numbers."""
 
 from repro.analysis.report import (Row, ComparisonTable, pct, fmt_bytes,
-                                   fmt_seconds, fault_injection_report,
-                                   verifier_report)
+                                   fmt_seconds, code_cache_report,
+                                   fault_injection_report, verifier_report)
 
 __all__ = ["Row", "ComparisonTable", "pct", "fmt_bytes", "fmt_seconds",
-           "fault_injection_report", "verifier_report"]
+           "code_cache_report", "fault_injection_report", "verifier_report"]

@@ -132,6 +132,29 @@ def verifier_report(report, *, optimize_report=None,
     return "\n".join(lines)
 
 
+def code_cache_report(cache) -> str:
+    """Render the C-minus code-cache section of an analysis report.
+
+    ``cache`` is a :class:`repro.cminus.compile.CodeCache` (duck-typed —
+    anything with a ``stats()`` dict of hits/misses/invalidations/
+    compiles/entries works).  Hit rate is hits over all lookups;
+    invalidations count generation bumps observed at lookup time
+    (hotpatch, (de)instrumentation, re-registration).
+    """
+    s = cache.stats()
+    lookups = s["hits"] + s["misses"]
+    lines = ["== c-minus code cache =="]
+    if lookups:
+        lines.append(f"  lookups: {lookups} — {s['hits']} hits "
+                     f"({100.0 * s['hits'] / lookups:.0f}%), "
+                     f"{s['misses']} misses")
+    else:
+        lines.append("  lookups: none")
+    lines.append(f"  compiles: {s['compiles']}, invalidations: "
+                 f"{s['invalidations']}, live entries: {s['entries']}")
+    return "\n".join(lines)
+
+
 def fault_injection_report(registry) -> str:
     """Render per-failpoint hit/injected/observed counters plus the tail of
     the deterministic injection trace — the report benchmarks print when

@@ -29,6 +29,9 @@ from repro.cminus import ast_nodes as ast
 from repro.cminus.parser import parse
 from repro.cminus.memaccess import MemoryAccess, UserMemAccess, SegmentMemAccess
 from repro.cminus.interp import Interpreter, ExecLimits
+from repro.cminus.compile import (CodeCache, CompiledEngine, CompiledProgram,
+                                  bump_generation, compile_program,
+                                  generation_of, program_fingerprint)
 
 __all__ = [
     "tokenize", "Token", "TokenKind",
@@ -37,4 +40,7 @@ __all__ = [
     "ast", "parse",
     "MemoryAccess", "UserMemAccess", "SegmentMemAccess",
     "Interpreter", "ExecLimits",
+    "CodeCache", "CompiledEngine", "CompiledProgram",
+    "compile_program", "generation_of", "bump_generation",
+    "program_fingerprint",
 ]

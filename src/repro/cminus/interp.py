@@ -88,6 +88,7 @@ class Interpreter:
     def __init__(self, program: ast.Program, mem: MemoryAccess, *,
                  externs: dict[str, Callable] | None = None,
                  on_op: Callable[[], None] | None = None,
+                 on_op_batch: Callable[[int], None] | None = None,
                  step_hook: Callable[[], None] | None = None,
                  check_runtime: CheckRuntime | None = None,
                  var_hooks: VarHooks | None = None,
@@ -96,6 +97,13 @@ class Interpreter:
         self.program = program
         self.mem = mem
         self.externs = externs or {}
+        if on_op is None and on_op_batch is not None:
+            # API symmetry with CompiledEngine: accept a batch callback;
+            # the tree-walker simply charges it one op at a time
+            batch = on_op_batch
+
+            def on_op() -> None:
+                batch(1)
         self.on_op = on_op
         self.step_hook = step_hook
         self.check_runtime = check_runtime

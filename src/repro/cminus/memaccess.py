@@ -34,6 +34,12 @@ class MemoryAccess(ABC):
     @abstractmethod
     def read(self, addr: int, size: int) -> bytes: ...
 
+    def read_int(self, addr: int, size: int, signed: bool = False) -> int:
+        """Fused scalar load: ``read()`` + little-endian decode.  Backends
+        override this with a copy-free path; semantics (checks, charges,
+        faults) must be identical to ``read()``."""
+        return int.from_bytes(self.read(addr, size), "little", signed=signed)
+
     @abstractmethod
     def write(self, addr: int, data: bytes) -> None: ...
 
@@ -59,6 +65,9 @@ class UserMemAccess(MemoryAccess):
 
     def read(self, addr: int, size: int) -> bytes:
         return self.kernel.mmu.read(self.task.aspace, addr, size)
+
+    def read_int(self, addr: int, size: int, signed: bool = False) -> int:
+        return self.kernel.mmu.read_int(self.task.aspace, addr, size, signed)
 
     def write(self, addr: int, data: bytes) -> None:
         self.kernel.mmu.write(self.task.aspace, addr, data)
@@ -91,6 +100,9 @@ class KernelMemAccess(MemoryAccess):
 
     def read(self, addr: int, size: int) -> bytes:
         return self.kernel.mmu.read(self.aspace, addr, size)
+
+    def read_int(self, addr: int, size: int, signed: bool = False) -> int:
+        return self.kernel.mmu.read_int(self.aspace, addr, size, signed)
 
     def write(self, addr: int, data: bytes) -> None:
         self.kernel.mmu.write(self.aspace, addr, data)
@@ -126,6 +138,10 @@ class SegmentMemAccess(MemoryAccess):
         self._sp = view.limit
         self._free: dict[int, list[int]] = {}
         self._live: dict[int, int] = {}
+        # bound-method shortcuts: skip one frame per load/store
+        self.read = view.read          # type: ignore[method-assign]
+        self.read_int = view.read_int  # type: ignore[method-assign]
+        self.write = view.write        # type: ignore[method-assign]
 
     def read(self, addr: int, size: int) -> bytes:
         return self.view.read(addr, size)

@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cminus import ast_nodes as ast
+from repro.cminus.compile import program_fingerprint
 from repro.cminus.ctypes import ArrayType, PointerType
 from repro.cminus.parser import parse
 from repro.core.cosy.compound import CompoundBuilder, encode_compound
@@ -67,6 +68,9 @@ class CompiledRegion:
     shared_literals: list[tuple[int, bytes]]   # (offset, bytes) to pre-place
     shared_size: int
     functions: dict[str, ast.Program] = field(default_factory=dict)
+    #: helper function -> structural fingerprint of its program (the first
+    #: half of the code cache key; correlates cache entries to regions)
+    fingerprints: dict[str, str] = field(default_factory=dict)
     source_name: str = "<cosy>"
 
     def encode(self, inputs: dict[str, int] | None = None) -> bytes:
@@ -230,6 +234,8 @@ class _RegionCompiler:
             shared_literals=list(self.shared_literals),
             shared_size=max(self._shared_cursor, 8),
             functions=dict(self.functions),
+            fingerprints={name: program_fingerprint(prog)
+                          for name, prog in self.functions.items()},
         )
 
     # ------------------------------------------------------------ statements

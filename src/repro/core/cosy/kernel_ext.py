@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.cminus import ast_nodes as ast
+from repro.cminus.compile import bump_generation
 from repro.core.cosy.compound import (CompoundFault, CompoundStatus,
                                       decode_compound)
 from repro.core.cosy.ops import Arg, ArgKind, MATH_OP_NAMES, Op, OpCode
@@ -55,9 +56,12 @@ class CosyKernelExtension:
     def __init__(self, kernel: "Kernel", *,
                  protection: CosyProtection = CosyProtection.DATA_ONLY,
                  max_kernel_cycles: int = DEFAULT_MAX_KERNEL_CYCLES,
-                 verifier=None):
+                 verifier=None, engine: str = "compiled"):
         self.kernel = kernel
         self.protection = protection
+        #: C-minus execution engine for CALLF ops: "compiled" (closure
+        #: compiler + kernel.code_cache) or "tree" (the oracle interpreter)
+        self.engine = engine
         self.watchdog = CosyWatchdog(kernel, max_kernel_cycles)
         self.watchdog.arm()
         self._functions: dict[int, _RegisteredFunction] = {}
@@ -96,6 +100,9 @@ class CosyKernelExtension:
         """
         if func not in program.funcs:
             raise CosyError(f"function '{func}' not defined in program")
+        # (Re-)registration is a load event: any previously compiled code
+        # for this program object must not survive it.
+        bump_generation(program)
         verdict = None
         if self.verifier is not None and not handcrafted:
             fv = self.verifier.verdict_for(program, func)
@@ -132,7 +139,8 @@ class CosyKernelExtension:
         kernel.clock.charge(costs.cosy_setup, Mode.SYSTEM)
         ops, nslots = decode_compound(compound)
         slots = [0] * max(nslots, 1)
-        isolation = FunctionIsolation(kernel, task, shared, self.protection)
+        isolation = FunctionIsolation(kernel, task, shared, self.protection,
+                                      engine=self.engine)
         self.compounds_executed += 1
         task.kernel_entry_cycles = kernel.clock.now
         status = CompoundStatus()

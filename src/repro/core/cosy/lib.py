@@ -71,6 +71,7 @@ class InstalledRegion:
             shared_literals=list(region.shared_literals),
             shared_size=region.shared_size,
             functions=dict(region.functions),
+            fingerprints=dict(region.fingerprints),
             source_name=region.source_name,
         )
         region = self.region
@@ -87,6 +88,9 @@ class InstalledRegion:
         ids: dict[str, int] = {}
         for name, program in region.functions.items():
             ids[name] = lib.ext.register_function(program, name)
+            # load-time compilation (eBPF-style JIT-at-load): the first
+            # CALLF hits warm compiled code instead of paying the compile
+            kernel.code_cache.lookup(program)
         for i, op in enumerate(region.ops):
             if isinstance(op, _TaggedCallf):
                 region.ops[i] = Op(op.opcode, op.dst, ids[op.func_name],

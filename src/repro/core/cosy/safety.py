@@ -30,6 +30,7 @@ import enum
 from typing import TYPE_CHECKING
 
 from repro.cminus import ast_nodes as ast
+from repro.cminus.compile import CompiledEngine
 from repro.cminus.interp import ExecLimits, Interpreter
 from repro.cminus.memaccess import MemoryAccess, SegmentMemAccess
 from repro.errors import WatchdogExpired
@@ -125,12 +126,16 @@ class FunctionIsolation:
     """
 
     def __init__(self, kernel: "Kernel", task: "Task", shared: "SharedBuffer",
-                 mode: CosyProtection, *, max_ops: int = 50_000_000):
+                 mode: CosyProtection, *, max_ops: int = 50_000_000,
+                 engine: str = "compiled"):
+        if engine not in ("compiled", "tree"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.kernel = kernel
         self.task = task
         self.shared = shared
         self.mode = mode
         self.max_ops = max_ops
+        self.engine = engine
         self.data_selector = kernel.gdt.install(SegmentDescriptor(
             base=shared.base, limit=shared.size,
             perms=SEG_READ | SEG_WRITE, name="cosy-data"))
@@ -164,12 +169,23 @@ class FunctionIsolation:
             kernel.clock.charge(costs.far_call + 2 * costs.segment_load,
                                 Mode.SYSTEM)
 
-        interp = Interpreter(
-            program, mem,
-            on_op=lambda: kernel.clock.charge(costs.cminus_op, Mode.SYSTEM),
-            step_hook=kernel.sched.maybe_preempt,
-            limits=ExecLimits(max_ops=self.max_ops),
-        )
+        cminus_op = costs.cminus_op
+        charge_system = kernel.clock.charge_system
+        if self.engine == "compiled":
+            interp: Interpreter | CompiledEngine = CompiledEngine(
+                program, mem,
+                on_op_batch=lambda n: charge_system(n * cminus_op),
+                step_hook=kernel.sched.maybe_preempt,
+                limits=ExecLimits(max_ops=self.max_ops),
+                cache=kernel.code_cache,
+            )
+        else:  # the tree-walking oracle
+            interp = Interpreter(
+                program, mem,
+                on_op=lambda: charge_system(cminus_op),
+                step_hook=kernel.sched.maybe_preempt,
+                limits=ExecLimits(max_ops=self.max_ops),
+            )
         try:
             return interp.call(func, *args)
         finally:

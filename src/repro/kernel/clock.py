@@ -77,6 +77,13 @@ class Clock:
         else:
             self.iowait += cycles
 
+    def charge_system(self, cycles: int) -> None:
+        """:meth:`charge` with ``Mode.SYSTEM`` pre-resolved — the
+        per-op/per-batch accounting hot path of the C-minus engines."""
+        if cycles < 0:
+            raise ValueError(f"negative charge: {cycles}")
+        self.system += cycles
+
     def push_mode(self, mode: Mode) -> None:
         """Enter an execution mode (e.g. USER→SYSTEM on a trap)."""
         self._mode_stack.append(mode)

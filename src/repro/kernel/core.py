@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.cminus.compile import CodeCache
 from repro.kernel.clock import Clock
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
 from repro.kernel.faultinject import FaultRegistry, arm_from_env
@@ -72,6 +73,9 @@ class Kernel:
                                         self.clock, self.costs, mmu=self.mmu,
                                         faults=self.faults)
         self.gdt = SegmentTable()
+        #: kernel-wide cache of closure-compiled C-minus programs, keyed by
+        #: (program, instrumentation generation) — see repro.cminus.compile.
+        self.code_cache = CodeCache()
         self.vfs = VFS(self)
         self.sched = Scheduler(self)
         self.sys = SyscallInterface(self)

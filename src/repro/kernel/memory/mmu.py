@@ -22,8 +22,11 @@ from typing import Callable
 from repro.errors import PageFault
 from repro.kernel.clock import Clock, Mode
 from repro.kernel.costs import CostModel
-from repro.kernel.memory.layout import PAGE_SIZE, VMALLOC_BASE, VMALLOC_END, vpn_of
-from repro.kernel.memory.paging import AddressSpace, PTE
+from repro.kernel.memory.layout import (KERNEL_BASE, PAGE_SHIFT, PAGE_SIZE,
+                                        VMALLOC_BASE,
+                                        VMALLOC_END, vpn_of)
+from repro.kernel.memory.paging import (PERM_R, PERM_W, PERM_X, AddressSpace,
+                                        PTE)
 from repro.kernel.memory.physmem import PhysicalMemory
 
 FaultHandler = Callable[[PageFault], bool]
@@ -88,9 +91,25 @@ class MMU:
     def translate(self, aspace: AddressSpace, vaddr: int, access: str) -> PTE:
         """Translate one address, retrying after resolvable faults."""
         while True:
-            pte = aspace.lookup(vaddr)
-            if pte is not None and pte.allows(access):
-                self._tlb_access(vpn_of(vaddr))
+            # aspace.lookup + pte.allows, inlined (hottest simulator path)
+            pt = aspace.kernel_pt if vaddr >= KERNEL_BASE else aspace.user_pt
+            pte = pt._entries.get(vaddr >> PAGE_SHIFT)
+            if pte is not None and pte.present and pte.perms & (
+                    PERM_R if access == "r" else
+                    PERM_W if access == "w" else PERM_X):
+                # TLB hit fast path, inlined: this is the hottest loop in
+                # the whole simulator
+                vpn = vaddr >> PAGE_SHIFT
+                tlb = self._tlb
+                if vpn in tlb:
+                    tlb.move_to_end(vpn)
+                    self.tlb_hits += 1
+                else:
+                    self.tlb_misses += 1
+                    self.clock.charge(self.costs.tlb_miss)
+                    tlb[vpn] = None
+                    if len(tlb) > self.tlb_entries:
+                        tlb.popitem(last=False)
                 if VMALLOC_BASE <= vaddr < VMALLOC_END:
                     self.clock.charge(self.costs.vmalloc_access_tlb_penalty)
                 return pte
@@ -103,6 +122,23 @@ class MMU:
 
     def read(self, aspace: AddressSpace, vaddr: int, size: int) -> bytes:
         """Read ``size`` bytes, page by page."""
+        off = vaddr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            # single-page fast path: the overwhelmingly common case
+            # (scalar loads are 1-8 bytes).  The TLB-hit half of
+            # translate() is inlined here; any miss, fault, or vmalloc
+            # access falls back to the full path.
+            vpn = vaddr >> PAGE_SHIFT
+            pt = aspace.kernel_pt if vaddr >= KERNEL_BASE else aspace.user_pt
+            pte = pt._entries.get(vpn)
+            if pte is not None and pte.present and pte.perms & PERM_R \
+                    and vpn in self._tlb \
+                    and not VMALLOC_BASE <= vaddr < VMALLOC_END:
+                self._tlb.move_to_end(vpn)
+                self.tlb_hits += 1
+            else:
+                pte = self.translate(aspace, vaddr, "r")
+            return bytes(self.physmem.frame_bytes(pte.frame)[off:off + size])
         out = bytearray()
         addr = vaddr
         remaining = size
@@ -117,6 +153,21 @@ class MMU:
 
     def write(self, aspace: AddressSpace, vaddr: int, data: bytes) -> None:
         """Write ``data``, page by page."""
+        off = vaddr & (PAGE_SIZE - 1)
+        n = len(data)
+        if off + n <= PAGE_SIZE:
+            vpn = vaddr >> PAGE_SHIFT
+            pt = aspace.kernel_pt if vaddr >= KERNEL_BASE else aspace.user_pt
+            pte = pt._entries.get(vpn)
+            if pte is not None and pte.present and pte.perms & PERM_W \
+                    and vpn in self._tlb \
+                    and not VMALLOC_BASE <= vaddr < VMALLOC_END:
+                self._tlb.move_to_end(vpn)
+                self.tlb_hits += 1
+            else:
+                pte = self.translate(aspace, vaddr, "w")
+            self.physmem.frame_bytes(pte.frame)[off:off + n] = data
+            return
         addr = vaddr
         view = memoryview(data)
         while len(view) > 0:
@@ -126,6 +177,29 @@ class MMU:
             self.physmem.frame_bytes(pte.frame)[off:off + n] = view[:n]
             addr += n
             view = view[n:]
+
+    def read_int(self, aspace: AddressSpace, vaddr: int, size: int,
+                 signed: bool = False) -> int:
+        """Fused scalar load: single-page TLB-hit read decoded straight
+        from the frame, skipping the intermediate ``bytes`` copy.  Checks
+        and charges are identical to :meth:`read`."""
+        off = vaddr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            vpn = vaddr >> PAGE_SHIFT
+            pt = aspace.kernel_pt if vaddr >= KERNEL_BASE else aspace.user_pt
+            pte = pt._entries.get(vpn)
+            if pte is not None and pte.present and pte.perms & PERM_R \
+                    and vpn in self._tlb \
+                    and not VMALLOC_BASE <= vaddr < VMALLOC_END:
+                self._tlb.move_to_end(vpn)
+                self.tlb_hits += 1
+                data = self.physmem._data.get(pte.frame)
+                if data is None:
+                    data = self.physmem.frame_bytes(pte.frame)
+                return int.from_bytes(data[off:off + size], "little",
+                                      signed=signed)
+        return int.from_bytes(self.read(aspace, vaddr, size), "little",
+                              signed=signed)
 
     # Fixed-width integer helpers (little-endian, like x86).
 

@@ -14,14 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.kernel.memory.layout import KERNEL_BASE, vpn_of
+from repro.kernel.memory.layout import KERNEL_BASE, PAGE_SHIFT, vpn_of
 
 PERM_R = 1
 PERM_W = 2
 PERM_X = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class PTE:
     """One page-table entry."""
 
@@ -35,7 +35,12 @@ class PTE:
         """Whether this PTE permits an ``'r'``/``'w'``/``'x'`` access."""
         if not self.present:
             return False
-        need = {"r": PERM_R, "w": PERM_W, "x": PERM_X}[access]
+        if access == "r":
+            need = PERM_R
+        elif access == "w":
+            need = PERM_W
+        else:
+            need = PERM_X
         return bool(self.perms & need)
 
 
@@ -72,7 +77,10 @@ class AddressSpace:
         return self.kernel_pt if vaddr >= KERNEL_BASE else self.user_pt
 
     def lookup(self, vaddr: int) -> PTE | None:
-        return self.table_for(vaddr).lookup(vpn_of(vaddr))
+        # hot path: every simulated byte access lands here — avoid the
+        # table_for/vpn_of call chain
+        pt = self.kernel_pt if vaddr >= KERNEL_BASE else self.user_pt
+        return pt._entries.get(vaddr >> PAGE_SHIFT)
 
     def map_page(self, vaddr: int, pte: PTE) -> None:
         self.table_for(vaddr).map(vpn_of(vaddr), pte)

@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ProtectionFault
+from repro.kernel.memory.layout import (KERNEL_BASE, PAGE_SHIFT, PAGE_SIZE,
+                                        VMALLOC_BASE, VMALLOC_END)
 from repro.kernel.memory.mmu import MMU
-from repro.kernel.memory.paging import AddressSpace
+from repro.kernel.memory.paging import (PERM_R, PERM_W, AddressSpace)
 
 SEG_READ = 1
 SEG_WRITE = 2
@@ -35,7 +37,7 @@ DPL_KERNEL = 0
 DPL_USER = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SegmentDescriptor:
     """One GDT/LDT entry: a base/limit window with access rights."""
 
@@ -49,7 +51,12 @@ class SegmentDescriptor:
         """Validate an ``access`` of ``size`` bytes at ``offset``; returns the
         linear address.  Raises :class:`ProtectionFault` on violation —
         the hardware check Cosy's isolation relies on."""
-        need = {"r": SEG_READ, "w": SEG_WRITE, "x": SEG_EXEC}[access]
+        if access == "r":
+            need = SEG_READ
+        elif access == "w":
+            need = SEG_WRITE
+        else:
+            need = SEG_EXEC
         if not (self.perms & need):
             raise ProtectionFault(selector, offset,
                                   f"segment '{self.name}' denies '{access}'")
@@ -98,6 +105,10 @@ class SegmentedView:
         self.aspace = aspace
         self.table = table
         self.selector = selector
+        # cached identities (never reassigned by their owners): one
+        # attribute hop per access instead of two or three
+        self._descs = table._descriptors
+        self._physdata = mmu.physmem._data
 
     @property
     def descriptor(self) -> SegmentDescriptor:
@@ -108,12 +119,99 @@ class SegmentedView:
         return self.descriptor.limit
 
     def read(self, offset: int, size: int) -> bytes:
-        lin = self.descriptor.check(offset, size, "r", self.selector)
-        return self.mmu.read(self.aspace, lin, size)
+        # The limit check is inlined on the pass path; descriptor.check
+        # re-runs only to raise with the full diagnostic.  Every C-minus
+        # load in an isolated function lands here, so the MMU's
+        # single-page TLB-hit path is inlined too — misses, faults and
+        # straddling accesses fall back to mmu.read.
+        sel = self.selector
+        descs = self._descs
+        desc = descs[sel] if 0 < sel < len(descs) else None
+        if desc is None:
+            desc = self.table.descriptor(sel)      # raises the right fault
+        if offset < 0 or size < 0 or offset + size > desc.limit \
+                or not (desc.perms & SEG_READ):
+            desc.check(offset, size, "r", sel)
+        vaddr = desc.base + offset
+        mmu = self.mmu
+        off = vaddr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            vpn = vaddr >> PAGE_SHIFT
+            aspace = self.aspace
+            pt = aspace.kernel_pt if vaddr >= KERNEL_BASE else aspace.user_pt
+            pte = pt._entries.get(vpn)
+            if pte is not None and pte.present and pte.perms & PERM_R \
+                    and vpn in mmu._tlb \
+                    and not VMALLOC_BASE <= vaddr < VMALLOC_END:
+                mmu._tlb.move_to_end(vpn)
+                mmu.tlb_hits += 1
+                data = self._physdata.get(pte.frame)
+                if data is None:
+                    data = mmu.physmem.frame_bytes(pte.frame)
+                return bytes(data[off:off + size])
+        return mmu.read(self.aspace, vaddr, size)
+
+    def read_int(self, offset: int, size: int, signed: bool = False) -> int:
+        """Fused scalar load — :meth:`read` + little-endian decode without
+        the intermediate ``bytes`` copy.  Same checks, same charges."""
+        sel = self.selector
+        descs = self._descs
+        desc = descs[sel] if 0 < sel < len(descs) else None
+        if desc is None:
+            desc = self.table.descriptor(sel)
+        if offset < 0 or size < 0 or offset + size > desc.limit \
+                or not (desc.perms & SEG_READ):
+            desc.check(offset, size, "r", sel)
+        vaddr = desc.base + offset
+        mmu = self.mmu
+        off = vaddr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            vpn = vaddr >> PAGE_SHIFT
+            aspace = self.aspace
+            pt = aspace.kernel_pt if vaddr >= KERNEL_BASE else aspace.user_pt
+            pte = pt._entries.get(vpn)
+            if pte is not None and pte.present and pte.perms & PERM_R \
+                    and vpn in mmu._tlb \
+                    and not VMALLOC_BASE <= vaddr < VMALLOC_END:
+                mmu._tlb.move_to_end(vpn)
+                mmu.tlb_hits += 1
+                data = self._physdata.get(pte.frame)
+                if data is None:
+                    data = mmu.physmem.frame_bytes(pte.frame)
+                return int.from_bytes(data[off:off + size], "little",
+                                      signed=signed)
+        return int.from_bytes(mmu.read(self.aspace, vaddr, size), "little",
+                              signed=signed)
 
     def write(self, offset: int, data: bytes) -> None:
-        lin = self.descriptor.check(offset, len(data), "w", self.selector)
-        self.mmu.write(self.aspace, lin, data)
+        sel = self.selector
+        descs = self._descs
+        desc = descs[sel] if 0 < sel < len(descs) else None
+        if desc is None:
+            desc = self.table.descriptor(sel)
+        size = len(data)
+        if offset < 0 or offset + size > desc.limit \
+                or not (desc.perms & SEG_WRITE):
+            desc.check(offset, size, "w", sel)
+        vaddr = desc.base + offset
+        mmu = self.mmu
+        off = vaddr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            vpn = vaddr >> PAGE_SHIFT
+            aspace = self.aspace
+            pt = aspace.kernel_pt if vaddr >= KERNEL_BASE else aspace.user_pt
+            pte = pt._entries.get(vpn)
+            if pte is not None and pte.present and pte.perms & PERM_W \
+                    and vpn in mmu._tlb \
+                    and not VMALLOC_BASE <= vaddr < VMALLOC_END:
+                mmu._tlb.move_to_end(vpn)
+                mmu.tlb_hits += 1
+                buf = self._physdata.get(pte.frame)
+                if buf is None:
+                    buf = mmu.physmem.frame_bytes(pte.frame)
+                buf[off:off + size] = data
+                return
+        self.mmu.write(self.aspace, vaddr, data)
 
     def read_i64(self, offset: int) -> int:
         return int.from_bytes(self.read(offset, 8), "little", signed=True)

@@ -13,21 +13,34 @@ from typing import TYPE_CHECKING
 from repro.kernel.refcount import RefCount
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
     from repro.kernel.vfs.inode import Inode
 
 
 class Dentry:
-    """One cached name → inode binding, linked into a tree."""
+    """One cached name → inode binding, linked into a tree.
 
-    def __init__(self, name: str, parent: "Dentry | None", inode: "Inode | None"):
+    Every dentry — negative ones included — carries a live ``d_count``:
+    a negative dentry is pinned by the dcache exactly like a positive
+    one, and code holding it across a create/unlink must be able to
+    take and drop references without special-casing.  Negative dentries
+    have no inode to borrow a kernel from, so their creator passes the
+    kernel explicitly.
+    """
+
+    def __init__(self, name: str, parent: "Dentry | None",
+                 inode: "Inode | None", kernel: "Kernel | None" = None):
         self.name = name
         self.parent = parent if parent is not None else self
         self.inode = inode
         self.children: dict[str, "Dentry"] = {}
-        if inode is not None:
-            self.d_count = RefCount(inode.sb.kernel, f"d_count:{name or '/'}")
-        else:
-            self.d_count = None  # negative dentry; no kernel to charge yet
+        if kernel is None:
+            if inode is None:
+                raise ValueError(
+                    f"negative dentry {name!r} needs an explicit kernel "
+                    "for its d_count")
+            kernel = inode.sb.kernel
+        self.d_count = RefCount(kernel, f"d_count:{name or '/'}")
 
     # ------------------------------------------------------------ cache ops
 

@@ -10,6 +10,7 @@ second in the paper's §3.3 measurement.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.errors import EEXIST, EINVAL, ENOENT, ENOTDIR, ENOTEMPTY, raise_errno
@@ -48,9 +49,16 @@ class VFS:
         self._mounts: dict[int, Dentry] = {}
         #: every mounted superblock (root first), for sync(2)
         self.mounted_superblocks: list["SuperBlock"] = []
+        # Negative dentries are useful (they cache failed lookups) but
+        # unbounded they let a pathological workload — stat() over a
+        # large set of missing names — grow the dcache without limit.
+        # Cap them, FIFO-evicting the oldest cached miss.
+        self.negative_cap = 256
+        self._negatives: "OrderedDict[int, Dentry]" = OrderedDict()
         # dcache statistics
         self.dcache_hits = 0
         self.dcache_misses = 0
+        self.negative_evicted = 0
 
     # -------------------------------------------------------------- mounts
 
@@ -113,7 +121,7 @@ class VFS:
             # Relative path: an empty parent means the cwd itself.
             parent = self.path_walk("/".join(parent_comps) or ".", cwd)
         if parent.inode is None or not parent.inode.is_dir:
-            raise_errno(ENOTDIR, parent_path)
+            raise_errno(ENOTDIR, "/" + "/".join(parent_comps))
         return parent, comps[-1]
 
     def _walk(self, path: str, cwd: Dentry | None, *, want_parent: bool,
@@ -139,8 +147,11 @@ class VFS:
                 if child is None:
                     self.dcache_misses += 1
                     inode = current.inode.lookup(name)
-                    child = Dentry(name, current, inode)
+                    child = Dentry(name, current, inode,
+                                   kernel=self.kernel)
                     current.d_add(child)
+                    if inode is None:
+                        self._cache_negative(child)
                 else:
                     self.dcache_hits += 1
             if follow_mount:
@@ -149,6 +160,30 @@ class VFS:
                 raise_errno(ENOENT, "/".join(comps[: i + 1]))
             current = child
         return current
+
+    def _cache_negative(self, dentry: Dentry) -> None:
+        """Track a cached lookup miss, evicting the oldest past the cap.
+
+        Caller holds ``dcache_lock``.  An entry replaced in the meantime
+        (create() installs a positive dentry over the miss) is skipped
+        at eviction time via the identity check.
+        """
+        self._negatives[id(dentry)] = dentry
+        while len(self._negatives) > self.negative_cap:
+            _, victim = self._negatives.popitem(last=False)
+            if victim.parent.d_lookup(victim.name) is victim:
+                victim.parent.d_drop(victim.name)
+                self.negative_evicted += 1
+
+    def dcache_stats(self) -> dict[str, int]:
+        return {
+            "hits": self.dcache_hits,
+            "misses": self.dcache_misses,
+            "negative_cached": sum(
+                1 for d in self._negatives.values()
+                if d.parent.d_lookup(d.name) is d),
+            "negative_evicted": self.negative_evicted,
+        }
 
     # ------------------------------------------------- namespace operations
     # All run under dcache_lock, mirroring Linux's name-space serialization.

@@ -15,6 +15,7 @@ is pinned enabled forever.
 
 from __future__ import annotations
 
+from repro.cminus.compile import bump_generation
 from repro.safety.kgcc.instrument import InstrumentationReport
 from repro.safety.kgcc.runtime import KgccRuntime
 
@@ -61,6 +62,11 @@ class DynamicDeinstrumenter:
     def _set_enabled(self, site: str, enabled: bool) -> None:
         for check in self.report.nodes_at(site):
             check.enabled = enabled
+        # compiled closures read Check.enabled live, so the toggle takes
+        # effect immediately — but the generation bump still records that
+        # cached code was built against a different check configuration
+        if self.report.program is not None:
+            bump_generation(self.report.program)
 
     @property
     def active_sites(self) -> int:

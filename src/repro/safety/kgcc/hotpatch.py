@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cminus import ast_nodes as ast
+from repro.cminus.compile import bump_generation
 from repro.cminus.parser import _Parser
 from repro.cminus.lexer import tokenize
 from repro.errors import CMinusError
@@ -79,6 +80,8 @@ class HotPatcher:
         if self.report is not None:
             record.checks_added = self._instrument_patch(new_def)
         self.program.funcs[name] = new_def
+        # stale compiled code must never run the old body
+        bump_generation(self.program)
         self.history.append(record)
         return record
 
@@ -93,6 +96,7 @@ class HotPatcher:
                 f"'{record.function}' was re-patched since; roll back the "
                 f"newer patch first")
         self.program.funcs[record.function] = record.old_def
+        bump_generation(self.program)
         self.history.remove(record)
 
     # ------------------------------------------------------------- internals

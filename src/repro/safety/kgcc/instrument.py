@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cminus import ast_nodes as ast
+from repro.cminus.compile import bump_generation
 from repro.cminus.ctypes import ArrayType, CType, INT, PointerType, StructType
 
 
@@ -37,6 +38,9 @@ class InstrumentationReport:
     #: variables exempted from registration (address never taken, scalar)
     unregistered: set[str] = field(default_factory=set)
     registered_vars: int = 0
+    #: the instrumented program — lets check-toggling passes (dynamic
+    #: deinstrumentation) bump its code-cache generation
+    program: "ast.Program | None" = None
 
     def nodes_at(self, site: str) -> list[ast.Check]:
         return self.sites.get(site, [])
@@ -284,4 +288,9 @@ def instrument(program: ast.Program, filename: str = "<kgcc>"
     interpreter's ``check_runtime=`` and ``var_hooks=`` arguments, and pass
     ``report.unregistered`` to the runtime's skip set.
     """
-    return _Instrumenter(program, filename).run()
+    report = _Instrumenter(program, filename).run()
+    report.program = program
+    # the AST changed shape: compiled code for the pre-instrumentation
+    # generation is now stale
+    bump_generation(program)
+    return report

@@ -29,7 +29,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.cminus import Interpreter, parse
+from repro.cminus import parse
+from repro.cminus.compile import CompiledEngine
 from repro.cminus.memaccess import KernelMemAccess
 from repro.kernel.clock import Mode
 from repro.kernel.vfs.inode import DirEntry, Inode
@@ -138,10 +139,12 @@ class _ModuleEngine:
             kwargs = dict(check_runtime=self.runtime, var_hooks=self.runtime)
         else:
             self.report = None
-        self.interp = Interpreter(
+        cminus_op = kernel.costs.cminus_op
+        charge = kernel.clock.charge
+        self.interp = CompiledEngine(
             program, self.mem,
-            on_op=lambda: kernel.clock.charge(kernel.costs.cminus_op,
-                                              Mode.SYSTEM),
+            on_op_batch=lambda n: charge(n * cminus_op, Mode.SYSTEM),
+            cache=kernel.code_cache,
             **kwargs)
         # shared scratch buffer for passing names into module code
         self.scratch = self.mem.malloc(NAME_MAX + 2)

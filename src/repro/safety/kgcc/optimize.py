@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cminus import ast_nodes as ast
+from repro.cminus.compile import bump_generation
 from repro.cminus.ctypes import ArrayType
 
 
@@ -150,6 +151,7 @@ def eliminate_safe_static_checks(program: ast.Program,
 
         removed = _replace_checks(func.body, is_safe)
         report.checks_removed_static += removed
+    bump_generation(program)
     return report
 
 
@@ -175,6 +177,7 @@ def eliminate_verified_checks(program: ast.Program, verifier_report,
         removed = _replace_checks(func.body,
                                   lambda check: check.site in proven)
         report.checks_removed_verified += removed
+    bump_generation(program)
     return report
 
 
@@ -241,6 +244,7 @@ def eliminate_common_checks(program: ast.Program,
         state = _CseState()
         _cse_stmt(func.body, state)
         report.checks_removed_cse += state.removed
+    bump_generation(program)
     return report
 
 
@@ -413,4 +417,6 @@ def optimize(program: ast.Program,
     if verifier_report is not None:
         eliminate_verified_checks(program, verifier_report, report)
     eliminate_common_checks(program, report)
+    # structural Check removal invalidates compiled code for the program
+    bump_generation(program)
     return report

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 
 from repro.cminus import ast_nodes as ast
+from repro.cminus.compile import bump_generation
 from repro.safety.kgcc.instrument import InstrumentationReport
 
 
@@ -128,6 +129,8 @@ def apply_rules(program: ast.Program, report: InstrumentationReport,
             if keep:
                 result.checks_kept += 1
                 result.kept_sites.add(node.site)
+    # check toggles change what compiled closures must bake in
+    bump_generation(program)
     for i, rule in enumerate(rules):
         if i not in matched:
             result.unmatched_rules.append(rule)

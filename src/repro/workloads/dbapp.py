@@ -20,7 +20,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.cminus import Interpreter, UserMemAccess, parse
+from repro.cminus import UserMemAccess, parse
+from repro.cminus.compile import CompiledEngine
 from repro.core.cosy import CosyGCC, CosyKernelExtension, CosyLib
 from repro.kernel.clock import Mode
 from repro.kernel.vfs.file import O_CREAT, O_RDONLY, O_WRONLY
@@ -78,10 +79,12 @@ class RecordStore:
         task = kernel.current
         self._mem = UserMemAccess(kernel, task)
         self._buf = task.mem.malloc(RECORD_SIZE)
-        self._interp = Interpreter(
+        cminus_op = kernel.costs.cminus_op
+        charge = kernel.clock.charge
+        self._interp = CompiledEngine(
             parse(_CHECKSUM_FUNC), self._mem,
-            on_op=lambda: kernel.clock.charge(kernel.costs.cminus_op,
-                                              Mode.USER))
+            on_op_batch=lambda n: charge(n * cminus_op, Mode.USER),
+            cache=kernel.code_cache)
 
     def _process(self, rec: bytes) -> int:
         """User-level checksum of one record (real interpreted code)."""

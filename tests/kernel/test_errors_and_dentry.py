@@ -115,3 +115,65 @@ def test_d_invalidate_tree():
     root.d_invalidate_tree()
     assert root.d_lookup("a") is None
     assert a.d_lookup("b") is None
+
+
+# -------------------------------------------------- negative dentry lifetime
+
+def test_negative_dentry_has_refcount():
+    """Negative dentries are refcounted like positive ones — code holding
+    one across a create must not need a None-check special case."""
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    with pytest.raises(Errno):
+        k.vfs.path_walk("/ghost")
+    neg = k.vfs.root.d_lookup("ghost")
+    assert neg is not None and neg.is_negative
+    assert neg.d_count is not None
+    assert neg.d_count.get("test") == 2
+    assert neg.d_count.put("test") == 1
+
+
+def test_negative_dentry_without_kernel_rejected():
+    with pytest.raises(ValueError):
+        Dentry("orphan", None, None)
+
+
+def test_negative_dentry_cache_is_capped():
+    """Unbounded misses must not grow the dcache without limit."""
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    k.vfs.negative_cap = 16
+    for i in range(50):
+        with pytest.raises(Errno):
+            k.vfs.path_walk(f"/missing-{i}")
+    stats = k.vfs.dcache_stats()
+    assert stats["negative_cached"] <= 16
+    assert stats["negative_evicted"] == 50 - 16
+    # the oldest miss was evicted: walking it again is a fresh FS lookup
+    misses = k.vfs.dcache_misses
+    with pytest.raises(Errno):
+        k.vfs.path_walk("/missing-0")
+    assert k.vfs.dcache_misses == misses + 1
+    # the newest miss is still cached
+    with pytest.raises(Errno):
+        k.vfs.path_walk("/missing-49")
+    assert k.vfs.dcache_misses == misses + 1
+
+
+def test_negative_eviction_skips_replaced_entries():
+    """A miss later satisfied by create() must not be evicted away."""
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t")
+    k.vfs.negative_cap = 4
+    with pytest.raises(Errno):
+        k.vfs.path_walk("/later")
+    from repro.kernel.vfs import O_CREAT, O_WRONLY
+    k.sys.close(k.sys.open("/later", O_CREAT | O_WRONLY))
+    for i in range(20):
+        with pytest.raises(Errno):
+            k.vfs.path_walk(f"/nope-{i}")
+    # "/later" stayed resolvable throughout the eviction churn
+    assert k.vfs.path_walk("/later").inode is not None
