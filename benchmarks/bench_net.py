@@ -1,0 +1,143 @@
+"""E11 (§2.1/§2.4): boundary crossings dominate concurrent serving.
+
+Three HTTP servers do identical per-request work (accept → read request →
+open → sendfile → close) against N keep-alive clients on the simulated
+network stack; they differ only in crossings:
+
+* ``select`` — event loop over ``select``: no registration syscalls, but
+  every call rescans the whole interest set (O(N) per call);
+* ``epoll`` — event loop over ``epoll_wait``: O(ready) readiness, at the
+  price of one ``epoll_ctl`` trap per connection;
+* ``cosy`` — the whole request loop runs as one in-kernel compound per
+  wave of clients: crossings per request approach zero.
+
+Shapes to hold as N sweeps 10²–10⁴: the three serve byte-identical
+responses; Cosy is fastest everywhere and its margin over select *widens*
+with N (select's rescan grows, Cosy stays flat); select and epoll cross —
+select wins small N (fewer traps), epoll wins large N (no rescan).  The
+measured curve and the crossover point land in ``BENCH_NET.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable
+from repro.kernel.net import SocketLayer
+from repro.workloads import SERVER_KINDS, HttpBenchConfig, run_http_bench
+
+SMOKE_CLIENTS = 100
+LEVELS = [100, 1000, 10000]
+
+_OUT = Path(__file__).parent / "BENCH_NET.json"
+_NET: dict = {}
+
+
+def _measure(kind: str, nclients: int) -> dict:
+    kernel = fresh_kernel("ramfs")
+    SocketLayer(kernel)
+    r = run_http_bench(kernel, kind, HttpBenchConfig(nclients=nclients))
+    return {
+        "kind": r.kind,
+        "nclients": r.nclients,
+        "requests": r.requests,
+        "bytes_served": r.bytes_served,
+        "elapsed_cycles": r.elapsed,
+        "system_cycles": r.system_cycles,
+        "user_cycles": r.user_cycles,
+        "cycles_per_request": round(r.cycles_per_request, 1),
+        "syscalls": r.syscalls,
+        "syscalls_per_request": round(r.syscalls_per_request, 3),
+        "digest": r.digest,
+        "nic": r.nic,
+    }
+
+
+def _flush() -> None:
+    """Merge this run's sections into BENCH_NET.json."""
+    payload = {"schema": 1}
+    if _OUT.exists():
+        try:
+            old = json.loads(_OUT.read_text())
+            if old.get("schema") == 1:
+                payload.update(old)
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload.update(_NET)
+    _OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_net_smoke(run_once):
+    """All three servers, 100 clients: identity + ordering (CI smoke)."""
+    results = run_once(
+        lambda: {kind: _measure(kind, SMOKE_CLIENTS) for kind in SERVER_KINDS})
+    table = ComparisonTable(
+        "E11a", f"HTTP serving, {SMOKE_CLIENTS} clients (smoke)")
+    digests = {r["digest"] for r in results.values()}
+    table.add("responses byte-identical", "one digest across servers",
+              f"{len(digests)} distinct digest(s)", holds=len(digests) == 1)
+    cosy = results["cosy"]["elapsed_cycles"]
+    slowest_user = max(results["select"]["elapsed_cycles"],
+                       results["epoll"]["elapsed_cycles"])
+    table.add("compound server fastest", "one crossing per wave wins",
+              f"cosy {cosy:,} vs best user-level "
+              f"{min(results['select']['elapsed_cycles'], results['epoll']['elapsed_cycles']):,} cycles",
+              holds=all(cosy < results[k]["elapsed_cycles"]
+                        for k in ("select", "epoll")))
+    table.add("crossings collapse", "≤0.1 syscalls/request in compounds",
+              f"{results['cosy']['syscalls_per_request']} vs "
+              f"{results['select']['syscalls_per_request']} (select)",
+              holds=results["cosy"]["syscalls_per_request"] < 0.1)
+    table.print()
+    _NET["smoke"] = results
+    _flush()
+    assert table.all_hold
+    assert slowest_user > cosy
+
+
+def test_net_scaling(run_once):
+    """The crossings-dominate curve across 10²–10⁴ clients."""
+    results = run_once(
+        lambda: {str(n): {kind: _measure(kind, n) for kind in SERVER_KINDS}
+                 for n in LEVELS})
+    table = ComparisonTable(
+        "E11b", "HTTP serving vs client count (crossings dominate)")
+
+    ratios = []
+    for n in LEVELS:
+        level = results[str(n)]
+        digests = {r["digest"] for r in level.values()}
+        assert len(digests) == 1, f"servers diverged at {n} clients"
+        ratio = (level["select"]["elapsed_cycles"]
+                 / level["cosy"]["elapsed_cycles"])
+        ratios.append(ratio)
+        table.add(f"{n:>6} clients: select/cosy", "crossings dominate",
+                  f"{ratio:.2f}x "
+                  f"({level['select']['cycles_per_request']:,.0f} vs "
+                  f"{level['cosy']['cycles_per_request']:,.0f} cyc/req)",
+                  holds=ratio > 1.0)
+    table.add("margin widens with clients", "select rescans O(N), cosy flat",
+              " -> ".join(f"{r:.2f}x" for r in ratios),
+              holds=all(b > a for a, b in zip(ratios, ratios[1:])))
+
+    # select-vs-epoll crossover: select wins small N, epoll wins large N
+    crossover = None
+    for n in LEVELS:
+        level = results[str(n)]
+        if level["epoll"]["elapsed_cycles"] < level["select"]["elapsed_cycles"]:
+            crossover = n
+            break
+    table.add("select/epoll crossover", "epoll overtakes as N grows",
+              f"epoll first wins at N={crossover}",
+              holds=crossover is not None and crossover > LEVELS[0])
+
+    table.print()
+    _NET["scaling"] = results
+    _NET["select_epoll_crossover_clients"] = crossover
+    _NET["select_cosy_ratio_by_level"] = {
+        str(n): round(r, 3) for n, r in zip(LEVELS, ratios)}
+    _flush()
+    assert table.all_hold

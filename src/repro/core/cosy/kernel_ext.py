@@ -248,7 +248,9 @@ class CosyKernelExtension:
 
         def path_arg(i: int) -> str:
             off, length = shared_ref(i)
-            return shared.read_kernel(off, length).decode()
+            # C-string semantics: stop at the first NUL so a reused request
+            # region (e.g. the Cosy HTTP server's) tolerates stale tails.
+            return shared.read_kernel(off, length).split(b"\0", 1)[0].decode()
 
         if name == "open":
             return sys._open_nocopy(path_arg(0), scalar(1),
@@ -340,6 +342,17 @@ class CosyKernelExtension:
             if batch:
                 shared.write_kernel(off, b"".join(batch))
             return used
+        if name in ("accept", "sendfile", "shutdown"):
+            # Network handlers are installed by repro.kernel.net.SocketLayer;
+            # compounds can only reach them once the stack is loaded.
+            handler = getattr(sys, f"do_{name}", None)
+            if handler is None:
+                raise CosyError(f"{name}: socket layer is not loaded")
+            if name == "accept":
+                return handler(scalar(0))
+            if name == "sendfile":
+                return handler(scalar(0), scalar(1), scalar(2), scalar(3))
+            return handler(scalar(0), scalar(1))
         raise CosyError(f"syscall '{name}' is not available in compounds")
 
 

@@ -73,7 +73,11 @@ class Errno(KernelError):
 EPERM, ENOENT, EINTR, EIO, EBADF, EAGAIN = 1, 2, 4, 5, 9, 11
 ENOMEM, EACCES, EFAULT, EEXIST = 12, 13, 14, 17
 ENOTDIR, EISDIR, EINVAL, ENFILE, EMFILE, ENOSPC, ERANGE = 20, 21, 22, 23, 24, 28, 34
+EPIPE, EDEADLK = 32, 35
 ENOTEMPTY, ETIME = 39, 62
+# networking errnos (asm-generic/errno.h)
+EOPNOTSUPP, EADDRINUSE = 95, 98
+ECONNRESET, EISCONN, ENOTCONN, ECONNREFUSED = 104, 106, 107, 111
 
 _ERRNO_NAMES = {
     EPERM: "EPERM", ENOENT: "ENOENT", EINTR: "EINTR", EIO: "EIO",
@@ -81,7 +85,11 @@ _ERRNO_NAMES = {
     ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT", EEXIST: "EEXIST",
     ENOTDIR: "ENOTDIR", EISDIR: "EISDIR", EINVAL: "EINVAL", ENFILE: "ENFILE",
     EMFILE: "EMFILE", ENOSPC: "ENOSPC", ERANGE: "ERANGE",
+    EPIPE: "EPIPE", EDEADLK: "EDEADLK",
     ENOTEMPTY: "ENOTEMPTY", ETIME: "ETIME",
+    EOPNOTSUPP: "EOPNOTSUPP", EADDRINUSE: "EADDRINUSE",
+    ECONNRESET: "ECONNRESET", EISCONN: "EISCONN", ENOTCONN: "ENOTCONN",
+    ECONNREFUSED: "ECONNREFUSED",
 }
 
 

@@ -116,6 +116,32 @@ class CostModel:
     #: buffer-cache hash lookup.
     bcache_lookup: int = 110
 
+    # -- network stack (docs/NETWORK.md) -------------------------------------
+    #: fixed per-socket-operation kernel cost (protocol bookkeeping, socket
+    #: lock) — the old flat charge the socketpair stub used, kept as the
+    #: per-op floor for every socket read/write/accept/connect.
+    sock_op: int = 220
+    #: per-byte cost of moving data into/out of a socket buffer (skb copy).
+    sock_copy_per_byte: float = 0.3
+    #: driver cost of queueing one packet on the NIC TX ring (descriptor
+    #: fill, doorbell write).
+    nic_tx_per_packet: int = 600
+    #: hardirq+driver cost of pulling one packet off the RX ring.
+    nic_rx_per_packet: int = 800
+    #: per-byte wire/DMA cost charged while a packet traverses the NIC.
+    net_per_byte: float = 0.2
+    #: entering softirq context to drain the RX ring (NET_RX_SOFTIRQ).
+    softirq_entry: int = 350
+    #: select() cost per descriptor *scanned* — the whole interest set is
+    #: walked on every call, which is the O(n) the epoll story is about.
+    select_per_fd: int = 55
+    #: epoll_create/epoll_ctl bookkeeping (rb-tree insert/remove).
+    epoll_op: int = 180
+    #: epoll_wait fixed cost (ready-list check, wait-queue arm).
+    epoll_wait_base: int = 400
+    #: epoll_wait cost per *ready* event reported — O(ready), not O(interest).
+    epoll_per_event: int = 60
+
     # -- user-level application modelling ------------------------------------
     #: user-space overhead wrapped around each syscall invocation (libc stub,
     #: errno handling, loop bookkeeping in the calling program).

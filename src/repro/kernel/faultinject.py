@@ -45,6 +45,10 @@ failpoint             effect when it fires
                       a schedule-away-and-back round trip (no error)
 ``sched.preempt``     the current quantum is treated as expired (forced
                       preemption; no error)
+``net.tx``            the packet is dropped on the NIC TX ring and the
+                      connection is reset (later ops see ECONNRESET)
+``net.rx``            the packet is dropped during softirq RX delivery,
+                      with the same connection-reset effect
 ====================  =====================================================
 
 Injected faults still charge their normal cost-model cycles up to the
@@ -61,7 +65,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import EFAULT, EINTR, EIO, ENOMEM, errno_name
+from repro.errors import ECONNRESET, EFAULT, EINTR, EIO, ENOMEM, errno_name
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.core import Kernel
@@ -77,6 +81,8 @@ FAILPOINTS = (
     "copy_to_user",
     "copy_from_user",
     "sched.preempt",
+    "net.tx",
+    "net.rx",
 )
 
 #: errno delivered when ``inject()`` is not given one explicitly.
@@ -90,6 +96,9 @@ DEFAULT_ERRNOS = {
     # For these two the errno is a label only; the site defines the effect.
     "lock.acquire": EINTR,
     "sched.preempt": EINTR,
+    # Dropped packets reset the connection (there is no retransmit layer).
+    "net.tx": ECONNRESET,
+    "net.rx": ECONNRESET,
 }
 
 #: Environment knobs for the global low-rate schedule (the CI smoke mode).

@@ -1,0 +1,164 @@
+"""A simulated NIC: TX/RX descriptor rings with softirq delivery.
+
+Every byte between two sockets rides a :class:`Packet` through this
+device, which is where the network's costs live (see docs/NETWORK.md and
+docs/COST_MODEL.md):
+
+* ``nic_tx_per_packet`` + ``net_per_byte`` when the driver queues a packet
+  on the TX ring (descriptor fill + DMA/wire cost);
+* ``IRQ_DISPATCH_COST`` for the hardware interrupt that moves TX
+  descriptors to the RX ring (the loopback "wire");
+* ``softirq_entry`` + ``nic_rx_per_packet`` for NET_RX_SOFTIRQ draining
+  the RX ring into socket receive queues.
+
+Delivery is driven by the interrupt layer.  In ``deliver="irq"`` mode
+(default) every transmit raises the interrupt immediately, so data is
+visible to the peer as soon as the sender's syscall returns — loopback
+semantics, and what the socketpair tests expect.  In ``deliver="tick"``
+mode packets sit in the rings until the timer interrupt fires
+(:meth:`repro.kernel.net.syscalls.SocketLayer.attach_timer`) or a blocking
+reader pumps the device — NAPI-style deferred delivery.
+
+Failure injection: the ``net.tx`` failpoint fires per packet on transmit,
+``net.rx`` per packet during softirq delivery.  A dropped packet resets
+the connection (there is no retransmit layer) and emits a ``sock.drop``
+monitor event — see docs/FAULT_INJECTION.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.kernel.clock import Mode
+from repro.kernel.interrupts import IRQ_DISPATCH_COST, IrqController
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+    from repro.kernel.net.socket import SocketInode
+    from repro.kernel.net.syscalls import SocketLayer
+
+#: maximum payload bytes per packet (Ethernet-ish MTU)
+MTU = 1500
+
+
+@dataclass
+class Packet:
+    """One frame on the simulated wire."""
+
+    kind: str                          # "syn" | "syn+ack" | "rst" | "fin" | "data"
+    src: "SocketInode | None"
+    dst: "SocketInode | None"          # None for SYN: routed by port
+    port: int = 0
+    payload: bytes = field(default=b"", repr=False)
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+class Nic:
+    """The loopback network device: two rings and an interrupt."""
+
+    def __init__(self, kernel: "Kernel", stack: "SocketLayer", *,
+                 tx_slots: int = 256, rx_slots: int = 256,
+                 deliver: str = "irq"):
+        if deliver not in ("irq", "tick"):
+            raise ValueError(f"unknown delivery mode {deliver!r}")
+        self.kernel = kernel
+        self.stack = stack
+        self.tx_slots = tx_slots
+        self.rx_slots = rx_slots
+        self.deliver = deliver
+        self.irq = IrqController(kernel)
+        self.tx_ring: deque[Packet] = deque()
+        self.rx_ring: deque[Packet] = deque()
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.dropped = 0
+        self.interrupts = 0
+        self._in_kick = False
+
+    @property
+    def pending(self) -> int:
+        """Packets queued in either ring (in flight on the 'wire')."""
+        return len(self.tx_ring) + len(self.rx_ring)
+
+    # ------------------------------------------------------------- transmit
+
+    def transmit(self, pkt: Packet, site: str = "?") -> bool:
+        """Driver entry: queue one packet on the TX ring.
+
+        Returns False when the packet was dropped (injected ``net.tx``
+        fault or ring overflow); the connection is already reset then.
+        """
+        costs = self.kernel.costs
+        self.kernel.clock.charge(
+            costs.nic_tx_per_packet + int(len(pkt) * costs.net_per_byte),
+            Mode.SYSTEM)
+        if self.kernel.faults.should_fail("net.tx", site) is not None:
+            self.stack.drop_packet(pkt, f"net.tx@{site}")
+            return False
+        if len(self.tx_ring) >= self.tx_slots:
+            self.stack.drop_packet(pkt, "tx-ring-overflow")
+            return False
+        self.tx_ring.append(pkt)
+        self.tx_packets += 1
+        self.tx_bytes += len(pkt)
+        if self.deliver == "irq":
+            self.kick()
+        return True
+
+    # ------------------------------------------------------------- delivery
+
+    def kick(self) -> bool:
+        """Raise the NIC interrupt: hardirq ring move + softirq delivery.
+
+        Drains until both rings are empty — delivery may generate response
+        packets (SYN → SYN+ACK/RST), which are drained in the same pass.
+        Returns True if any packet reached a socket.
+        """
+        if self._in_kick:
+            # transmit() from inside delivery: the outer drain loop will
+            # pick the new packet up; interrupts are already being handled.
+            return False
+        if not self.tx_ring and not self.rx_ring:
+            return False
+        self._in_kick = True
+        progressed = False
+        clock = self.kernel.clock
+        costs = self.kernel.costs
+        try:
+            while self.tx_ring or self.rx_ring:
+                if self.tx_ring:
+                    # Hardware interrupt: the "wire" moves TX descriptors
+                    # onto the receive ring with interrupts disabled.
+                    self.interrupts += 1
+                    clock.charge(IRQ_DISPATCH_COST, Mode.SYSTEM)
+                    with self.irq.irqs_off("nic:hardirq"):
+                        while self.tx_ring:
+                            pkt = self.tx_ring.popleft()
+                            if len(self.rx_ring) >= self.rx_slots:
+                                self.stack.drop_packet(pkt,
+                                                       "rx-ring-overflow")
+                                continue
+                            self.rx_ring.append(pkt)
+                # Softirq: drain the RX ring into socket queues.
+                if self.rx_ring:
+                    clock.charge(costs.softirq_entry, Mode.SYSTEM)
+                while self.rx_ring:
+                    pkt = self.rx_ring.popleft()
+                    clock.charge(costs.nic_rx_per_packet, Mode.SYSTEM)
+                    if self.kernel.faults.should_fail(
+                            "net.rx", pkt.kind) is not None:
+                        self.stack.drop_packet(pkt, f"net.rx@{pkt.kind}")
+                        continue
+                    self.rx_packets += 1
+                    self.rx_bytes += len(pkt)
+                    self.stack.deliver(pkt)
+                    progressed = True
+        finally:
+            self._in_kick = False
+        return progressed

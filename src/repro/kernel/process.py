@@ -135,6 +135,10 @@ class Task:
         self.aspace = AddressSpace(kernel.kernel_pt)
         self.mem = UserMemory(kernel, self.aspace)
         self.fds: dict[int, "File"] = {}
+        #: per-task descriptor-table limit (setrlimit-style; server tasks
+        #: raising it is how 10⁴-client benchmarks stay within POSIX rules).
+        self.rlimit_nofile = RLIMIT_NOFILE
+        self._next_fd = 0  # invariant: the lowest free descriptor
         self.cwd = None  # set to the root dentry when the task first runs
         # Accounting consumed by the scheduler/watchdog (§2.3).
         self.kernel_entry_cycles: int | None = None
@@ -147,18 +151,28 @@ class Task:
     # ------------------------------------------------------ fd management
 
     def alloc_fd(self, file: "File") -> int:
-        """Install a file at the lowest free descriptor (POSIX rule)."""
-        for fd in range(RLIMIT_NOFILE):
-            if fd not in self.fds:
-                self.fds[fd] = file
-                return fd
-        raise_errno(EMFILE, "fd table full")
-        raise AssertionError  # unreachable
+        """Install a file at the lowest free descriptor (POSIX rule).
+
+        Amortized O(1): ``_next_fd`` tracks the lowest free slot, so a
+        server holding thousands of open connections does not rescan its
+        whole table per accept.
+        """
+        fd = self._next_fd
+        if fd >= self.rlimit_nofile:
+            raise_errno(EMFILE, "fd table full")
+        self.fds[fd] = file
+        nxt = fd + 1
+        while nxt in self.fds:
+            nxt += 1
+        self._next_fd = nxt
+        return fd
 
     def get_file(self, fd: int) -> "File | None":
         return self.fds.get(fd)
 
     def release_fd(self, fd: int) -> "File | None":
+        if fd in self.fds and fd < self._next_fd:
+            self._next_fd = fd
         return self.fds.pop(fd, None)
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -24,6 +24,46 @@ if TYPE_CHECKING:  # pragma: no cover
 PreemptHook = Callable[[Task], None]
 
 
+class WaitQueue:
+    """A kernel wait queue head (``wait_queue_head_t``).
+
+    Blocking socket operations sleep here until the NIC's softirq delivery
+    makes their condition true.  The simulation is cooperative, so
+    :meth:`sleep` does not transfer control to other Python code; it charges
+    the performance-visible effect of blocking — being scheduled away and
+    back (two context switches plus the TLB refill) — and the caller
+    re-checks its wake condition in a loop, exactly like the kernel's
+    ``wait_event`` macro re-tests its expression after every wakeup.
+    """
+
+    def __init__(self, kernel: "Kernel", name: str = "?"):
+        self.kernel = kernel
+        self.name = name
+        self.waiters = 0
+        self.sleeps = 0
+        self.wakeups = 0
+
+    def sleep(self, site: str = "?") -> None:
+        """Block the current task until the next :meth:`wake_all`."""
+        kernel = self.kernel
+        task = kernel.current
+        self.sleeps += 1
+        self.waiters += 1
+        if task is not None:
+            task.state = TaskState.BLOCKED
+        kernel.clock.charge(2 * kernel.costs.context_switch)
+        kernel.mmu.flush_tlb()
+        kernel.sched.context_switches += 2
+        # ...woken: back on the CPU with the condition worth re-checking.
+        self.waiters -= 1
+        if task is not None:
+            task.state = TaskState.RUNNING
+
+    def wake_all(self, site: str = "?") -> None:
+        """Mark the queue's condition changed (wake_up_interruptible)."""
+        self.wakeups += 1
+
+
 class Scheduler:
     """Round-robin scheduler over the kernel's task list."""
 

@@ -23,10 +23,21 @@ SYSCALL_NRS: dict[str, int] = {
     "stat": 106,
     "fstat": 108,
     "getdents": 141,
+    "select": 142,
     "pread": 180,
     "pwrite": 181,
     "sendfile": 187,
+    "epoll_create": 254,
+    "epoll_ctl": 255,
+    "epoll_wait": 256,
+    # --- network stack (socketcall family numbers) ---
+    "socket": 359,
     "socketpair": 360,
+    "bind": 361,
+    "connect": 362,
+    "listen": 363,
+    "accept": 364,
+    "shutdown": 373,
     # --- the paper's consolidated syscalls (§2.2) ---
     "readdirplus": 440,
     "open_read_close": 441,

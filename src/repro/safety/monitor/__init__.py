@@ -14,20 +14,25 @@ buffer is lock-free so interrupt-context code can be instrumented without
 any risk of blocking.
 """
 
-from repro.safety.monitor.events import Event, pack_event, unpack_events, EVENT_RECORD_SIZE
+from repro.safety.monitor.events import (Event, pack_event, unpack_events,
+                                         EVENT_RECORD_SIZE, EV_SOCK_ACCEPT,
+                                         EV_SOCK_CLOSE, EV_SOCK_DROP)
 from repro.safety.monitor.ringbuf import LockFreeRingBuffer
 from repro.safety.monitor.dispatcher import EventDispatcher
 from repro.safety.monitor.chardev import EventCharDevice
 from repro.safety.monitor.libkernevents import UserSpaceLogger
 from repro.safety.monitor.monitors import (IrqMonitor, RefcountMonitor,
-                                           SemaphoreMonitor, SpinlockMonitor)
+                                           SemaphoreMonitor, SocketMonitor,
+                                           SpinlockMonitor)
 from repro.safety.monitor.lockprof import LockProfiler, LockStats
 from repro.safety.monitor.offline import analyze, load_event_log, OfflineReport
 
 __all__ = [
     "Event", "pack_event", "unpack_events", "EVENT_RECORD_SIZE",
+    "EV_SOCK_ACCEPT", "EV_SOCK_CLOSE", "EV_SOCK_DROP",
     "LockFreeRingBuffer", "EventDispatcher", "EventCharDevice",
     "UserSpaceLogger", "RefcountMonitor", "SpinlockMonitor",
-    "SemaphoreMonitor", "IrqMonitor", "LockProfiler", "LockStats",
+    "SemaphoreMonitor", "SocketMonitor", "IrqMonitor",
+    "LockProfiler", "LockStats",
     "analyze", "load_event_log", "OfflineReport",
 ]

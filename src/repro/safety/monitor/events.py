@@ -18,6 +18,12 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+# Socket lifecycle event codes, re-exported so monitor consumers need not
+# reach into the kernel's net package (codes 9.. continue the EV_* numbering
+# started in repro.kernel.locks).
+from repro.kernel.net.socket import (EV_SOCK_ACCEPT, EV_SOCK_CLOSE,  # noqa: F401
+                                     EV_SOCK_DROP)
+
 _RECORD = struct.Struct("<IIQqQ")
 EVENT_RECORD_SIZE = _RECORD.size  # 32? -> actually 4+4+8+8+8 = 32
 

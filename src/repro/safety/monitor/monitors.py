@@ -13,6 +13,8 @@ property over the event stream:
 * :class:`SemaphoreMonitor` — down/up pairing.
 * :class:`IrqMonitor` — "interrupts that are disabled are later
   re-enabled": nesting depth must return to zero and never go negative.
+* :class:`SocketMonitor` — accepted connections are eventually closed;
+  packet drops are accounted per connection.
 
 Monitors record violations rather than raising: a real in-kernel monitor
 must never take the machine down itself.  ``strict=True`` opts into
@@ -28,7 +30,8 @@ from repro.errors import InvariantViolation
 from repro.kernel.locks import (EV_IRQ_DISABLE, EV_IRQ_ENABLE, EV_LOCK,
                                 EV_REF_DEC, EV_REF_INC, EV_SEM_DOWN,
                                 EV_SEM_UP, EV_UNLOCK)
-from repro.safety.monitor.events import Event
+from repro.safety.monitor.events import (EV_SOCK_ACCEPT, EV_SOCK_CLOSE,
+                                         EV_SOCK_DROP, Event)
 
 
 @dataclass(frozen=True)
@@ -175,3 +178,44 @@ class IrqMonitor(_BaseMonitor):
 
     def still_disabled(self) -> dict[int, int]:
         return {k: v for k, v in self.depth.items() if v > 0}
+
+
+class SocketMonitor(_BaseMonitor):
+    """Socket lifecycle hygiene over ``sock.accept``/``close``/``drop``.
+
+    Rules: every accepted connection is eventually closed (a server that
+    accepts and forgets leaks fds and wedges its peers), and packet drops
+    are charged to the connection that suffered them.  ``leaked()`` lists
+    accepted-but-never-closed sockets — call it after the watched epoch.
+    """
+
+    def __init__(self, *, strict: bool = False):
+        super().__init__(strict=strict)
+        self._accepted: dict[int, str] = {}  # obj -> accept site
+        self.accepts = 0
+        self.closes = 0
+        self.drops: Counter = Counter()      # obj -> packets dropped
+
+    def __call__(self, event: Event) -> None:
+        if event.event_type not in (EV_SOCK_ACCEPT, EV_SOCK_CLOSE,
+                                    EV_SOCK_DROP):
+            return
+        self.events_seen += 1
+        if event.event_type == EV_SOCK_ACCEPT:
+            self.accepts += 1
+            self._accepted[event.obj_id] = event.site
+        elif event.event_type == EV_SOCK_CLOSE:
+            self.closes += 1
+            self._accepted.pop(event.obj_id, None)
+        else:
+            self.drops[event.obj_id] += 1
+
+    def leaked(self) -> dict[int, str]:
+        """Accepted sockets never closed (object -> accept site)."""
+        return dict(self._accepted)
+
+    def report_leaks(self) -> list[Violation]:
+        """End-of-run audit: every accept must have a matching close."""
+        return [Violation("socket-accept-close", obj_id, site,
+                          "accepted connection never closed")
+                for obj_id, site in sorted(self._accepted.items())]

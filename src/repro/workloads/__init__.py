@@ -24,10 +24,16 @@ from repro.workloads.servers import synth_web_server_trace, synth_mail_server_tr
 from repro.workloads.webserver import (ReadWriteServer, SendfileServer,
                                        WebServerConfig, build_docroot,
                                        drain_client)
+from repro.workloads.httpserver import (CosyHttpServer, EpollHttpServer,
+                                        HttpBenchConfig, HttpBenchResult,
+                                        SelectHttpServer, SERVER_KINDS,
+                                        run_http_bench)
 
 __all__ = [
     "ReadWriteServer", "SendfileServer", "WebServerConfig",
     "build_docroot", "drain_client",
+    "CosyHttpServer", "EpollHttpServer", "SelectHttpServer",
+    "HttpBenchConfig", "HttpBenchResult", "SERVER_KINDS", "run_http_bench",
     "PostMark", "PostMarkConfig", "PostMarkResult",
     "CompileBench", "CompileBenchConfig",
     "ls_legacy", "ls_readdirplus",

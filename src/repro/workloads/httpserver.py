@@ -1,0 +1,358 @@
+"""Concurrent HTTP serving, three ways: select, epoll, Cosy compounds.
+
+This is the paper's server story (§2.1/§2.4) run against *many* clients on
+the simulated network stack, instead of one socketpair.  Per request every
+server does the same work — accept the connection, read the request, open
+the file, sendfile it, close the file — but they differ in how much of the
+user/kernel boundary they cross to do it:
+
+* :class:`SelectHttpServer` — classic select-per-request loop.  Every
+  request pays one ``select`` over the *entire* interest set (the kernel
+  rescans all N registered fds), plus the accept/read/open/sendfile/close
+  traps.  With keep-alive connections the interest set grows with the
+  client count, so per-request cost grows O(N).
+* :class:`EpollHttpServer` — event loop over ``epoll_wait``.  Readiness
+  is O(ready), batched up to 64 events per trap; per-request cost is flat
+  no matter how many idle connections are registered.
+* :class:`CosyHttpServer` — the whole request loop is one Cosy compound:
+  ``accept → read → open → sendfile → close`` for a wave of clients runs
+  in a single ``cosy_exec`` trap, with the request bytes landing in the
+  shared buffer (no uaccess).  Crossings per request approach zero.
+
+``benchmarks/bench_net.py`` sweeps the client count to reproduce the
+crossings-dominate curve; the differential test asserts all three serve
+byte-identical responses.
+
+Protocol: one request per connection, ``b"GET <path>\\0"`` (NUL-terminated
+so the Cosy compound can reuse its request region), response is the raw
+file body; connections are kept alive (never closed by the server), which
+is what makes select's interest set grow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.cosy.compound import CompoundBuilder
+from repro.core.cosy.kernel_ext import CosyKernelExtension
+from repro.core.cosy.ops import Arg
+from repro.core.cosy.shared_buffer import SharedBuffer
+from repro.errors import EAGAIN, Errno
+from repro.kernel.clock import Mode
+from repro.kernel.net import EPOLL_CTL_ADD, EPOLLIN
+from repro.kernel.vfs.file import O_RDONLY
+from repro.workloads.webserver import (REQUEST_PARSE_CYCLES, WebServerConfig,
+                                       build_docroot)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.core import Kernel
+
+SERVER_KINDS = ("select", "epoll", "cosy")
+
+#: size of the fixed request region ("GET " + path + NUL must fit)
+REQUEST_BYTES = 64
+
+
+@dataclass
+class HttpBenchConfig:
+    """One bench scenario: ``nclients`` one-request keep-alive clients."""
+
+    nclients: int = 100
+    nfiles: int = 16
+    avg_file_bytes: int = 4096
+    #: clients connect in waves of this size; must not exceed ``backlog``
+    wave: int = 128
+    backlog: int = 128
+    port: int = 80
+    docroot: str = "/www"
+    seed: int = 4242
+
+
+@dataclass
+class HttpBenchResult:
+    """Serving-phase metrics for one (server kind, nclients) run."""
+
+    kind: str
+    nclients: int
+    requests: int = 0
+    bytes_served: int = 0
+    elapsed: int = 0          # simulated cycles, serving phase only
+    user_cycles: int = 0
+    system_cycles: int = 0
+    syscalls: int = 0         # boundary crossings, serving phase only
+    digest: str = ""          # sha256 over every client's drained bytes
+    nic: dict = field(default_factory=dict)
+
+    @property
+    def cycles_per_request(self) -> float:
+        return self.elapsed / max(self.requests, 1)
+
+    @property
+    def syscalls_per_request(self) -> float:
+        return self.syscalls / max(self.requests, 1)
+
+
+def _request_for(path: str) -> bytes:
+    req = b"GET " + path.encode() + b"\0"
+    if len(req) > REQUEST_BYTES:
+        raise ValueError(f"request for {path!r} exceeds {REQUEST_BYTES} bytes")
+    return req
+
+
+class _HttpServerBase:
+    """Listener setup + the per-request file work shared by all servers."""
+
+    def __init__(self, kernel: "Kernel", cfg: HttpBenchConfig):
+        self.kernel = kernel
+        self.cfg = cfg
+        self.listen_fd = -1
+        self.requests = 0
+        self.bytes_served = 0
+
+    def setup(self) -> None:
+        sys = self.kernel.sys
+        self.listen_fd = sys.socket(blocking=False)
+        sys.bind(self.listen_fd, self.cfg.port)
+        sys.listen(self.listen_fd, self.cfg.backlog)
+
+    def _serve_conn(self, conn: int) -> None:
+        """One request on an established connection, user-level style."""
+        sys = self.kernel.sys
+        req = sys.read(conn, REQUEST_BYTES)
+        self.kernel.clock.charge(REQUEST_PARSE_CYCLES, Mode.USER)
+        path = req[4:].split(b"\0", 1)[0].decode()
+        fd = sys.open(path, O_RDONLY)
+        try:
+            self.bytes_served += sys.sendfile(conn, fd, 0, 1 << 30)
+        finally:
+            sys.close(fd)
+        self.requests += 1
+
+    def serve_wave(self, n: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SelectHttpServer(_HttpServerBase):
+    """select-per-request: every request rescans the whole interest set."""
+
+    def __init__(self, kernel: "Kernel", cfg: HttpBenchConfig):
+        super().__init__(kernel, cfg)
+        self.fds: list[int] = []            # [listener] + all live conns
+        self._index: dict[int, int] = {}    # fd -> position in self.fds
+
+    def setup(self) -> None:
+        super().setup()
+        self.fds = [self.listen_fd]
+        self._index = {self.listen_fd: 0}
+
+    def serve_wave(self, n: int) -> None:
+        sys = self.kernel.sys
+        served = 0
+        pos = 0
+        while served < n:
+            # the classic loop: select over the whole set, walk the ready
+            # fds it reported.  No per-connection registration syscalls —
+            # select's small-N advantage — but every call rescans all N
+            # descriptors, which is what sinks it at large N.
+            ready = sys.select(self.fds, start=pos, limit=64)
+            if not ready:
+                raise RuntimeError("select found nothing with work pending")
+            for fd in ready:
+                if fd == self.listen_fd:
+                    while True:
+                        try:
+                            conn = sys.accept(self.listen_fd)
+                        except Errno as exc:
+                            if exc.errno == EAGAIN:
+                                break
+                            raise
+                        self._index[conn] = len(self.fds)
+                        self.fds.append(conn)
+                else:
+                    self._serve_conn(fd)
+                    served += 1
+            pos = (self._index[ready[-1]] + 1) % len(self.fds)
+
+
+class EpollHttpServer(_HttpServerBase):
+    """Event loop: readiness is registered once, reported O(ready)."""
+
+    def __init__(self, kernel: "Kernel", cfg: HttpBenchConfig):
+        super().__init__(kernel, cfg)
+        self.epfd = -1
+
+    def setup(self) -> None:
+        super().setup()
+        sys = self.kernel.sys
+        self.epfd = sys.epoll_create()
+        sys.epoll_ctl(self.epfd, EPOLL_CTL_ADD, self.listen_fd, EPOLLIN)
+
+    def serve_wave(self, n: int) -> None:
+        sys = self.kernel.sys
+        served = 0
+        while served < n:
+            events = sys.epoll_wait(self.epfd, maxevents=64, timeout=0)
+            if not events:
+                raise RuntimeError("epoll found nothing with work pending")
+            for fd, _mask in events:
+                if fd == self.listen_fd:
+                    while True:
+                        try:
+                            conn = sys.accept(self.listen_fd)
+                        except Errno as exc:
+                            if exc.errno == EAGAIN:
+                                break
+                            raise
+                        sys.epoll_ctl(self.epfd, EPOLL_CTL_ADD, conn, EPOLLIN)
+                else:
+                    self._serve_conn(fd)
+                    served += 1
+
+
+class CosyHttpServer(_HttpServerBase):
+    """The request loop as one in-kernel compound per wave of clients.
+
+    ``accept → read → open → sendfile → close`` for all ``n`` queued
+    connections runs inside a single ``cosy_exec`` trap; the request line
+    lands in the shared buffer (kernel-side memcpy, no uaccess) and the
+    path is read back out of it C-string-style by the ``open`` op.
+    """
+
+    def __init__(self, kernel: "Kernel", cfg: HttpBenchConfig):
+        super().__init__(kernel, cfg)
+        self.ext: CosyKernelExtension | None = None
+        self.shared: SharedBuffer | None = None
+        self.req_off = 0
+        self._encoded: dict[int, bytes] = {}   # wave size -> compound bytes
+
+    def setup(self) -> None:
+        super().setup()
+        self.ext = CosyKernelExtension(self.kernel)
+        self.shared = SharedBuffer(self.kernel, self.kernel.current, 4096)
+        self.req_off = self.shared.alloc(REQUEST_BYTES)
+
+    def _compound(self, n: int) -> bytes:
+        encoded = self._encoded.get(n)
+        if encoded is not None:
+            return encoded
+        b = CompoundBuilder()
+        cnt = b.slot("n")
+        conn = b.slot("conn")
+        fd = b.slot("fd")
+        sent = b.slot("sent")
+        nread = b.slot("nread")
+        rc = b.slot("rc")  # dump for close's result (dst defaults to slot 0)
+        b.mov(cnt, Arg.lit(n))
+        top = b.label("top")
+        done = b.label("done")
+        b.place(top)
+        b.syscall("accept", Arg.lit(self.listen_fd), out=conn)
+        b.syscall("read", Arg.slot(conn),
+                  Arg.shared(self.req_off, REQUEST_BYTES),
+                  Arg.lit(REQUEST_BYTES), out=nread)
+        b.syscall("open", Arg.shared(self.req_off + 4, REQUEST_BYTES - 4),
+                  Arg.lit(O_RDONLY), out=fd)
+        b.syscall("sendfile", Arg.slot(conn), Arg.slot(fd),
+                  Arg.lit(0), Arg.lit(1 << 30), out=sent)
+        b.syscall("close", Arg.slot(fd), out=rc)
+        b.math("-", cnt, Arg.slot(cnt), Arg.lit(1))
+        b.jz(Arg.slot(cnt), done)
+        b.jmp(top)
+        b.place(done)
+        encoded = b.encode()
+        self._encoded[n] = encoded
+        return encoded
+
+    def serve_wave(self, n: int) -> None:
+        encoded = self._compound(n)
+        # user side forms (or reuses) the compound buffer
+        self.kernel.clock.charge(
+            int(len(encoded) * self.kernel.costs.user_touch_per_byte),
+            Mode.USER)
+        self.ext.execute(self.kernel.current, encoded, self.shared)
+        self.requests += n
+
+
+_SERVERS = {
+    "select": SelectHttpServer,
+    "epoll": EpollHttpServer,
+    "cosy": CosyHttpServer,
+}
+
+
+def run_http_bench(kernel: "Kernel", kind: str,
+                   cfg: HttpBenchConfig) -> HttpBenchResult:
+    """Run one server kind against ``cfg.nclients`` simulated clients.
+
+    ``kernel`` must be freshly booted with a mounted root and one running
+    task (which becomes the server).  Clients run as a second task and
+    connect in waves of ``cfg.wave``; only the serving phase is measured,
+    so the client-side driving cost (identical across kinds) stays out of
+    the comparison.  Returns serving-phase metrics plus a digest over the
+    bytes every client received, for differential comparison.
+    """
+    if kind not in _SERVERS:
+        raise ValueError(f"unknown server kind {kind!r}")
+    sys = kernel.sys
+    httpd = kernel.current
+    if httpd is None:
+        raise RuntimeError("run_http_bench needs a running task")
+    web_cfg = WebServerConfig(nfiles=cfg.nfiles,
+                              avg_file_bytes=cfg.avg_file_bytes,
+                              docroot=cfg.docroot, seed=cfg.seed)
+    paths = build_docroot(kernel, web_cfg)
+    server = _SERVERS[kind](kernel, cfg)
+    server.setup()
+    clients = kernel.spawn("clients")
+    # both sides hold O(nclients) descriptors; lift the soft limit
+    httpd.rlimit_nofile = max(httpd.rlimit_nofile, cfg.nclients + 64)
+    clients.rlimit_nofile = max(clients.rlimit_nofile, cfg.nclients + 64)
+
+    result = HttpBenchResult(kind=kind, nclients=cfg.nclients)
+    client_fds: list[int] = []
+    launched = 0
+    while launched < cfg.nclients:
+        wave = min(cfg.wave, cfg.nclients - launched)
+        kernel.sched.switch_to(clients)
+        for i in range(launched, launched + wave):
+            fd = sys.socket(blocking=False)
+            sys.connect(fd, cfg.port)
+            sys.write(fd, _request_for(paths[i % len(paths)]))
+            client_fds.append(fd)
+        launched += wave
+        kernel.sched.switch_to(httpd)
+        with kernel.measure() as m:
+            server.serve_wave(wave)
+        result.elapsed += m.delta.elapsed
+        result.user_cycles += m.delta.user
+        result.system_cycles += m.delta.system
+        result.syscalls += m.syscalls
+
+    # differential evidence: what did each client actually receive?
+    kernel.sched.switch_to(clients)
+    digest = hashlib.sha256()
+    total = 0
+    for fd in client_fds:
+        body = bytearray()
+        while True:
+            chunk = sys.read(fd, 65536)
+            if not chunk:
+                break
+            body += chunk
+        digest.update(len(body).to_bytes(8, "little"))
+        digest.update(bytes(body))
+        total += len(body)
+    result.requests = server.requests
+    result.bytes_served = total
+    result.digest = digest.hexdigest()
+    stack = kernel.sys.do_accept.__self__  # the installed SocketLayer
+    result.nic = {
+        "tx_packets": stack.nic.tx_packets,
+        "rx_packets": stack.nic.rx_packets,
+        "tx_bytes": stack.nic.tx_bytes,
+        "interrupts": stack.nic.interrupts,
+        "dropped": stack.nic.dropped,
+    }
+    return result

@@ -1,0 +1,64 @@
+"""The §2.2 server trace synthesizers: syscall mixes must match the
+documented daemon profiles (Apache-like web loop, Sendmail-like mail loop)."""
+
+from collections import Counter
+
+from repro.workloads import synth_mail_server_trace, synth_web_server_trace
+
+
+def test_web_trace_request_structure():
+    n = 200
+    trace = synth_web_server_trace(n, seed=1)
+    c = Counter(trace)
+    # every request starts with read(request) + stat(path); static requests
+    # add 1-3 file reads, so reads land in [2n, 4n]
+    assert c["stat"] == n
+    assert 2 * n <= c["read"] <= 4 * n
+    # each request opens exactly one file and closes it
+    assert c["open"] == c["close"] == n
+    # static responses write once, dynamic twice
+    assert n <= c["write"] <= 2 * n
+    # nothing else sneaks in
+    assert set(c) == {"read", "stat", "open", "close", "write"}
+
+
+def test_web_trace_static_ratio_shifts_writes():
+    n = 400
+    all_static = Counter(synth_web_server_trace(n, static_ratio=1.0, seed=2))
+    all_dynamic = Counter(synth_web_server_trace(n, static_ratio=0.0, seed=2))
+    assert all_static["write"] == n        # one write per static request
+    assert all_dynamic["write"] == 2 * n   # headers + body when dynamic
+    # dynamic scripts are read exactly once; static files 1-3 times
+    assert all_dynamic["read"] == 2 * n    # request + script source
+    assert all_static["read"] > 2 * n
+
+
+def test_mail_trace_message_structure():
+    n = 150
+    trace = synth_mail_server_trace(n, seed=3)
+    c = Counter(trace)
+    # four opens per message: spool, queue dir, spooled message, mailbox
+    assert c["open"] == c["close"] == 4 * n
+    # spool (2) + mailbox append (1) writes
+    assert c["write"] == 3 * n
+    assert c["read"] == n                  # delivery read
+    assert c["getdents"] == n              # one queue scan per message
+    assert c["unlink"] == n                # cleanup
+    # the readdir-stat pattern: 3-9 stats per queue run
+    assert 3 * n <= c["stat"] <= 9 * n
+    assert set(c) == {"open", "close", "write", "read", "getdents",
+                      "stat", "unlink"}
+
+
+def test_mail_trace_begins_with_spool_write():
+    trace = synth_mail_server_trace(5, seed=4)
+    assert trace[:4] == ["open", "write", "write", "close"]
+
+
+def test_traces_deterministic_per_seed():
+    assert (synth_web_server_trace(50, seed=7)
+            == synth_web_server_trace(50, seed=7))
+    assert (synth_mail_server_trace(50, seed=7)
+            == synth_mail_server_trace(50, seed=7))
+    assert (synth_web_server_trace(50, seed=7)
+            != synth_web_server_trace(50, seed=8))
