@@ -15,6 +15,7 @@ from conftest import fresh_kernel
 from repro.analysis import ComparisonTable
 from repro.core.cosy import CosyGCC, CosyKernelExtension, CosyLib
 from repro.kernel.vfs.file import O_CREAT, O_RDONLY, O_WRONLY
+from repro.trace import write_chrome_trace
 
 N = 300
 
@@ -98,7 +99,7 @@ def _setup_kernel():
     return k
 
 
-def _measure_all() -> dict[str, tuple[float, int, int]]:
+def _measure_all(trace_dir=None) -> dict[str, tuple[float, int, int, dict]]:
     results = {}
     for name, (user_fn, src) in _MICROS.items():
         k = _setup_kernel()
@@ -108,12 +109,24 @@ def _measure_all() -> dict[str, tuple[float, int, int]]:
                                 CosyGCC().compile(src % {"n": N}))
         with k.measure() as m_user:
             expect = user_fn(k)
+        # Trace only the compound leg: the user-loop leg above pins the
+        # speedup baseline, and re-tracing it would only re-prove the
+        # zero-cost invariant test_net_smoke already asserts.
+        k.trace.enable()
         with k.measure() as m_cosy:
             got = installed.run().value
+        att = k.trace.attribution()
+        assert att.complete, f"{name}: attribution does not sum to window"
+        assert att.window_cycles == m_cosy.delta.elapsed, \
+            f"{name}: traced window != measured elapsed"
+        if trace_dir is not None:
+            write_chrome_trace(k.trace, trace_dir / f"cosy-micro-{name}.json")
+        k.trace.disable()
         assert got == expect, f"{name}: compound result mismatch"
         speedup = 100.0 * (m_user.delta.elapsed - m_cosy.delta.elapsed) \
             / m_user.delta.elapsed
-        results[name] = (speedup, m_user.syscalls, m_cosy.syscalls)
+        results[name] = (speedup, m_user.syscalls, m_cosy.syscalls,
+                         att.to_dict())
     return results
 
 
@@ -193,13 +206,23 @@ def test_cosy_micro_engine(run_once):
     assert table.all_hold
 
 
-def test_cosy_micro(run_once):
-    results = run_once(_measure_all)
+def test_cosy_micro(run_once, trace_out):
+    out = {}
+
+    def measure():
+        out["r"] = _measure_all(trace_out)
+        return out["r"]
+
+    results = run_once(
+        measure,
+        attribution=lambda: {name: r[3] for name, r in out["r"].items()})
     table = ComparisonTable(
         "E3", f"Cosy micro-benchmarks ({N} invocations per syscall)")
-    for name, (speedup, user_calls, cosy_calls) in results.items():
+    for name, (speedup, user_calls, cosy_calls, att) in results.items():
         table.add(f"{name} speedup", "40-90%", f"{speedup:.1f}%",
                   holds=30.0 <= speedup <= 95.0)
-        table.note(f"{name}: {user_calls} traps -> {cosy_calls} trap")
+        table.note(f"{name}: {user_calls} traps -> {cosy_calls} trap; "
+                   f"attributed {att['window_cycles'] - att['untraced_cycles']:,}"
+                   f"/{att['window_cycles']:,} compound cycles")
     table.print()
     assert table.all_hold

@@ -27,6 +27,7 @@ from conftest import fresh_kernel
 
 from repro.analysis import ComparisonTable
 from repro.kernel.net import SocketLayer
+from repro.trace import write_chrome_trace
 from repro.workloads import SERVER_KINDS, HttpBenchConfig, run_http_bench
 
 SMOKE_CLIENTS = 100
@@ -36,11 +37,15 @@ _OUT = Path(__file__).parent / "BENCH_NET.json"
 _NET: dict = {}
 
 
-def _measure(kind: str, nclients: int) -> dict:
+def _measure(kind: str, nclients: int, *, traced: bool = False,
+             trace_dir: Path | None = None) -> dict:
     kernel = fresh_kernel("ramfs")
     SocketLayer(kernel)
+    if traced or trace_dir is not None:
+        kernel.trace.enable()
+    start = kernel.clock.now
     r = run_http_bench(kernel, kind, HttpBenchConfig(nclients=nclients))
-    return {
+    out = {
         "kind": r.kind,
         "nclients": r.nclients,
         "requests": r.requests,
@@ -54,6 +59,23 @@ def _measure(kind: str, nclients: int) -> dict:
         "digest": r.digest,
         "nic": r.nic,
     }
+    if kernel.trace.enabled:
+        att = kernel.trace.attribution()
+        # the window is the whole benchmark (setup + client driving +
+        # serving); its every cycle must be accounted for
+        assert att.window_cycles == kernel.clock.now - start, \
+            "tracer window disagrees with the clock"
+        out["attribution"] = att.to_dict()
+        # the §2 decomposition: crossings vs. copies vs. faults
+        out["attribution"]["breakdown"] = {
+            "crossing_cycles": att.category_self("boundary"),
+            "copy_cycles": att.category_self("copy"),
+            "fault_cycles": att.total_of("mem:fault"),
+        }
+        if trace_dir is not None:
+            write_chrome_trace(kernel.trace,
+                               trace_dir / f"net-{kind}-{nclients}.json")
+    return out
 
 
 def _flush() -> None:
@@ -70,12 +92,33 @@ def _flush() -> None:
     _OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
-def test_net_smoke(run_once):
-    """All three servers, 100 clients: identity + ordering (CI smoke)."""
+def test_net_smoke(run_once, trace_out):
+    """All three servers, 100 clients: identity + ordering (CI smoke).
+
+    The smoke run is always traced: its BENCH_NET.json section carries a
+    full cycle attribution per server, and ``select`` is measured a second
+    time untraced to assert tracing has zero simulated-cost impact.
+    """
     results = run_once(
-        lambda: {kind: _measure(kind, SMOKE_CLIENTS) for kind in SERVER_KINDS})
+        lambda: {kind: _measure(kind, SMOKE_CLIENTS, traced=True,
+                                trace_dir=trace_out)
+                 for kind in SERVER_KINDS})
+    untraced = _measure("select", SMOKE_CLIENTS)
+    assert untraced["elapsed_cycles"] == results["select"]["elapsed_cycles"], \
+        "tracing changed the simulated clock"
     table = ComparisonTable(
         "E11a", f"HTTP serving, {SMOKE_CLIENTS} clients (smoke)")
+    for kind in SERVER_KINDS:
+        att = results[kind]["attribution"]
+        assert att["complete"], f"{kind}: attribution does not sum to window"
+        assert att["window_cycles"] >= results[kind]["elapsed_cycles"], \
+            f"{kind}: traced window smaller than the serving phase"
+    table.add("attribution sums to elapsed",
+              "self + untraced == user+system+iowait",
+              "complete for all 3 servers", holds=True)
+    bd = results["select"]["attribution"]["breakdown"]
+    table.note(f"select breakdown: crossings {bd['crossing_cycles']:,}, "
+               f"copies {bd['copy_cycles']:,}, faults {bd['fault_cycles']:,}")
     digests = {r["digest"] for r in results.values()}
     table.add("responses byte-identical", "one digest across servers",
               f"{len(digests)} distinct digest(s)", holds=len(digests) == 1)
@@ -98,10 +141,13 @@ def test_net_smoke(run_once):
     assert slowest_user > cosy
 
 
-def test_net_scaling(run_once):
+def test_net_scaling(run_once, trace_out):
     """The crossings-dominate curve across 10²–10⁴ clients."""
     results = run_once(
-        lambda: {str(n): {kind: _measure(kind, n) for kind in SERVER_KINDS}
+        lambda: {str(n): {kind: _measure(kind, n,
+                                         trace_dir=trace_out
+                                         if n == LEVELS[0] else None)
+                          for kind in SERVER_KINDS}
                  for n in LEVELS})
     table = ComparisonTable(
         "E11b", "HTTP serving vs client count (crossings dominate)")

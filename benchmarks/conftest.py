@@ -14,6 +14,7 @@ job) and offline tooling can track them without parsing pytest output.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -21,8 +22,28 @@ import pytest
 
 from repro.kernel import Kernel
 from repro.kernel.fs import Ext2SuperBlock, RamfsSuperBlock
+from repro.trace import ENV_TRACE_OUT
 
 _RESULTS: list[dict] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out", default=None, metavar="DIR",
+        help="dump a Perfetto/Chrome trace JSON per benchmark scenario "
+             f"into DIR (also settable via ${ENV_TRACE_OUT})")
+
+
+@pytest.fixture
+def trace_out(request) -> Path | None:
+    """Directory for Perfetto trace dumps, or None when not requested."""
+    where = (request.config.getoption("--trace-out")
+             or os.environ.get(ENV_TRACE_OUT))
+    if not where:
+        return None
+    path = Path(where)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 def fresh_kernel(fs: str = "ramfs", **kernel_kwargs) -> Kernel:

@@ -2,7 +2,9 @@
 
 from repro.analysis.report import (Row, ComparisonTable, pct, fmt_bytes,
                                    fmt_seconds, code_cache_report,
-                                   fault_injection_report, verifier_report)
+                                   fault_injection_report, metrics_report,
+                                   verifier_report)
 
 __all__ = ["Row", "ComparisonTable", "pct", "fmt_bytes", "fmt_seconds",
-           "code_cache_report", "fault_injection_report", "verifier_report"]
+           "code_cache_report", "fault_injection_report", "metrics_report",
+           "verifier_report"]

@@ -179,3 +179,13 @@ def fault_injection_report(registry) -> str:
         for rec in tail:
             lines.append(f"    {rec}")
     return "\n".join(lines)
+
+
+def metrics_report(metrics, prefix: str = "") -> str:
+    """Render the kernel-wide metrics registry (``kernel.metrics``).
+
+    ``metrics`` is a :class:`repro.trace.metrics.MetricsRegistry`; an
+    optional ``prefix`` filters to one subsystem's namespace
+    (``"mmu."``, ``"fault."``, ``"lock."``, ...).
+    """
+    return metrics.render(prefix)

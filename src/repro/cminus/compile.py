@@ -1812,17 +1812,39 @@ class CodeCache:
     The effective key is (program identity, structural fingerprint,
     instrumentation generation): a generation bump — hotpatch,
     (de)instrumentation, re-registration — invalidates the entry, and a
-    dead program's entry is dropped via its weakref.  Counters feed
+    dead program's entry is dropped via its weakref.  Counters live in
+    the kernel's :class:`~repro.trace.metrics.MetricsRegistry` (a private
+    one when standalone) under ``cminus.cache.*`` and feed
     :func:`repro.analysis.report.code_cache_report`.
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256, *, metrics=None):
+        if metrics is None:
+            from repro.trace.metrics import MetricsRegistry
+            metrics = MetricsRegistry()
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.compiles = 0
+        self._hits = metrics.counter("cminus.cache.hits")
+        self._misses = metrics.counter("cminus.cache.misses")
+        self._invalidations = metrics.counter("cminus.cache.invalidations")
+        self._compiles = metrics.counter("cminus.cache.compiles")
         self._entries: dict[int, tuple[weakref.ref, int, CompiledProgram]] = {}
+        metrics.gauge("cminus.cache.entries", fn=lambda: len(self._entries))
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
+
+    @property
+    def compiles(self) -> int:
+        return self._compiles.value
 
     def lookup(self, program: ast.Program) -> CompiledProgram:
         gen = generation_of(program)
@@ -1832,15 +1854,15 @@ class CodeCache:
             ref, cached_gen, compiled = entry
             if ref() is program:
                 if cached_gen == gen:
-                    self.hits += 1
+                    self._hits.inc()
                     return compiled
                 # the program was rewritten since this was compiled —
                 # stale code must never run
-                self.invalidations += 1
+                self._invalidations.inc()
             del self._entries[key]
-        self.misses += 1
+        self._misses.inc()
         compiled = compile_program(program)
-        self.compiles += 1
+        self._compiles.inc()
         if len(self._entries) >= self.max_entries:
             self._entries.pop(next(iter(self._entries)))
         self._entries[key] = (weakref.ref(program), gen, compiled)
@@ -1851,7 +1873,7 @@ class CodeCache:
         bump_generation(program)
         entry = self._entries.pop(id(program), None)
         if entry is not None:
-            self.invalidations += 1
+            self._invalidations.inc()
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
@@ -1890,7 +1912,8 @@ class CompiledEngine:
                  limits: ExecLimits | None = None,
                  filename: str = "<cminus>",
                  cache: CodeCache | None = None,
-                 compiled: CompiledProgram | None = None):
+                 compiled: CompiledProgram | None = None,
+                 tracer=None):
         self.program = program
         self.mem = mem
         self.externs = externs or {}
@@ -1910,6 +1933,7 @@ class CompiledEngine:
         self.strings: dict[int, int] = {}
         self.allocs: list[tuple[int, int]] = []
         self._cache = cache
+        self._tracer = tracer
         if on_op_batch is None and on_op is not None:
             op = on_op
 
@@ -2001,6 +2025,13 @@ class CompiledEngine:
                 raise CMinusError(f"undefined function '{name}'", 0)
             result = ext(*args)
             return int(result) if result is not None else 0
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin(f"cminus:{name}", "cminus", file=self.filename)
+            try:
+                return _invoke(self, cf, list(args))
+            finally:
+                tracer.end(ops=self.ops_executed)
         return _invoke(self, cf, list(args))
 
     def __repr__(self) -> str:  # pragma: no cover

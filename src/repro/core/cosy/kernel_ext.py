@@ -146,6 +146,7 @@ class CosyKernelExtension:
         status = CompoundStatus()
         self.last_status = status
         pc = 0
+        tracer = kernel.trace
         try:
             while pc < len(ops):
                 op = ops[pc]
@@ -154,6 +155,9 @@ class CosyKernelExtension:
                 self.ops_executed += 1
                 if op.opcode is OpCode.END:
                     break
+                traced = tracer.enabled
+                if traced:
+                    tracer.begin(f"cosy:{_op_label(op)}", "cosy", pc=pc)
                 try:
                     pc = self._exec_op(op, pc, slots, shared, isolation)
                 except (Errno, OutOfMemory) as exc:
@@ -168,6 +172,9 @@ class CosyKernelExtension:
                     raise CompoundFault(errno, pc, _op_label(op), slots,
                                         status.ops_completed,
                                         str(exc)) from exc
+                finally:
+                    if traced:
+                        tracer.end()
                 status.ops_completed += 1
         finally:
             task.kernel_entry_cycles = None

@@ -178,6 +178,7 @@ class FunctionIsolation:
                 step_hook=kernel.sched.maybe_preempt,
                 limits=ExecLimits(max_ops=self.max_ops),
                 cache=kernel.code_cache,
+                tracer=kernel.trace,
             )
         else:  # the tree-walking oracle
             interp = Interpreter(

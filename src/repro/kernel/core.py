@@ -17,6 +17,7 @@ Typical setup::
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable
 
 from repro.cminus.compile import CodeCache
@@ -35,6 +36,7 @@ from repro.kernel.syscalls.interface import SyscallInterface
 from repro.kernel.syslog import KERN_INFO, Syslog
 from repro.kernel.vfs.namei import VFS
 from repro.kernel.vfs.super import SuperBlock
+from repro.trace import ENV_TRACE, MetricsRegistry, Tracer
 
 #: signature of the event hook: (obj, event_type, site) — see §3.3.
 EventHook = Callable[[Any, int, str], None]
@@ -60,12 +62,19 @@ class Kernel:
                  ram_bytes: int = 884 * 1024 * 1024):
         self.costs = costs if costs is not None else DEFAULT_COSTS
         self.clock = Clock(hz=self.costs.hz)
-        self.syslog = Syslog()
+        #: kernel-wide metrics registry (repro.trace): the one namespace the
+        #: subsystem counters (TLB, code cache, epoll, failpoints) live in.
+        self.metrics = MetricsRegistry()
+        #: kernel-wide tracepoint engine (repro.trace); disabled by default,
+        #: and free (one attribute check per tracepoint) while disabled.
+        self.trace = Tracer(self.clock)
+        self.syslog = Syslog(clock=self.clock, tracer=self.trace)
         #: kernel-wide failpoint registry; dormant until an injection arms it.
-        self.faults = FaultRegistry(self)
+        self.faults = FaultRegistry(self, metrics=self.metrics)
         self.physmem = PhysicalMemory(ram_bytes)
         self.kernel_pt = PageTable()
-        self.mmu = MMU(self.physmem, self.clock, self.costs)
+        self.mmu = MMU(self.physmem, self.clock, self.costs,
+                       tracer=self.trace, metrics=self.metrics)
         self.kmalloc = KmallocAllocator(self.physmem, self.kernel_pt,
                                         self.clock, self.costs,
                                         faults=self.faults)
@@ -75,7 +84,7 @@ class Kernel:
         self.gdt = SegmentTable()
         #: kernel-wide cache of closure-compiled C-minus programs, keyed by
         #: (program, instrumentation generation) — see repro.cminus.compile.
-        self.code_cache = CodeCache()
+        self.code_cache = CodeCache(metrics=self.metrics)
         self.vfs = VFS(self)
         self.sched = Scheduler(self)
         self.sys = SyscallInterface(self)
@@ -89,6 +98,10 @@ class Kernel:
         self.instrument_all_refcounts = False
         # CI smoke mode: REPRO_FAULT_SEED arms a seeded low-rate schedule.
         arm_from_env(self.faults)
+        # CI trace mode: REPRO_TRACE=1 boots with tracing enabled, which
+        # must not move the simulated clock by a single cycle.
+        if os.environ.get(ENV_TRACE):
+            self.trace.enable()
         self.printk(KERN_INFO, "kernel booted")
 
     # ------------------------------------------------------------- plumbing
@@ -120,7 +133,7 @@ class Kernel:
         return root
 
     def printk(self, level: int, message: str) -> None:
-        self.syslog.printk(level, message, self.clock.now)
+        self.syslog.printk(level, message)   # syslog stamps Clock.now itself
 
     # ------------------------------------------------------ event hook (§3.3)
 

@@ -66,6 +66,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ECONNRESET, EFAULT, EINTR, EIO, ENOMEM, errno_name
+from repro.trace.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.core import Kernel
@@ -126,16 +127,42 @@ class FaultRecord:
 
 
 class Failpoint:
-    """Per-failpoint counters (the ``/sys/kernel/debug/fail*`` analogue)."""
+    """Per-failpoint counters (the ``/sys/kernel/debug/fail*`` analogue).
 
-    def __init__(self, name: str):
+    The counters live in the owning registry's
+    :class:`~repro.trace.metrics.MetricsRegistry` under
+    ``fault.<name>.{hits,injected,observed}``; the attribute names read
+    here are thin views so callers and tests keep the classic API.
+    """
+
+    def __init__(self, name: str, metrics: MetricsRegistry):
         self.name = name
-        self.hits = 0        # evaluations while at least one injection armed
-        self.injected = 0    # decisions that delivered a failure
-        self.observed = 0    # decisions that fired in observe mode
+        self._hits = metrics.counter(
+            f"fault.{name}.hits",
+            help="evaluations while at least one injection armed")
+        self._injected = metrics.counter(
+            f"fault.{name}.injected",
+            help="decisions that delivered a failure")
+        self._observed = metrics.counter(
+            f"fault.{name}.observed",
+            help="decisions that fired in observe mode")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def injected(self) -> int:
+        return self._injected.value
+
+    @property
+    def observed(self) -> int:
+        return self._observed.value
 
     def reset(self) -> None:
-        self.hits = self.injected = self.observed = 0
+        self._hits.reset()
+        self._injected.reset()
+        self._observed.reset()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"Failpoint({self.name!r}, hits={self.hits}, "
@@ -225,13 +252,18 @@ class FaultRegistry:
 
     ``kernel`` may be None for standalone policy tests; then injections
     still work but nothing is logged to syslog and trace records carry
-    cycle 0.
+    cycle 0.  Counters live in ``metrics`` (the kernel-wide registry when
+    attached to a kernel, a private one when standalone).
     """
 
-    def __init__(self, kernel: "Kernel | None" = None):
+    def __init__(self, kernel: "Kernel | None" = None, *,
+                 metrics: MetricsRegistry | None = None):
         self.kernel = kernel
+        if metrics is None:
+            metrics = getattr(kernel, "metrics", None) or MetricsRegistry()
+        self.metrics = metrics
         self.failpoints: dict[str, Failpoint] = {
-            name: Failpoint(name) for name in FAILPOINTS}
+            name: Failpoint(name, metrics) for name in FAILPOINTS}
         self._active: dict[str, list[Injection]] = {}
         #: fast-path gate: False ⇒ ``should_fail`` returns after one check.
         self.enabled = False
@@ -243,7 +275,7 @@ class FaultRegistry:
         """Declare an extra (module-private) failpoint."""
         fp = self.failpoints.get(name)
         if fp is None:
-            fp = self.failpoints[name] = Failpoint(name)
+            fp = self.failpoints[name] = Failpoint(name, self.metrics)
         return fp
 
     # -------------------------------------------------------------- arming
@@ -308,7 +340,7 @@ class FaultRegistry:
         if not active:
             return None
         fp = self.failpoints[failpoint]
-        fp.hits += 1
+        fp._hits.inc()
         for inj in active:
             if not inj.matches(site):
                 continue
@@ -321,17 +353,21 @@ class FaultRegistry:
                              site=site, hit=fp.hits, errno=inj.errno,
                              observed=inj.observe)
         self.trace.append(record)
+        tag = "observe" if inj.observe else "inject"
         if self.kernel is not None:
             from repro.kernel.syslog import KERN_WARNING
-            tag = "observe" if inj.observe else "inject"
             self.kernel.printk(
                 KERN_WARNING,
                 f"fault-inject: {tag} {fp.name}@{site} hit={fp.hits} "
                 f"-> {errno_name(inj.errno)}")
+            tracer = self.kernel.trace
+            if tracer.enabled:
+                tracer.instant(f"fault:{fp.name}", "fault", site=site,
+                               mode=tag, errno=errno_name(inj.errno))
         if inj.observe:
-            fp.observed += 1
+            fp._observed.inc()
             return None
-        fp.injected += 1
+        fp._injected.inc()
         return inj.errno
 
     # ------------------------------------------------------------- reporting

@@ -42,19 +42,24 @@ class Disk:
         self.reads = 0
         self.writes = 0
 
-    def _charge(self, block: int) -> None:
+    def _charge(self, block: int, op: str) -> int:
         sequential = block == self._last_block + 1
         self._last_block = block
         profile = self.profile or self.kernel.costs.disk
         seconds = profile.access_seconds(BLOCK_SIZE, sequential=sequential)
-        self.kernel.clock.charge(int(seconds * self.kernel.costs.hz),
-                                 Mode.IOWAIT)
+        cycles = int(seconds * self.kernel.costs.hz)
+        self.kernel.clock.charge(cycles, Mode.IOWAIT)
+        tracer = self.kernel.trace
+        if tracer.enabled:
+            tracer.complete(f"disk:{op}", "io", cycles, dev=self.name,
+                            block=block, sequential=sequential)
+        return cycles
 
     def read_block(self, block: int) -> bytes:
         if not (0 <= block < self.nblocks):
             raise_errno(EIO, f"read of block {block} beyond device {self.name}")
         self.reads += 1
-        self._charge(block)
+        self._charge(block, "read")
         # Media error after the request was issued: the seek was still paid.
         errno = self.kernel.faults.should_fail("disk.read", self.name)
         if errno is not None:
@@ -68,7 +73,7 @@ class Disk:
         if len(data) != BLOCK_SIZE:
             raise ValueError(f"block write must be {BLOCK_SIZE} bytes, got {len(data)}")
         self.writes += 1
-        self._charge(block)
+        self._charge(block, "write")
         errno = self.kernel.faults.should_fail("disk.write", self.name)
         if errno is not None:
             raise_errno(errno, f"write of block {block} on {self.name}: "
@@ -87,6 +92,11 @@ class BufferCache:
         self._dirty: set[int] = set()
         self.hits = 0
         self.misses = 0
+        metrics = kernel.metrics
+        metrics.gauge(f"bcache.{disk.name}.hits", fn=lambda: self.hits)
+        metrics.gauge(f"bcache.{disk.name}.misses", fn=lambda: self.misses)
+        metrics.gauge(f"disk.{disk.name}.reads", fn=lambda: disk.reads)
+        metrics.gauge(f"disk.{disk.name}.writes", fn=lambda: disk.writes)
 
     def _evict_if_needed(self) -> None:
         while len(self._cache) > self.capacity:

@@ -56,7 +56,12 @@ class SpinLock:
             # Injected contention: another CPU "held" the lock, so this
             # acquisition spins for a schedule-away-and-back round trip.
             self.contentions += 1
-            self.kernel.clock.charge(2 * self.kernel.costs.context_switch)
+            spin = 2 * self.kernel.costs.context_switch
+            self.kernel.clock.charge(spin)
+            tracer = self.kernel.trace
+            if tracer.enabled:
+                tracer.complete("lock:contention", "lock", spin,
+                                lock=self.name, site=site)
         self.kernel.clock.charge(self.kernel.costs.spinlock_pair // 2)
         self.held = True
         self.holder_pid = self.kernel.current.pid if self.kernel.current else None

@@ -17,7 +17,7 @@ True means the fault was resolved and the access should be retried.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import PageFault
 from repro.kernel.clock import Clock, Mode
@@ -29,6 +29,9 @@ from repro.kernel.memory.paging import (PERM_R, PERM_W, PERM_X, AddressSpace,
                                         PTE)
 from repro.kernel.memory.physmem import PhysicalMemory
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace import MetricsRegistry, Tracer
+
 FaultHandler = Callable[[PageFault], bool]
 
 
@@ -36,18 +39,27 @@ class MMU:
     """Byte-level memory access with translation, faults, and a TLB."""
 
     def __init__(self, physmem: PhysicalMemory, clock: Clock, costs: CostModel,
-                 tlb_entries: int = 64):
+                 tlb_entries: int = 64, *, tracer: "Tracer | None" = None,
+                 metrics: "MetricsRegistry | None" = None):
         self.physmem = physmem
         self.clock = clock
         self.costs = costs
         self.tlb_entries = tlb_entries
         self._tlb: OrderedDict[int, None] = OrderedDict()
         self.fault_handlers: list[FaultHandler] = []
-        # statistics
+        self._tracer = tracer
+        # statistics: plain ints (this is the hottest loop in the whole
+        # simulator), published to the metrics registry as callback gauges.
         self.tlb_misses = 0
         self.tlb_hits = 0
         self.faults_taken = 0
         self.faults_resolved = 0
+        if metrics is not None:
+            metrics.gauge("mmu.tlb_hits", fn=lambda: self.tlb_hits)
+            metrics.gauge("mmu.tlb_misses", fn=lambda: self.tlb_misses)
+            metrics.gauge("mmu.faults_taken", fn=lambda: self.faults_taken)
+            metrics.gauge("mmu.faults_resolved",
+                          fn=lambda: self.faults_resolved)
 
     # -------------------------------------------------------------- faults
 
@@ -61,12 +73,21 @@ class MMU:
     def _handle_fault(self, fault: PageFault) -> None:
         """Run the handler chain; re-raise if nobody resolves the fault."""
         self.faults_taken += 1
-        self.clock.charge(self.costs.page_fault, Mode.SYSTEM)
-        for handler in self.fault_handlers:
-            if handler(fault):
-                self.faults_resolved += 1
-                return
-        raise fault
+        tracer = self._tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            tracer.begin("mem:fault", "mem", vaddr=fault.vaddr,
+                         access=fault.access)
+        try:
+            self.clock.charge(self.costs.page_fault, Mode.SYSTEM)
+            for handler in self.fault_handlers:
+                if handler(fault):
+                    self.faults_resolved += 1
+                    return
+            raise fault
+        finally:
+            if traced:
+                tracer.end()
 
     # --------------------------------------------------------- translation
 
@@ -77,6 +98,9 @@ class MMU:
             return
         self.tlb_misses += 1
         self.clock.charge(self.costs.tlb_miss)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.complete("mem:tlb_miss", "mem", self.costs.tlb_miss)
         self._tlb[vpn] = None
         if len(self._tlb) > self.tlb_entries:
             self._tlb.popitem(last=False)
@@ -107,6 +131,10 @@ class MMU:
                 else:
                     self.tlb_misses += 1
                     self.clock.charge(self.costs.tlb_miss)
+                    tracer = self._tracer
+                    if tracer is not None and tracer.enabled:
+                        tracer.complete("mem:tlb_miss", "mem",
+                                        self.costs.tlb_miss)
                     tlb[vpn] = None
                     if len(tlb) > self.tlb_entries:
                         tlb.popitem(last=False)

@@ -95,9 +95,12 @@ class Nic:
         fault or ring overflow); the connection is already reset then.
         """
         costs = self.kernel.costs
-        self.kernel.clock.charge(
-            costs.nic_tx_per_packet + int(len(pkt) * costs.net_per_byte),
-            Mode.SYSTEM)
+        tx_cycles = costs.nic_tx_per_packet + int(len(pkt) * costs.net_per_byte)
+        self.kernel.clock.charge(tx_cycles, Mode.SYSTEM)
+        tracer = self.kernel.trace
+        if tracer.enabled:
+            tracer.complete("net:tx", "net", tx_cycles, kind=pkt.kind,
+                            bytes=len(pkt), site=site)
         if self.kernel.faults.should_fail("net.tx", site) is not None:
             self.stack.drop_packet(pkt, f"net.tx@{site}")
             return False
@@ -130,6 +133,7 @@ class Nic:
         progressed = False
         clock = self.kernel.clock
         costs = self.kernel.costs
+        tracer = self.kernel.trace
         try:
             while self.tx_ring or self.rx_ring:
                 if self.tx_ring:
@@ -137,6 +141,10 @@ class Nic:
                     # onto the receive ring with interrupts disabled.
                     self.interrupts += 1
                     clock.charge(IRQ_DISPATCH_COST, Mode.SYSTEM)
+                    if tracer.enabled:
+                        tracer.complete("net:hardirq", "net",
+                                        IRQ_DISPATCH_COST,
+                                        packets=len(self.tx_ring))
                     with self.irq.irqs_off("nic:hardirq"):
                         while self.tx_ring:
                             pkt = self.tx_ring.popleft()
@@ -146,19 +154,27 @@ class Nic:
                                 continue
                             self.rx_ring.append(pkt)
                 # Softirq: drain the RX ring into socket queues.
-                if self.rx_ring:
-                    clock.charge(costs.softirq_entry, Mode.SYSTEM)
-                while self.rx_ring:
-                    pkt = self.rx_ring.popleft()
-                    clock.charge(costs.nic_rx_per_packet, Mode.SYSTEM)
-                    if self.kernel.faults.should_fail(
-                            "net.rx", pkt.kind) is not None:
-                        self.stack.drop_packet(pkt, f"net.rx@{pkt.kind}")
-                        continue
-                    self.rx_packets += 1
-                    self.rx_bytes += len(pkt)
-                    self.stack.deliver(pkt)
-                    progressed = True
+                traced = self.rx_ring and tracer.enabled
+                if traced:
+                    tracer.begin("net:softirq", "net",
+                                 packets=len(self.rx_ring))
+                try:
+                    if self.rx_ring:
+                        clock.charge(costs.softirq_entry, Mode.SYSTEM)
+                    while self.rx_ring:
+                        pkt = self.rx_ring.popleft()
+                        clock.charge(costs.nic_rx_per_packet, Mode.SYSTEM)
+                        if self.kernel.faults.should_fail(
+                                "net.rx", pkt.kind) is not None:
+                            self.stack.drop_packet(pkt, f"net.rx@{pkt.kind}")
+                            continue
+                        self.rx_packets += 1
+                        self.rx_bytes += len(pkt)
+                        self.stack.deliver(pkt)
+                        progressed = True
+                finally:
+                    if traced:
+                        tracer.end()
         finally:
             self._in_kick = False
         return progressed

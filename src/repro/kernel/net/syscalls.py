@@ -406,6 +406,9 @@ class SocketLayer:
                             "blocking epoll_wait with nothing in flight")
             events = ep.collect(resolve, maxevents)
         ep.waits += 1
+        metrics = self.kernel.metrics
+        metrics.counter("epoll.waits").inc()
+        metrics.counter("epoll.events").inc(len(events))
         self.kernel.clock.charge(costs.epoll_per_event * len(events),
                                  Mode.SYSTEM)
         if events:

@@ -47,6 +47,11 @@ class WaitQueue:
         """Block the current task until the next :meth:`wake_all`."""
         kernel = self.kernel
         task = kernel.current
+        tracer = kernel.trace
+        traced = tracer.enabled
+        if traced:
+            tracer.begin("sched:block", "sched", wq=self.name, site=site,
+                         pid=task.pid if task is not None else None)
         self.sleeps += 1
         self.waiters += 1
         if task is not None:
@@ -58,10 +63,15 @@ class WaitQueue:
         self.waiters -= 1
         if task is not None:
             task.state = TaskState.RUNNING
+        if traced:
+            tracer.end()
 
     def wake_all(self, site: str = "?") -> None:
         """Mark the queue's condition changed (wake_up_interruptible)."""
         self.wakeups += 1
+        tracer = self.kernel.trace
+        if tracer.enabled:
+            tracer.instant("sched:wakeup", "sched", wq=self.name, site=site)
 
 
 class Scheduler:
@@ -97,9 +107,16 @@ class Scheduler:
             return
         if self.current is not None:
             self.current.state = TaskState.READY
+        prev = self.current
         self.kernel.clock.charge(self.kernel.costs.context_switch)
         self.kernel.mmu.flush_tlb()
         self.context_switches += 1
+        tracer = self.kernel.trace
+        if tracer.enabled:
+            tracer.complete("sched:switch", "sched",
+                            self.kernel.costs.context_switch,
+                            prev=prev.pid if prev is not None else None,
+                            next=task.pid)
         self.current = task
         task.state = TaskState.RUNNING
         self._last_switch = self.kernel.clock.now
@@ -130,17 +147,25 @@ class Scheduler:
         forced = self.kernel.faults.should_fail("sched.preempt", "tick") is not None
         if not forced and now - self._last_switch < self.kernel.costs.sched_quantum:
             return False
-        self.kernel.clock.charge(self.kernel.costs.sched_tick)
-        self.preemptions += 1
-        task = self.current
-        if task is not None:
-            for hook in list(self.preempt_hooks):
-                hook(task)
-        others_ready = any(t is not task and t.state == TaskState.READY
-                           for t in self.runqueue)
-        if others_ready:
-            self.kernel.clock.charge(2 * self.kernel.costs.context_switch)
-            self.kernel.mmu.flush_tlb()
-            self.context_switches += 2
-        self._last_switch = self.kernel.clock.now
+        tracer = self.kernel.trace
+        traced = tracer.enabled
+        if traced:
+            tracer.begin("sched:preempt", "sched", forced=forced)
+        try:
+            self.kernel.clock.charge(self.kernel.costs.sched_tick)
+            self.preemptions += 1
+            task = self.current
+            if task is not None:
+                for hook in list(self.preempt_hooks):
+                    hook(task)
+            others_ready = any(t is not task and t.state == TaskState.READY
+                               for t in self.runqueue)
+            if others_ready:
+                self.kernel.clock.charge(2 * self.kernel.costs.context_switch)
+                self.kernel.mmu.flush_tlb()
+                self.context_switches += 2
+            self._last_switch = self.kernel.clock.now
+        finally:
+            if traced:
+                tracer.end()
         return True

@@ -75,6 +75,10 @@ class SyscallInterface(FileOpsMixin, DirOpsMixin, ConsolidatedMixin):
         task = kernel.current
         if task is None:
             raise RuntimeError("no current task; spawn one before making syscalls")
+        tracer = kernel.trace
+        traced = tracer.enabled
+        if traced:
+            tracer.begin("syscall:" + name, "syscall", pid=task.pid)
         # User-side stub (libc wrapper, register setup, errno handling).
         clock.charge(costs.user_syscall_stub, Mode.USER)
         task.utime += costs.user_syscall_stub
@@ -89,6 +93,12 @@ class SyscallInterface(FileOpsMixin, DirOpsMixin, ConsolidatedMixin):
         clock.push_mode(Mode.SYSTEM)
         try:
             clock.charge(costs.syscall_dispatch)
+            if traced:
+                # The boundary-crossing quantum: libc stub + trap +
+                # dispatch, all charged since the span opened.
+                tracer.complete("syscall:boundary", "boundary",
+                                costs.user_syscall_stub + costs.syscall_trap
+                                + costs.syscall_dispatch)
             try:
                 result = thunk()
             except Errno as e:
@@ -112,9 +122,11 @@ class SyscallInterface(FileOpsMixin, DirOpsMixin, ConsolidatedMixin):
                     bytes_to_user=delta.to_user_bytes,
                     bytes_from_user=delta.from_user_bytes, errno=errno,
                 )
-                for tracer in self.tracers:
-                    tracer(record)
+                for t in self.tracers:
+                    t(record)
             kernel.sched.maybe_preempt()
+            if traced:
+                tracer.end(errno=errno)
         return result
 
     # ---------------------------------------------------- public syscalls

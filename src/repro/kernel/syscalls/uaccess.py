@@ -65,7 +65,12 @@ class UserCopy:
         errno = self.kernel.faults.should_fail("copy_from_user", site)
         if errno is not None:
             raise_errno(errno, "copy_from_user: fault-injected")
-        self.kernel.clock.charge(self.kernel.costs.uaccess_cost(nbytes), Mode.SYSTEM)
+        cycles = self.kernel.costs.uaccess_cost(nbytes)
+        self.kernel.clock.charge(cycles, Mode.SYSTEM)
+        tracer = self.kernel.trace
+        if tracer.enabled:
+            tracer.complete("mem:copy_from_user", "copy", cycles,
+                            bytes=nbytes)
         self.stats.from_user_bytes += nbytes
         self.stats.from_user_calls += 1
 
@@ -76,7 +81,11 @@ class UserCopy:
         errno = self.kernel.faults.should_fail("copy_to_user", site)
         if errno is not None:
             raise_errno(errno, "copy_to_user: fault-injected")
-        self.kernel.clock.charge(self.kernel.costs.uaccess_cost(nbytes), Mode.SYSTEM)
+        cycles = self.kernel.costs.uaccess_cost(nbytes)
+        self.kernel.clock.charge(cycles, Mode.SYSTEM)
+        tracer = self.kernel.trace
+        if tracer.enabled:
+            tracer.complete("mem:copy_to_user", "copy", cycles, bytes=nbytes)
         self.stats.to_user_bytes += nbytes
         self.stats.to_user_calls += 1
 

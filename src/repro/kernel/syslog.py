@@ -3,6 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.clock import Clock
+    from repro.trace import Tracer
 
 KERN_EMERG, KERN_ALERT, KERN_CRIT, KERN_ERR = 0, 1, 2, 3
 KERN_WARNING, KERN_NOTICE, KERN_INFO, KERN_DEBUG = 4, 5, 6, 7
@@ -22,15 +27,33 @@ class LogRecord:
 
 
 class Syslog:
-    """An append-only kernel log with level filtering on read."""
+    """An append-only kernel log with level filtering on read.
 
-    def __init__(self) -> None:
+    Bound to a :class:`~repro.kernel.clock.Clock`, every record is stamped
+    with ``Clock.now`` at emit time (callers used to have to pass the
+    cycle count themselves, and the ones that didn't produced ``[0]``
+    lines that sorted to the start of any merged timeline).  When a
+    :class:`~repro.trace.Tracer` is attached, each line also emits a
+    ``syslog`` instant tracepoint so log lines interleave correctly with
+    trace spans in the exported timeline.
+    """
+
+    def __init__(self, clock: "Clock | None" = None,
+                 tracer: "Tracer | None" = None) -> None:
         self.records: list[LogRecord] = []
+        self.clock = clock
+        self.tracer = tracer
 
-    def printk(self, level: int, message: str, cycles: int = 0) -> None:
+    def printk(self, level: int, message: str, cycles: int | None = None) -> None:
         if not (0 <= level <= KERN_DEBUG):
             raise ValueError(f"bad log level {level}")
+        if cycles is None:
+            cycles = self.clock.now if self.clock is not None else 0
         self.records.append(LogRecord(level, cycles, message))
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant("syslog", "log", level=_LEVEL_NAMES[level],
+                           message=message)
 
     def at_or_above(self, level: int) -> list[LogRecord]:
         """Records at severity >= ``level`` (numerically <=)."""

@@ -14,9 +14,13 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.kernel.locks import EV_LOCK, EV_UNLOCK
 from repro.safety.monitor.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace import MetricsRegistry
 
 
 @dataclass
@@ -51,17 +55,35 @@ class LockStats:
 
 
 class LockProfiler:
-    """Per-lock hold-time and hit-rate profiling (a dispatcher callback)."""
+    """Per-lock hold-time and hit-rate profiling (a dispatcher callback).
 
-    def __init__(self) -> None:
+    Pass the kernel's :class:`~repro.trace.metrics.MetricsRegistry` to
+    publish aggregate counters (``lock.events``, ``lock.acquisitions``)
+    and the cross-lock hold-time histogram (``lock.hold_cycles``)
+    alongside the per-lock stats kept here.
+    """
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
+        if metrics is None:
+            from repro.trace.metrics import MetricsRegistry
+            metrics = MetricsRegistry()
         self.stats: dict[int, LockStats] = defaultdict(LockStats)
         self._held_since: dict[int, tuple[int, str]] = {}
-        self.events_seen = 0
+        self._events_seen = metrics.counter(
+            "lock.events", help="lock/unlock monitor events profiled")
+        self._acquisitions = metrics.counter(
+            "lock.acquisitions", help="lock acquisitions profiled")
+        self._hold_hist = metrics.histogram(
+            "lock.hold_cycles", help="hold-time distribution, all locks")
+
+    @property
+    def events_seen(self) -> int:
+        return self._events_seen.value
 
     def __call__(self, event: Event) -> None:
         if event.event_type not in (EV_LOCK, EV_UNLOCK):
             return
-        self.events_seen += 1
+        self._events_seen.inc()
         stats = self.stats[event.obj_id]
         if stats.first_cycles is None:
             stats.first_cycles = event.cycles
@@ -69,6 +91,7 @@ class LockProfiler:
         if event.event_type == EV_LOCK:
             self._held_since[event.obj_id] = (event.cycles, event.site)
             stats.acquisitions += 1
+            self._acquisitions.inc()
             stats.sites[event.site] += 1
         else:
             entry = self._held_since.pop(event.obj_id, None)
@@ -77,6 +100,7 @@ class LockProfiler:
             since, _ = entry
             hold = event.cycles - since
             stats.total_hold_cycles += hold
+            self._hold_hist.observe(hold)
             stats.max_hold_cycles = max(stats.max_hold_cycles, hold)
             stats.min_hold_cycles = hold if stats.min_hold_cycles is None \
                 else min(stats.min_hold_cycles, hold)

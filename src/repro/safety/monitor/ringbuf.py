@@ -7,9 +7,15 @@ handlers without fear that the interrupt handler will block." (§3.3)
 
 The classic SPSC design: ``head`` (producer) and ``tail`` (consumer) are
 monotonically increasing counters; each side writes only its own counter,
-so no lock is needed.  Both operations are explicitly non-blocking: a full
-buffer *drops* the new event (counted in ``overruns``) rather than
-waiting, preserving the never-block guarantee inside interrupt handlers.
+so no lock is needed.  Both operations are explicitly non-blocking: what a
+full buffer does is the ``policy``:
+
+* ``"drop-new"`` (default, the §3.3 monitor semantics) — the new event is
+  dropped, counted in ``overruns``, preserving the never-block guarantee
+  inside interrupt handlers;
+* ``"drop-oldest"`` (ftrace-style, used by ``repro.trace``) — the oldest
+  queued event is overwritten, counted in ``dropped_oldest``, so the
+  buffer always holds the *most recent* window of events.
 """
 
 from __future__ import annotations
@@ -18,27 +24,39 @@ from typing import Generic, TypeVar
 
 T = TypeVar("T")
 
+POLICIES = ("drop-new", "drop-oldest")
+
 
 class LockFreeRingBuffer(Generic[T]):
-    """Bounded SPSC queue with drop-on-full semantics."""
+    """Bounded SPSC queue with drop-new or drop-oldest overflow policy."""
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096, policy: str = "drop-new"):
         if capacity <= 0 or capacity & (capacity - 1):
             raise ValueError("capacity must be a positive power of two")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
         self.capacity = capacity
+        self.policy = policy
         self._slots: list[T | None] = [None] * capacity
         self._head = 0  # next write position (producer-owned)
         self._tail = 0  # next read position (consumer-owned)
         self.total_pushed = 0
         self.overruns = 0
+        self.dropped_oldest = 0
 
     # -------------------------------------------------------------- producer
 
     def try_push(self, item: T) -> bool:
-        """Producer side: enqueue or drop (never blocks)."""
+        """Producer side: enqueue, drop the item, or drop the oldest
+        (never blocks)."""
         if self._head - self._tail >= self.capacity:
-            self.overruns += 1
-            return False
+            if self.policy == "drop-new":
+                self.overruns += 1
+                return False
+            # drop-oldest: the slot the tail points at is the one the head
+            # is about to overwrite (head ≡ tail mod capacity when full).
+            self._tail += 1
+            self.dropped_oldest += 1
         self._slots[self._head & (self.capacity - 1)] = item
         # The store above must be visible before the index publish; in
         # Python the GIL gives us that ordering for free.

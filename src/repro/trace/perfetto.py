@@ -1,0 +1,74 @@
+"""Chrome trace-event / Perfetto JSON export of a traced window.
+
+The output follows the Trace Event Format (the JSON flavour Perfetto and
+``chrome://tracing`` both load): one ``B``/``E``/``X``/``i`` record per
+ring event, timestamps converted from simulated cycles to microseconds at
+the clock's configured frequency.  The simulated machine is single-CPU,
+so all spans live on one track (pid 0 / tid 0, named "cpu0") where their
+strict nesting is guaranteed; task identity travels in ``args``.
+
+If the drop-oldest ring overflowed, the oldest events are gone: the
+export notes how many in ``otherData.dropped_oldest_events`` and the
+earliest spans may show unmatched ``E`` records (viewers tolerate this).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.trace.tracepoints import (PH_BEGIN, PH_COMPLETE, PH_END,
+                                     PH_INSTANT, Tracer)
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+def chrome_trace(tracer: Tracer, *, process_name: str = "repro-kernel") -> dict:
+    """Build the Trace Event Format document for one traced window."""
+    hz = tracer.clock.hz
+    us_per_cycle = 1e6 / hz
+
+    def us(cycles: int) -> float:
+        return round(cycles * us_per_cycle, 4)
+
+    events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+         "args": {"name": process_name}},
+        {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
+         "args": {"name": "cpu0"}},
+    ]
+    for ph, name, cat, ts, dur, args in tracer.events():
+        ev: dict = {"ph": ph, "name": name, "cat": cat, "ts": us(ts),
+                    "pid": 0, "tid": 0}
+        if ph == PH_COMPLETE:
+            ev["dur"] = us(dur or 0)
+        elif ph == PH_INSTANT:
+            ev["s"] = "t"   # thread-scoped instant
+        elif ph not in (PH_BEGIN, PH_END):  # pragma: no cover - future phases
+            continue
+        if args:
+            ev["args"] = dict(args)
+        events.append(ev)
+    ring = tracer.ring
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "simulated_hz": hz,
+            "window_start_cycles": tracer.window_start,
+            "events_emitted": ring.total_pushed,
+            "dropped_oldest_events": ring.dropped_oldest,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path, *,
+                       process_name: str = "repro-kernel") -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = chrome_trace(tracer, process_name=process_name)
+    path.write_text(json.dumps(doc) + "\n")
+    return path

@@ -1,0 +1,183 @@
+"""Kernel-wide static tracepoints with begin/end spans on a shared timeline.
+
+This is the simulator's ftrace: subsystems declare *tracepoints* at fixed
+sites (syscall entry/exit, context switches, page faults, disk requests,
+NIC hardirq/softirq, Cosy compound elements, C-minus engine calls, syslog
+lines) and, when tracing is enabled, each emits events stamped with
+``Clock.now`` into a bounded drop-oldest ring buffer.
+
+Three event shapes:
+
+* **spans** — ``begin(name, cat)`` / ``end()`` bracket work whose duration
+  is not known up front (a syscall handler, a softirq drain).  Spans nest
+  on a stack; attribution splits each span's cycles into *self* and
+  *children*.
+* **complete events** — ``complete(name, cat, dur)`` records a span
+  retroactively when the whole cost was charged as one quantum (a TLB
+  miss, a disk request, a context switch): the span covers the ``dur``
+  cycles ending *now*.
+* **instants** — ``instant(name, cat)`` marks a point (a wakeup, a syslog
+  line, a fault injection decision).
+
+Two invariants the whole design hangs off:
+
+1. **Zero cost-model impact.**  The tracer only ever *reads* the clock;
+   nothing here charges cycles, so the simulated clock is bit-identical
+   with tracing on or off (asserted in ``tests/trace/``, and run-wide via
+   ``REPRO_TRACE=1``).
+2. **Near-zero overhead when disabled.**  Every emitter returns after a
+   single attribute check; hot call sites additionally guard with
+   ``if tracer.enabled:`` so argument construction is skipped too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.safety.monitor.ringbuf import LockFreeRingBuffer
+from repro.trace.attribution import Attribution, SpanStat
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.clock import Clock
+
+#: default ring capacity (events); must be a power of two.
+DEFAULT_CAPACITY = 1 << 16
+
+#: event phases, following the Chrome trace-event vocabulary.
+PH_BEGIN, PH_END, PH_COMPLETE, PH_INSTANT = "B", "E", "X", "i"
+
+#: one ring entry: (phase, name, category, ts_cycles, dur_cycles|None, args|None)
+TraceEvent = tuple
+
+
+class Tracer:
+    """The per-kernel tracepoint registry and span engine."""
+
+    def __init__(self, clock: "Clock", capacity: int = DEFAULT_CAPACITY):
+        self.clock = clock
+        self.capacity = capacity
+        #: the one flag every tracepoint checks; False ⇒ everything no-ops.
+        self.enabled = False
+        self.ring: LockFreeRingBuffer[TraceEvent] = LockFreeRingBuffer(
+            capacity, policy="drop-oldest")
+        self._stack: list[list] = []   # frames: [name, cat, start, child]
+        self._stats: dict[str, SpanStat] = {}
+        self._t0 = 0
+        self._t_end: int | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def enable(self) -> None:
+        """Start (or restart) tracing: a fresh window opens *now*."""
+        self.enabled = True
+        self._t0 = self.clock.now
+        self._t_end = None
+        self._stack = [["(cpu)", "root", self._t0, 0]]
+        self._stats = {}
+        self.ring = LockFreeRingBuffer(self.capacity, policy="drop-oldest")
+
+    def disable(self) -> None:
+        """Freeze the window; events and attribution stay readable."""
+        if self.enabled:
+            self._t_end = self.clock.now
+        self.enabled = False
+
+    @property
+    def window_start(self) -> int:
+        return self._t0
+
+    # ------------------------------------------------------------- emitters
+
+    def _accum(self, name: str, cat: str, total: int, self_cycles: int,
+               stats: dict[str, SpanStat] | None = None) -> None:
+        stats = self._stats if stats is None else stats
+        s = stats.get(name)
+        if s is None:
+            s = stats[name] = SpanStat(cat)
+        s.count += 1
+        s.total_cycles += total
+        s.self_cycles += self_cycles
+
+    def begin(self, name: str, cat: str = "kernel", **args) -> None:
+        """Open a span; must be matched by :meth:`end` (spans nest)."""
+        if not self.enabled:
+            return
+        now = self.clock.now
+        self._stack.append([name, cat, now, 0])
+        self.ring.try_push((PH_BEGIN, name, cat, now, None, args or None))
+
+    def end(self, **args) -> None:
+        """Close the innermost open span.  Unmatched ends (tracing enabled
+        mid-span) are ignored rather than corrupting the stack."""
+        if not self.enabled:
+            return
+        stack = self._stack
+        if len(stack) <= 1:
+            return
+        name, cat, start, child = stack.pop()
+        now = self.clock.now
+        total = now - start
+        self._accum(name, cat, total, total - child)
+        stack[-1][3] += total
+        self.ring.try_push((PH_END, name, cat, now, None, args or None))
+
+    def complete(self, name: str, cat: str, dur: int, **args) -> None:
+        """Record a span of ``dur`` cycles ending now (cost charged as one
+        quantum, e.g. a TLB miss or a disk request)."""
+        if not self.enabled:
+            return
+        now = self.clock.now
+        self._accum(name, cat, dur, dur)
+        self._stack[-1][3] += dur
+        self.ring.try_push((PH_COMPLETE, name, cat, now - dur, dur,
+                            args or None))
+
+    def instant(self, name: str, cat: str = "kernel", **args) -> None:
+        """Mark a point on the timeline (no duration, no attribution)."""
+        if not self.enabled:
+            return
+        self.ring.try_push((PH_INSTANT, name, cat, self.clock.now, None,
+                            args or None))
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def depth(self) -> int:
+        """Open (user-visible) span depth."""
+        return max(len(self._stack) - 1, 0)
+
+    def events(self) -> list[TraceEvent]:
+        """Drain-free snapshot of the ring's current contents, oldest first."""
+        ring = self.ring
+        out = []
+        mask = ring.capacity - 1
+        for i in range(ring._tail, ring._head):
+            out.append(ring._slots[i & mask])
+        return out
+
+    def attribution(self) -> Attribution:
+        """The window's cycle decomposition, computed *now*.
+
+        Open spans (including the implicit cpu root) are closed virtually
+        — their partial totals are included without mutating the stack —
+        so the report is valid mid-trace and always sums to the window.
+        """
+        if not self._stack:
+            return Attribution(0, 0, {})
+        now = self.clock.now if self._t_end is None else self._t_end
+        stats = {name: SpanStat(s.category, s.count, s.total_cycles,
+                                s.self_cycles)
+                 for name, s in self._stats.items()}
+        # Virtually close open frames from the innermost outwards: each
+        # open frame's total is (now - start); its self time excludes both
+        # its closed children (frame[3]) and its one open child (the frame
+        # above it on the stack).
+        open_child_total = 0
+        for name, cat, start, child in reversed(self._stack[1:]):
+            total = now - start
+            self._accum(name, cat, total, total - child - open_child_total,
+                        stats)
+            open_child_total = total
+        window = now - self._t0
+        root_child = self._stack[0][3] + open_child_total
+        return Attribution(window, window - root_child, stats)

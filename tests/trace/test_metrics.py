@@ -1,0 +1,166 @@
+"""The metrics registry and the subsystems migrated onto it."""
+
+import pytest
+
+from repro.trace import Gauge, Histogram, MetricsRegistry
+
+
+# ----------------------------------------------------------------- registry
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    c = reg.counter("epoll.waits")
+    c.inc()
+    c.inc(4)
+    assert reg.counter("epoll.waits") is c      # same object on re-request
+    assert reg.counter("epoll.waits").value == 5
+
+
+def test_type_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+
+
+def test_callback_gauge_reads_live_state_and_rebinds():
+    reg = MetricsRegistry()
+
+    class Subsystem:
+        def __init__(self):
+            self.hits = 0
+
+    a = Subsystem()
+    reg.gauge("sub.hits", fn=lambda: a.hits)
+    a.hits = 7
+    assert reg.get("sub.hits").value == 7
+    # a fresh subsystem re-registers the same name: the newest object wins
+    b = Subsystem()
+    reg.gauge("sub.hits", fn=lambda: b.hits)
+    b.hits = 3
+    assert reg.get("sub.hits").value == 3
+
+
+def test_stored_gauge_set_and_callback_conflict():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(12)
+    assert g.value == 12
+    g2 = Gauge("cb", fn=lambda: 1)
+    with pytest.raises(ValueError):
+        g2.set(5)
+
+
+def test_histogram_power_of_two_buckets():
+    h = Histogram("hold")
+    for v in (0, 1, 2, 3, 4, 1000):
+        h.observe(v)
+    assert h.count == 6
+    assert h.sum == 1010
+    assert h.min == 0 and h.max == 1000
+    assert h.buckets[0] == 1          # value 0
+    assert h.buckets[1] == 1          # value 1
+    assert h.buckets[2] == 2          # values 2, 3 (bit_length 2)
+    assert h.buckets[3] == 1          # value 4
+    assert h.buckets[10] == 1         # value 1000
+    with pytest.raises(ValueError):
+        h.observe(-1)
+
+
+def test_snapshot_render_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(2)
+    reg.histogram("h").observe(5)
+    reg.gauge("g", fn=lambda: 9)
+    snap = reg.snapshot()
+    assert snap["a"] == 2 and snap["g"] == 9
+    assert snap["h"]["count"] == 1
+    text = reg.render()
+    assert "a" in text and "h" in text
+    reg.reset()
+    assert reg.counter("a").value == 0
+    assert reg.histogram("h").count == 0
+    assert reg.get("g").value == 9    # callback gauges are views, untouched
+
+
+# --------------------------------------------------------------- migrations
+
+def test_kernel_registers_subsystem_metrics():
+    from repro.kernel.core import Kernel
+
+    k = Kernel()
+    names = k.metrics.names()
+    assert "mmu.tlb_hits" in names
+    assert "fault.kmalloc.hits" in names
+    assert "cminus.cache.hits" in names
+
+
+def test_mmu_gauges_track_plain_int_counters():
+    from repro.kernel.core import Kernel
+
+    k = Kernel()
+    k.spawn("t0")
+    before = k.metrics.get("mmu.tlb_hits").value
+    k.mmu.tlb_hits += 42                        # the segments.py hot path
+    assert k.metrics.get("mmu.tlb_hits").value == before + 42
+
+
+def test_faultinject_counters_live_in_the_registry():
+    from repro.kernel.core import Kernel
+
+    k = Kernel()
+    k.spawn("t0")
+    with k.faults.inject("kmalloc", every=2):
+        for _ in range(4):
+            try:
+                k.kmalloc.kmalloc(64)
+            except Exception:
+                pass
+    fp = k.faults.failpoints["kmalloc"]
+    assert fp.hits == 4 and fp.injected == 2    # classic API still reads
+    assert k.metrics.get("fault.kmalloc.hits").value == 4
+    assert k.metrics.get("fault.kmalloc.injected").value == 2
+    k.faults.reset_counters()
+    assert k.metrics.get("fault.kmalloc.hits").value == 0
+
+
+def test_code_cache_counters_live_in_the_registry():
+    from repro.cminus.compile import CodeCache
+    from repro.cminus.parser import parse
+
+    reg = MetricsRegistry()
+    cache = CodeCache(metrics=reg)
+    prog = parse("int main() { return 7; }")
+    cache.lookup(prog)
+    cache.lookup(prog)
+    assert (cache.hits, cache.misses, cache.compiles) == (1, 1, 1)
+    assert reg.get("cminus.cache.hits").value == 1
+    assert reg.get("cminus.cache.entries").value == 1
+
+
+def test_lockprof_publishes_aggregates():
+    from repro.kernel.locks import EV_LOCK, EV_UNLOCK
+    from repro.safety.monitor.events import Event
+    from repro.safety.monitor.lockprof import LockProfiler
+
+    reg = MetricsRegistry()
+    prof = LockProfiler(metrics=reg)
+    prof(Event(obj_id=1, event_type=EV_LOCK, site="a", value=0, cycles=100))
+    prof(Event(obj_id=1, event_type=EV_UNLOCK, site="a", value=0, cycles=150))
+    assert prof.events_seen == 2
+    assert reg.get("lock.events").value == 2
+    assert reg.get("lock.acquisitions").value == 1
+    hist = reg.get("lock.hold_cycles")
+    assert hist.count == 1 and hist.sum == 50
+
+
+def test_epoll_metrics_counted():
+    from repro.kernel.core import Kernel
+    from repro.kernel.net import SocketLayer
+
+    k = Kernel()
+    k.spawn("t0")
+    SocketLayer(k)
+    epfd = k.sys.epoll_create()
+    k.sys.epoll_wait(epfd, timeout=0)
+    assert k.metrics.counter("epoll.waits").value == 1

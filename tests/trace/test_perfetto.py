@@ -1,0 +1,113 @@
+"""The Chrome trace-event / Perfetto exporter."""
+
+import json
+
+from repro.kernel.clock import Clock, Mode
+from repro.trace import Tracer, chrome_trace, write_chrome_trace
+
+
+def traced_clock() -> tuple[Clock, Tracer]:
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.enable()
+    return clock, tracer
+
+
+def test_document_shape_and_metadata():
+    clock, tracer = traced_clock()
+    tracer.begin("syscall:read", "syscall", pid=1)
+    clock.charge(170, Mode.SYSTEM)          # 170 cycles at 1.7 GHz = 0.1 µs
+    tracer.end()
+    doc = chrome_trace(tracer, process_name="unit")
+    assert doc["otherData"]["simulated_hz"] == clock.hz
+    assert doc["otherData"]["dropped_oldest_events"] == 0
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} == {"unit", "cpu0"}
+    b = next(e for e in doc["traceEvents"] if e["ph"] == "B")
+    e = next(e for e in doc["traceEvents"] if e["ph"] == "E")
+    assert b["name"] == "syscall:read" and b["cat"] == "syscall"
+    assert b["args"] == {"pid": 1}
+    assert e["ts"] - b["ts"] == 0.1         # cycles → µs conversion
+
+
+def test_begin_end_balance_on_single_track():
+    clock, tracer = traced_clock()
+    for _ in range(5):
+        tracer.begin("outer", "x")
+        clock.charge(10, Mode.SYSTEM)
+        tracer.begin("inner", "x")
+        clock.charge(10, Mode.SYSTEM)
+        tracer.end()
+        tracer.end()
+    doc = chrome_trace(tracer)
+    depth = 0
+    for ev in doc["traceEvents"]:
+        assert ev["pid"] == 0 and ev["tid"] == 0
+        if ev["ph"] == "B":
+            depth += 1
+        elif ev["ph"] == "E":
+            depth -= 1
+            assert depth >= 0               # never an E before its B
+    assert depth == 0
+
+
+def test_complete_and_instant_records():
+    clock, tracer = traced_clock()
+    clock.charge(1700, Mode.SYSTEM)
+    tracer.complete("disk:read", "io", 1700, block=5)
+    tracer.instant("syslog", "log", level="INFO")
+    doc = chrome_trace(tracer)
+    x = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert x["dur"] == 1.0                  # 1700 cycles = 1 µs
+    assert x["ts"] == 0.0                   # retroactive: starts at window t0
+    i = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+    assert i["s"] == "t" and i["args"]["level"] == "INFO"
+
+
+def test_overflow_reported_in_other_data():
+    clock = Clock()
+    tracer = Tracer(clock, capacity=8)
+    tracer.enable()
+    for _ in range(50):
+        tracer.instant("m", "x")
+    doc = chrome_trace(tracer)
+    assert doc["otherData"]["events_emitted"] == 50
+    assert doc["otherData"]["dropped_oldest_events"] == 42
+    assert len([e for e in doc["traceEvents"] if e["ph"] == "i"]) == 8
+
+
+def test_write_round_trips_as_json(tmp_path):
+    clock, tracer = traced_clock()
+    tracer.begin("a", "x")
+    clock.charge(5, Mode.USER)
+    tracer.end()
+    path = write_chrome_trace(tracer, tmp_path / "sub" / "trace.json")
+    assert path.exists()
+    doc = json.loads(path.read_text())
+    assert any(e.get("name") == "a" for e in doc["traceEvents"])
+
+
+def test_kernel_workload_export_loads(tmp_path):
+    """End to end: a real kernel workload exports a parseable trace with
+    balanced spans."""
+    from repro.kernel.core import Kernel
+    from repro.kernel.fs import RamfsSuperBlock
+    from repro.kernel.vfs.file import O_CREAT, O_RDWR
+
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t0")
+    k.trace.enable()
+    fd = k.sys.open("/f", O_CREAT | O_RDWR)
+    k.sys.write(fd, b"hello" * 100)
+    k.sys.lseek(fd, 0)
+    k.sys.read(fd, 500)
+    k.sys.close(fd)
+    doc = json.loads(write_chrome_trace(
+        k.trace, tmp_path / "k.json").read_text())
+    events = doc["traceEvents"]
+    assert sum(e["ph"] == "B" for e in events) \
+        == sum(e["ph"] == "E" for e in events)
+    assert any(e["name"] == "syscall:write" for e in events)
+    assert any(e["name"] == "syscall:boundary" for e in events)
+    assert all(e["ts"] >= 0 for e in events if e["ph"] != "M")

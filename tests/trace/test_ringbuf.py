@@ -1,0 +1,61 @@
+"""Overflow semantics of the generalized ring buffer (both policies)."""
+
+import pytest
+
+from repro.safety.monitor.ringbuf import LockFreeRingBuffer
+
+
+def test_drop_new_is_the_default_and_preserves_monitor_semantics():
+    ring = LockFreeRingBuffer(4)
+    assert ring.policy == "drop-new"
+    for i in range(4):
+        assert ring.try_push(i)
+    assert not ring.try_push(99)       # full: the new item is dropped
+    assert ring.overruns == 1
+    assert ring.dropped_oldest == 0
+    assert ring.pop_batch(10) == [0, 1, 2, 3]
+
+
+def test_drop_oldest_overwrites_the_tail():
+    ring = LockFreeRingBuffer(4, policy="drop-oldest")
+    for i in range(4):
+        assert ring.try_push(i)
+    assert ring.full
+    assert ring.try_push(4)            # full: 0 is evicted, 4 lands
+    assert ring.try_push(5)            # 1 is evicted
+    assert ring.dropped_oldest == 2
+    assert ring.overruns == 0
+    assert len(ring) == 4              # still exactly capacity items
+    assert ring.pop_batch(10) == [2, 3, 4, 5]
+
+
+def test_drop_oldest_long_wraparound_keeps_the_newest_window():
+    ring = LockFreeRingBuffer(8, policy="drop-oldest")
+    n = 1000
+    for i in range(n):
+        assert ring.try_push(i)        # drop-oldest never refuses a push
+    assert ring.total_pushed == n
+    assert ring.dropped_oldest == n - 8
+    assert ring.pop_batch(100) == list(range(n - 8, n))
+    assert ring.empty
+
+
+def test_drop_oldest_interleaved_producer_consumer():
+    ring = LockFreeRingBuffer(4, policy="drop-oldest")
+    out = []
+    for i in range(100):
+        ring.try_push(i)
+        if i % 3 == 0:
+            item = ring.try_pop()
+            if item is not None:
+                out.append(item)
+    out.extend(ring.pop_batch(10))
+    assert out == sorted(out)          # order is preserved across drops
+    assert out[-1] == 99               # the newest item always survives
+
+
+def test_bad_policy_and_capacity_rejected():
+    with pytest.raises(ValueError):
+        LockFreeRingBuffer(4, policy="block")
+    with pytest.raises(ValueError):
+        LockFreeRingBuffer(3)

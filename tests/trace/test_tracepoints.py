@@ -1,0 +1,190 @@
+"""Span engine semantics: nesting, attribution, reentrancy, overflow."""
+
+from repro.kernel.clock import Clock, Mode
+from repro.trace import PH_BEGIN, PH_COMPLETE, PH_END, PH_INSTANT, Tracer
+
+
+def make() -> tuple[Clock, Tracer]:
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.enable()
+    return clock, tracer
+
+
+# ------------------------------------------------------------------ basics
+
+def test_disabled_tracer_is_inert():
+    clock = Clock()
+    tracer = Tracer(clock)
+    assert not tracer.enabled
+    tracer.begin("a", "x")
+    tracer.complete("b", "x", 10)
+    tracer.instant("c", "x")
+    tracer.end()
+    assert tracer.events() == []
+    assert tracer.depth == 0
+
+
+def test_tracing_never_charges_the_clock():
+    clock, tracer = make()
+    before = clock.now
+    tracer.begin("a", "x")
+    tracer.complete("b", "x", 0)
+    tracer.instant("c", "x")
+    tracer.end()
+    assert clock.now == before
+
+
+def test_span_nesting_and_self_vs_total():
+    clock, tracer = make()
+    tracer.begin("outer", "x")
+    clock.charge(100, Mode.SYSTEM)
+    tracer.begin("inner", "x")
+    clock.charge(30, Mode.SYSTEM)
+    tracer.end()
+    clock.charge(5, Mode.SYSTEM)
+    tracer.end()
+    att = tracer.attribution()
+    assert att.total_of("outer") == 135
+    assert att.self_of("outer") == 105      # 135 minus the inner 30
+    assert att.total_of("inner") == att.self_of("inner") == 30
+    assert att.window_cycles == 135
+    assert att.untraced_cycles == 0
+    assert att.complete
+
+
+def test_complete_event_charges_parent_child_time():
+    clock, tracer = make()
+    tracer.begin("handler", "x")
+    clock.charge(50, Mode.SYSTEM)
+    tracer.complete("tlb_miss", "mem", 20)   # 20 of the 50 were the miss
+    tracer.end()
+    att = tracer.attribution()
+    assert att.self_of("handler") == 30
+    assert att.self_of("tlb_miss") == 20
+    assert att.complete
+
+
+def test_untraced_cycles_are_the_residual():
+    clock, tracer = make()
+    clock.charge(40, Mode.USER)              # outside any span
+    tracer.begin("a", "x")
+    clock.charge(10, Mode.SYSTEM)
+    tracer.end()
+    clock.charge(7, Mode.IOWAIT)             # outside again
+    att = tracer.attribution()
+    assert att.window_cycles == 57
+    assert att.untraced_cycles == 47
+    assert att.complete
+
+
+def test_attribution_mid_trace_virtually_closes_open_spans():
+    clock, tracer = make()
+    tracer.begin("outer", "x")
+    clock.charge(100, Mode.SYSTEM)
+    tracer.begin("inner", "x")
+    clock.charge(25, Mode.SYSTEM)
+    # both spans still open: the report must still sum to the window
+    att = tracer.attribution()
+    assert att.complete
+    assert att.window_cycles == 125
+    assert att.total_of("outer") == 125
+    assert att.self_of("outer") == 100
+    assert att.self_of("inner") == 25
+    assert tracer.depth == 2                 # the stack was not mutated
+    tracer.end()
+    tracer.end()
+    assert tracer.depth == 0
+
+
+def test_unmatched_end_is_ignored():
+    clock, tracer = make()
+    tracer.end()                             # nothing open
+    tracer.begin("a", "x")
+    tracer.end()
+    tracer.end()                             # extra end
+    assert tracer.depth == 0
+    assert tracer.attribution().complete
+
+
+def test_reenable_opens_a_fresh_window():
+    clock, tracer = make()
+    tracer.begin("a", "x")
+    clock.charge(10, Mode.SYSTEM)
+    tracer.end()
+    tracer.enable()                          # restart
+    assert tracer.events() == []
+    clock.charge(5, Mode.USER)
+    att = tracer.attribution()
+    assert att.window_cycles == 5
+    assert att.spans == {}
+
+
+def test_disable_freezes_the_window():
+    clock, tracer = make()
+    clock.charge(10, Mode.SYSTEM)
+    tracer.disable()
+    clock.charge(99, Mode.SYSTEM)            # after the freeze
+    att = tracer.attribution()
+    assert att.window_cycles == 10
+
+
+# ----------------------------------------------------------- ring + events
+
+def test_event_phases_and_order():
+    clock, tracer = make()
+    tracer.begin("span", "x", pid=1)
+    clock.charge(10, Mode.SYSTEM)
+    tracer.instant("mark", "x")
+    tracer.complete("quantum", "x", 4)
+    tracer.end(errno=0)
+    phases = [e[0] for e in tracer.events()]
+    assert phases == [PH_BEGIN, PH_INSTANT, PH_COMPLETE, PH_END]
+    ph, name, cat, ts, dur, args = tracer.events()[2]
+    assert (name, cat, dur) == ("quantum", "x", 4)
+    assert ts == 6                           # retroactive: ends at now=10
+
+
+def test_ring_overflow_drops_oldest_but_attribution_survives():
+    clock = Clock()
+    tracer = Tracer(clock, capacity=8)
+    tracer.enable()
+    for i in range(100):
+        tracer.begin("s", "x")
+        clock.charge(1, Mode.SYSTEM)
+        tracer.end()
+    assert len(tracer.events()) == 8         # only the newest window of events
+    assert tracer.ring.dropped_oldest == 200 - 8
+    att = tracer.attribution()               # ...but accounting saw all 100
+    assert att.spans["s"].count == 100
+    assert att.total_of("s") == 100
+    assert att.complete
+
+
+# ------------------------------------------------- preemption / reentrancy
+
+def test_nested_spans_across_forced_preemption():
+    """A scheduler preemption firing *inside* an open syscall span must
+    nest cleanly and attribution must still sum to the window — the
+    pattern every real tracepoint pair hits when ``maybe_preempt`` runs
+    between ``begin`` and ``end``."""
+    from repro.kernel.core import Kernel
+
+    k = Kernel()
+    k.spawn("a")
+    k.spawn("b")
+    k.trace.enable()
+    t0 = k.clock.now
+    with k.faults.inject("sched.preempt", every=1):
+        k.sys.getpid()                       # dispatch preempts mid-syscall
+        k.sys.getpid()
+    att = k.trace.attribution()
+    assert att.complete
+    assert att.window_cycles == k.clock.now - t0
+    assert att.spans["syscall:getpid"].count == 2
+    assert "sched:preempt" in att.spans
+    # the preempt span sits inside the syscall span, so the syscall's
+    # total covers it but its self time does not
+    sc = att.spans["syscall:getpid"]
+    assert sc.total_cycles > sc.self_cycles
+    assert k.trace.depth == 0                # everything closed cleanly
