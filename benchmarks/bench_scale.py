@@ -1,0 +1,154 @@
+"""E12: multi-tenant overload survival and the BENCH_SCALE trajectory.
+
+Three scenario mixes run the mixed-trust tenant population from
+``repro.workloads.scenario`` under increasing hostility:
+
+* ``baseline`` — steady heavy-tailed load, mild churn, roomy backlog;
+* ``churn`` — aggressive connect/close/abort churn against a tiny
+  listen backlog (overflow → RST → ECONNREFUSED accounting);
+* ``storm`` — fault-injection storms (``net.tx`` and ``kmalloc``
+  failpoints firing probabilistically) in the middle of the run.
+
+Every mix must *survive* — the kernel serves whatever it can, accounts
+every refusal/reset, and leaks nothing — and emits per-tenant SLOs
+(p50/p99 latency, drops, goodput, Jain fairness) into
+``BENCH_SCALE.json``.  This file is the gate later scaling PRs (SMP,
+uring-style submission, compartments) must move without breaking the
+survival properties.  The baseline mix runs twice (traced and untraced)
+to re-assert determinism and zero-cost tracing in one stroke.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from conftest import fresh_kernel
+
+from repro.analysis import ComparisonTable
+from repro.trace import write_chrome_trace
+from repro.workloads import FaultStorm, ScenarioConfig, ScenarioRunner
+
+_OUT = Path(__file__).parent / "BENCH_SCALE.json"
+_SCALE: dict = {}
+
+#: the three mixes; events scaled so the whole module stays CI-smoke sized
+MIXES: dict[str, ScenarioConfig] = {
+    "baseline": ScenarioConfig(seed=2026, events=150, churn=0.1,
+                               abort_prob=0.2, backlog=32, max_conns=12),
+    "churn": ScenarioConfig(seed=2027, events=150, churn=0.55,
+                            abort_prob=0.4, backlog=2, max_conns=10),
+    "storm": ScenarioConfig(
+        seed=2028, events=150, churn=0.25, abort_prob=0.3, backlog=16,
+        storms=(FaultStorm("net.tx", rate=0.08, start_frac=0.25,
+                           stop_frac=0.6),
+                FaultStorm("kmalloc", rate=0.03, start_frac=0.45,
+                           stop_frac=0.75))),
+}
+
+#: keys every per-tenant SLO entry must carry (CI asserts these exist)
+SLO_KEYS = ("requests", "completed", "refused", "resets", "aborted",
+            "goodput_bytes", "latency_cycles")
+LATENCY_KEYS = ("count", "mean", "min", "max", "p50", "p90", "p99")
+
+
+def _run_mix(name: str, *, traced: bool = False,
+             trace_dir: Path | None = None) -> dict:
+    kernel = fresh_kernel("ramfs")
+    if traced or trace_dir is not None:
+        kernel.trace.enable()
+    runner = ScenarioRunner(MIXES[name], kernel=kernel)
+    result = runner.run()
+    if trace_dir is not None:
+        write_chrome_trace(kernel.trace, trace_dir / f"scale-{name}.json")
+    out = result.report.to_dict()
+    out["monitor"] = result.monitor_counts
+    out["sockfs_inodes"] = result.sockfs_inodes
+    out["trust"] = result.trust
+    out["fault_signature_len"] = len(result.fault_signature)
+    return out
+
+
+def _flush() -> None:
+    """Merge this run's sections into BENCH_SCALE.json."""
+    payload = {"schema": 1}
+    if _OUT.exists():
+        try:
+            old = json.loads(_OUT.read_text())
+            if old.get("schema") == 1:
+                payload.update(old)
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload.update(_SCALE)
+    _OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _check_slo_shape(mix: str, report: dict) -> None:
+    assert report["tenants"], f"{mix}: no tenants reported"
+    for tenant, slo in report["tenants"].items():
+        for key in SLO_KEYS:
+            assert key in slo, f"{mix}/{tenant}: missing SLO key {key!r}"
+        for key in LATENCY_KEYS:
+            assert key in slo["latency_cycles"], \
+                f"{mix}/{tenant}: missing latency key {key!r}"
+    assert "fairness_jain" in report and "goodput_total_bytes" in report
+
+
+def test_scale_trajectory(run_once, trace_out):
+    """All three mixes: survival + SLO shape + determinism (CI smoke)."""
+    results = run_once(
+        lambda: {name: _run_mix(name, traced=(name == "baseline"),
+                                trace_dir=trace_out)
+                 for name in MIXES})
+    # same seed, fresh kernel ⇒ bit-identical SLO numbers (untraced this
+    # time, which also re-asserts tracing's zero simulated cost)
+    again = _run_mix("baseline")
+    assert again == results["baseline"], \
+        "same-seed scenario runs diverged (determinism broken)"
+
+    table = ComparisonTable("E12", "multi-tenant overload survival")
+    for name, report in results.items():
+        _check_slo_shape(name, report)
+        completed = sum(t["completed"] for t in report["tenants"].values())
+        table.add(f"{name}: work completes under load",
+                  "completed requests > 0 for the mix",
+                  f"{completed} completed, "
+                  f"goodput {report['goodput_total_bytes']:,}B",
+                  holds=completed > 0)
+        table.add(f"{name}: nothing leaks",
+                  "0 leaked sockets, sockfs registry drained",
+                  f"leaks={report['leaked_sockets']} "
+                  f"sockfs={report['sockfs_inodes']}",
+                  holds=(report["leaked_sockets"] == 0
+                         and report["sockfs_inodes"] == 0))
+    churn_net = results["churn"]["net"]
+    table.add("churn: overload is accounted",
+              "backlog overflow -> RST -> refused all counted",
+              f"overflows={churn_net['backlog_overflows']} "
+              f"rst={churn_net['rst_tx']} refused={churn_net['refused']}",
+              holds=(churn_net["backlog_overflows"] > 0
+                     and churn_net["rst_tx"] >= churn_net["backlog_overflows"]
+                     and churn_net["refused"] > 0))
+    storm = results["storm"]
+    storm_failures = sum(t["resets"] for t in storm["tenants"].values())
+    table.add("storm: faults surface as resets, not crashes",
+              "injected faults produce accounted failures",
+              f"{storm['fault_signature_len']} injections, "
+              f"{storm_failures} resets",
+              holds=storm["fault_signature_len"] > 0)
+    proven = storm["trust"].get("db-proven", {})
+    table.add("trust tiers mix on one kernel",
+              "PROVEN tenant statically verified, WARMUP promotes",
+              f"proven={proven.get('statically_proven', 0)} "
+              f"warmup_promoted="
+              f"{storm['trust'].get('db-warmup', {}).get('promoted', 0)}",
+              holds=proven.get("statically_proven", 0) > 0)
+    fairness = {name: report["fairness_jain"]
+                for name, report in results.items()}
+    table.note("Jain fairness by mix: "
+               + " ".join(f"{k}={v:.3f}" for k, v in fairness.items()))
+    table.print()
+    _SCALE["mixes"] = results
+    _SCALE["fairness_by_mix"] = fairness
+    _flush()
+    assert table.all_hold

@@ -1,0 +1,174 @@
+"""Service-level objectives computed from kernel metrics.
+
+The overload suite (``repro.workloads.scenario``) answers the paper's
+scaling question — does in-kernel execution still pay off when hundreds
+of tenants share one kernel under heavy-tailed load? — and this module
+defines what "pays off" means:
+
+* **latency percentiles** (p50/p90/p99, simulated cycles) estimated from
+  the power-of-two :class:`~repro.trace.metrics.Histogram` buckets the
+  scenario runner fills per tenant;
+* **drop/RST accounting** pulled from the
+  :class:`~repro.kernel.net.syscalls.SocketLayer` counters (connections
+  refused, backlog overflows, RSTs on the wire, aborted accepts);
+* **goodput** — application payload bytes actually delivered per tenant;
+* **Jain's fairness index** over per-tenant goodput, the standard
+  "is anyone starving?" scalar ((Σx)² / (n·Σx²); 1.0 = perfectly fair).
+
+Everything here is arithmetic over deterministic integers, so two runs
+of the same scenario seed produce bit-identical reports — the property
+``tests/workloads/test_scenario_determinism.py`` pins and
+``benchmarks/bench_scale.py`` re-asserts before writing BENCH_SCALE.json.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.metrics import Histogram
+
+#: percentiles every report carries
+PERCENTILES = (50, 90, 99)
+
+
+def histogram_percentile(hist: Histogram, pct: float) -> float:
+    """Estimate a percentile from a power-of-two bucketed histogram.
+
+    Bucket *i* holds values whose bit length is *i*, i.e. the range
+    ``[2**(i-1), 2**i - 1]`` (bucket 0 holds exactly the value 0).  The
+    estimator walks buckets in order to the one containing the target
+    rank and interpolates linearly inside it, clamped to the exact
+    min/max the histogram tracked — so single-bucket distributions
+    report exact values and the p100 is always ``hist.max``.
+    """
+    if hist.count == 0:
+        return 0.0
+    rank = (pct / 100.0) * hist.count
+    cumulative = 0
+    for b in sorted(hist.buckets):
+        n = hist.buckets[b]
+        if cumulative + n >= rank:
+            lo = 0 if b == 0 else 1 << (b - 1)
+            hi = 0 if b == 0 else (1 << b) - 1
+            frac = (rank - cumulative) / n
+            est = lo + frac * (hi - lo)
+            if hist.min is not None:
+                est = max(est, float(hist.min))
+            return min(est, float(hist.max))
+        cumulative += n
+    return float(hist.max)
+
+
+def latency_summary(hist: Histogram) -> dict:
+    """p50/p90/p99 + count/mean/max for one latency histogram."""
+    out: dict = {"count": hist.count, "mean": round(hist.mean, 3),
+                 "min": hist.min if hist.min is not None else 0,
+                 "max": hist.max}
+    for p in PERCENTILES:
+        out[f"p{p}"] = round(histogram_percentile(hist, p), 3)
+    return out
+
+
+def jain_fairness(values: list[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²) ∈ (0, 1], 1 = equal shares.
+
+    Defined as 1.0 for empty or all-zero allocations (nobody is being
+    treated unfairly when nobody received anything).
+    """
+    xs = [float(v) for v in values]
+    total = sum(xs)
+    if not xs or total == 0:
+        return 1.0
+    return (total * total) / (len(xs) * sum(x * x for x in xs))
+
+
+@dataclass
+class TenantSlo:
+    """Per-tenant outcome of one scenario run."""
+
+    name: str
+    kind: str
+    tier: str
+    #: requests the schedule issued for this tenant
+    requests: int = 0
+    #: requests that completed with a full response
+    completed: int = 0
+    #: connect() attempts refused (RST before establishment)
+    refused: int = 0
+    #: requests lost to connection resets mid-flight
+    resets: int = 0
+    #: connections the schedule aborted on purpose (churn)
+    aborted: int = 0
+    #: application payload bytes delivered to the tenant's clients
+    goodput_bytes: int = 0
+    #: per-request simulated latency (cycles submit→response)
+    latency: Histogram = field(
+        default_factory=lambda: Histogram("slo.latency"))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "tier": self.tier,
+            "requests": self.requests,
+            "completed": self.completed,
+            "refused": self.refused,
+            "resets": self.resets,
+            "aborted": self.aborted,
+            "goodput_bytes": self.goodput_bytes,
+            "latency_cycles": latency_summary(self.latency),
+        }
+
+
+@dataclass
+class SloReport:
+    """Whole-run SLO rollup: per-tenant stats + kernel-wide accounting."""
+
+    tenants: dict[str, TenantSlo]
+    #: final simulated clock buckets (user, system, iowait)
+    clock: tuple[int, int, int]
+    #: stack-wide drop/RST counters (SocketLayer accounting)
+    net: dict[str, int]
+    #: monitor leak report: sockets accepted but never closed
+    leaked_sockets: int = 0
+
+    @property
+    def goodput_total(self) -> int:
+        return sum(t.goodput_bytes for t in self.tenants.values())
+
+    @property
+    def fairness(self) -> float:
+        """Jain index over per-tenant goodput."""
+        return jain_fairness(
+            [t.goodput_bytes for t in self.tenants.values()])
+
+    def to_dict(self) -> dict:
+        return {
+            "clock": {"user": self.clock[0], "system": self.clock[1],
+                      "iowait": self.clock[2],
+                      "total": sum(self.clock)},
+            "net": dict(sorted(self.net.items())),
+            "goodput_total_bytes": self.goodput_total,
+            "fairness_jain": round(self.fairness, 6),
+            "leaked_sockets": self.leaked_sockets,
+            "tenants": {name: t.to_dict()
+                        for name, t in sorted(self.tenants.items())},
+        }
+
+    def render(self) -> str:
+        lines = ["== scenario SLO report =="]
+        lines.append(f"  clock: user={self.clock[0]} system={self.clock[1]} "
+                     f"iowait={self.clock[2]}")
+        lines.append(f"  goodput={self.goodput_total}B "
+                     f"fairness={self.fairness:.4f} "
+                     f"leaked_sockets={self.leaked_sockets}")
+        net = " ".join(f"{k}={v}" for k, v in sorted(self.net.items()))
+        lines.append(f"  net: {net}")
+        for name in sorted(self.tenants):
+            t = self.tenants[name]
+            s = latency_summary(t.latency)
+            lines.append(
+                f"  {name:<18} [{t.tier:>9}] req={t.requests:<5} "
+                f"ok={t.completed:<5} refused={t.refused} resets={t.resets} "
+                f"p50={s['p50']:.0f} p99={s['p99']:.0f} "
+                f"goodput={t.goodput_bytes}B")
+        return "\n".join(lines)

@@ -59,29 +59,64 @@ class EpollInode(Inode):
     def __init__(self, sb: "SockFS"):
         super().__init__(sb, sb.alloc_ino(), 0o600)
         self.interest: dict[int, int] = {}      # fd -> requested mask
+        #: fd -> ino of the socket registered under that fd.  Descriptor
+        #: numbers are reused (POSIX lowest-free rule), so after a close
+        #: without EPOLL_CTL_DEL the same fd can name a *different* socket;
+        #: the ino pins which endpoint the registration was for.
+        self._identity: dict[int, int] = {}
         self._order: list[int] = []             # registration order + tombstones
         self._cursor = 0
         self.waits = 0
         self.events_reported = 0
+        self.stale_replaced = 0
+        self.stale_skipped = 0
         #: blocking epoll_wait callers sleep here until delivery wakes them
         self.wq = WaitQueue(sb.kernel, f"epoll:{self.ino}")
 
     # ----------------------------------------------------------- interest
 
-    def ctl_add(self, fd: int, mask: int) -> None:
-        if fd in self.interest:
-            raise_errno(EINVAL, f"fd {fd} already in epoll set")
-        self.interest[fd] = mask
-        self._order.append(fd)
+    def _is_stale(self, fd: int, ino: int | None) -> bool:
+        """True when ``fd``'s registration names a different socket than the
+        one currently installed at ``fd`` (close + fd reuse)."""
+        registered = self._identity.get(fd)
+        return (registered is not None and ino is not None
+                and registered != ino)
 
-    def ctl_mod(self, fd: int, mask: int) -> None:
-        if fd not in self.interest:
+    def ctl_add(self, fd: int, mask: int, ino: int | None = None) -> None:
+        if fd in self.interest:
+            if not self._is_stale(fd, ino):
+                raise_errno(EINVAL, f"fd {fd} already in epoll set")
+            # The registered socket is gone and the descriptor number was
+            # reused: the dead entry must not block the new registration.
+            self._forget(fd)
+            self.stale_replaced += 1
+        self.interest[fd] = mask
+        if ino is not None:
+            self._identity[fd] = ino
+        # A prior DEL/forget leaves a tombstone in the order list; once the
+        # fd goes live again that entry would make collect() report the same
+        # descriptor twice per scan, so re-registration must not append a
+        # second one.
+        if fd not in self._order:
+            self._order.append(fd)
+
+    def ctl_mod(self, fd: int, mask: int, ino: int | None = None) -> None:
+        if fd not in self.interest or self._is_stale(fd, ino):
             raise_errno(EBADF, f"fd {fd} not in epoll set")
         self.interest[fd] = mask
 
     def ctl_del(self, fd: int) -> None:
         if self.interest.pop(fd, None) is None:
             raise_errno(EBADF, f"fd {fd} not in epoll set")
+        self._identity.pop(fd, None)
+        self._compact()
+
+    def _forget(self, fd: int) -> None:
+        self.interest.pop(fd, None)
+        self._identity.pop(fd, None)
+        self._compact()
+
+    def _compact(self) -> None:
         # the order list keeps a tombstone; compact when mostly dead
         if len(self._order) > 32 and len(self._order) > 2 * len(self.interest):
             self._order = [f for f in self._order if f in self.interest]
@@ -108,6 +143,12 @@ class EpollInode(Inode):
             sock = resolve(fd)
             if sock is None:
                 continue  # fd closed without EPOLL_CTL_DEL: auto-forgotten
+            registered = self._identity.get(fd)
+            if registered is not None and sock.ino != registered:
+                # fd reused for a different socket: the dead registration
+                # must not report that stranger's readiness
+                self.stale_skipped += 1
+                continue
             ready = socket_events(sock) & (want | EPOLLERR | EPOLLHUP)
             if ready:
                 found.append((fd, ready))
@@ -118,3 +159,13 @@ class EpollInode(Inode):
             self._cursor = (last_idx + 1) % n
         self.events_reported += len(found)
         return found
+
+    # ------------------------------------------------------------ lifecycle
+
+    def release_file(self, file) -> None:
+        """Closing the epoll fd discards the interest set and unregisters
+        the anonymous inode (same churn-leak fix as socket endpoints)."""
+        self.interest.clear()
+        self._identity.clear()
+        self._order.clear()
+        self.sb.drop_inode(self)

@@ -207,11 +207,18 @@ class SocketInode(Inode):
         if self.port is not None:
             stack.release_port(self.port, self)
         while self.accept_queue:
-            # connections completed but never accepted are reset
-            stack.reset_connection(self.accept_queue.popleft(),
-                                   site="sock:close-backlog")
+            # connections completed but never accepted are reset AND
+            # closed: no fd will ever reference them, so leaving the
+            # endpoint open would strand its inode in sockfs forever
+            child = self.accept_queue.popleft()
+            stack.reset_connection(child, site="sock:close-backlog")
+            child.close_endpoint("sock:close-backlog")
         if self.peer is not None and not self.peer.closed:
             stack.send_fin(self)
+        # A closed endpoint can never be looked up again; leaving it in the
+        # sockfs registry is the leak connection-churn scenarios trip over
+        # (sockfs.inodes grows without bound).
+        self.sb.drop_inode(self)
 
     def release_file(self, file: "File") -> None:
         """VFS close hook: closing the last fd closes the endpoint."""

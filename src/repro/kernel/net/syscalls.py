@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import (EAGAIN, EADDRINUSE, ECONNREFUSED, ECONNRESET,
                           EDEADLK, EINVAL, EISCONN, ENOTCONN, EOPNOTSUPP,
-                          raise_errno)
+                          Errno, raise_errno)
 from repro.kernel.clock import Mode
 from repro.kernel.net.epoll import (EPOLL_CTL_ADD, EPOLL_CTL_DEL,
                                     EPOLL_CTL_MOD, EPOLLIN, EVENT_BYTES,
@@ -60,6 +60,14 @@ class SocketLayer:
         self.connections = 0
         self.accepts = 0
         self.drops = 0
+        #: connections refused with an RST (no listener, or backlog full)
+        self.refused = 0
+        #: refusals specifically due to a full accept backlog
+        self.backlog_overflows = 0
+        #: RST segments put on the wire
+        self.rst_tx = 0
+        #: accepted connections aborted because the acceptor was out of fds
+        self.accept_emfile = 0
         self._install()
 
     def _install(self) -> None:
@@ -182,8 +190,11 @@ class SocketLayer:
         self._charge_op()
         sock = SocketInode(self.sockfs, blocking=blocking,
                            rcvbuf=self.default_rcvbuf)
+        # fd first: if the table is full (EMFILE) the inode must not stay
+        # registered in sockfs with nothing referencing it.
+        fd = self._alloc_sock_fd(sock)
         self.sockfs.register_inode(sock)
-        return self._alloc_sock_fd(sock)
+        return fd
 
     def do_socketpair(self) -> tuple[int, int]:
         """Create a connected pair; returns two fds in the current task.
@@ -267,7 +278,18 @@ class SocketLayer:
                             "blocking accept with no connection in flight")
         child = listener.accept_queue.popleft()
         self._charge_op()
-        child_fd = self._alloc_sock_fd(child)
+        try:
+            child_fd = self._alloc_sock_fd(child)
+        except Errno:
+            # The child was already ESTABLISHED when it left the backlog;
+            # with no fd it would leak and wedge the peer forever.  Abort
+            # the connection like a real kernel tearing down an accept it
+            # could not complete.
+            self.accept_emfile += 1
+            self.kernel.metrics.counter("net.accept_emfile").inc()
+            self.reset_connection(child, site="accept-emfile")
+            child.close_endpoint("sock:accept-emfile")
+            raise
         self.accepts += 1
         self.kernel.log_event(child, EV_SOCK_ACCEPT, "sock:accept")
         return child_fd
@@ -365,12 +387,12 @@ class SocketLayer:
     def do_epoll_ctl(self, epfd: int, op: int, fd: int,
                      mask: int = EPOLLIN) -> int:
         ep = self._epoll_for(epfd)
-        self._sock_for(fd)  # target must be an open socket
+        sock = self._sock_for(fd)  # target must be an open socket
         self.kernel.clock.charge(self.kernel.costs.epoll_op, Mode.SYSTEM)
         if op == EPOLL_CTL_ADD:
-            ep.ctl_add(fd, mask)
+            ep.ctl_add(fd, mask, ino=sock.ino)
         elif op == EPOLL_CTL_MOD:
-            ep.ctl_mod(fd, mask)
+            ep.ctl_mod(fd, mask, ino=sock.ino)
         elif op == EPOLL_CTL_DEL:
             ep.ctl_del(fd)
         else:
@@ -461,6 +483,15 @@ class SocketLayer:
         if (listener is None or listener.state is not SockState.LISTENING
                 or len(listener.accept_queue) >= listener.backlog):
             # no listener / backlog overflow: refuse the connection
+            metrics = self.kernel.metrics
+            self.refused += 1
+            metrics.counter("net.conn_refused").inc()
+            if (listener is not None
+                    and listener.state is SockState.LISTENING):
+                self.backlog_overflows += 1
+                metrics.counter("net.backlog_overflow").inc()
+            self.rst_tx += 1
+            metrics.counter("net.rst_tx").inc()
             self.nic.transmit(Packet("rst", None, src), site="syn-refused")
             return
         child = SocketInode(self.sockfs, blocking=listener.blocking,

@@ -28,8 +28,16 @@ from repro.workloads.httpserver import (CosyHttpServer, EpollHttpServer,
                                         HttpBenchConfig, HttpBenchResult,
                                         SelectHttpServer, SERVER_KINDS,
                                         run_http_bench)
+from repro.workloads.scenario import (FaultStorm, ScenarioConfig,
+                                      ScenarioResult, ScenarioRunner,
+                                      ScheduleEvent, TenantSpec, TrustTier,
+                                      default_tenants, generate_schedule,
+                                      run_scenario)
 
 __all__ = [
+    "FaultStorm", "ScenarioConfig", "ScenarioResult", "ScenarioRunner",
+    "ScheduleEvent", "TenantSpec", "TrustTier", "default_tenants",
+    "generate_schedule", "run_scenario",
     "ReadWriteServer", "SendfileServer", "WebServerConfig",
     "build_docroot", "drain_client",
     "CosyHttpServer", "EpollHttpServer", "SelectHttpServer",

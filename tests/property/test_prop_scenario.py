@@ -1,0 +1,108 @@
+"""Property tests: scenario schedules are well-formed for *any* seed.
+
+The generator is the root of the overload suite's determinism story, so
+its invariants are checked property-style rather than example-style:
+
+* virtual timestamps are non-negative and non-decreasing;
+* event counts are conserved — every ``open`` has exactly one matching
+  ``close``/``abort``, every storm turned on is turned off once;
+* ``request``/``close``/``abort`` events only name connections that are
+  open at that point in the schedule;
+* executed small scenarios leave no socket behind: the
+  :class:`SocketMonitor` leak report is empty and the sockfs inode
+  registry is drained.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.scenario import (FaultStorm, ScenarioConfig,
+                                      generate_schedule, run_scenario)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+configs = st.builds(
+    ScenarioConfig,
+    seed=seeds,
+    events=st.integers(min_value=1, max_value=120),
+    zipf_s=st.floats(min_value=1.05, max_value=3.0),
+    pareto_alpha=st.floats(min_value=0.8, max_value=4.0),
+    churn=st.floats(min_value=0.0, max_value=0.9),
+    abort_prob=st.floats(min_value=0.0, max_value=1.0),
+    max_conns=st.integers(min_value=1, max_value=20),
+    backlog=st.integers(min_value=1, max_value=64),
+    storms=st.lists(
+        st.builds(FaultStorm,
+                  failpoint=st.sampled_from(["kmalloc", "net.tx", "net.rx",
+                                             "disk.read", "disk.write"]),
+                  rate=st.floats(min_value=0.01, max_value=0.3),
+                  start_frac=st.floats(min_value=0.0, max_value=1.0),
+                  stop_frac=st.floats(min_value=0.0, max_value=1.0)),
+        max_size=3).map(tuple),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=configs)
+def test_schedule_well_formed(cfg: ScenarioConfig):
+    sched = generate_schedule(cfg)
+    keepalive = {t.name for t in cfg.resolved_tenants()
+                 if t.kind in ("http-select", "http-epoll")}
+    last_at = 0
+    open_now: set[tuple[str, int]] = set()
+    ever_opened: set[tuple[str, int]] = set()
+    storms_on: set[int] = set()
+    storms_done: set[int] = set()
+    for ev in sched:
+        assert ev.at >= 0
+        assert ev.at >= last_at
+        last_at = ev.at
+        key = (ev.tenant, ev.conn)
+        if ev.kind == "open":
+            assert ev.tenant in keepalive
+            assert key not in ever_opened, "connection id reused"
+            open_now.add(key)
+            ever_opened.add(key)
+        elif ev.kind in ("close", "abort"):
+            assert key in open_now, f"{ev.kind} on a non-open connection"
+            open_now.remove(key)
+        elif ev.kind == "request":
+            if ev.tenant in keepalive:
+                assert key in open_now, "request on a non-open connection"
+            assert ev.burst >= 1
+            assert 0 <= ev.rank
+        elif ev.kind == "storm_on":
+            assert ev.storm not in storms_on and ev.storm not in storms_done
+            storms_on.add(ev.storm)
+        elif ev.kind == "storm_off":
+            assert ev.storm in storms_on
+            storms_on.remove(ev.storm)
+            storms_done.add(ev.storm)
+        else:
+            assert ev.kind == "batch"
+    # conservation: everything opened was closed, every storm ended
+    assert not open_now, "schedule left connections open"
+    assert not storms_on, "schedule left a storm armed"
+    assert storms_done == set(range(len(cfg.storms)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=configs)
+def test_schedule_is_a_function_of_the_config(cfg: ScenarioConfig):
+    assert generate_schedule(cfg) == generate_schedule(cfg)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=seeds, churn=st.floats(min_value=0.0, max_value=0.8),
+       backlog=st.integers(min_value=1, max_value=16))
+def test_executed_scenarios_close_every_socket(seed, churn, backlog):
+    """fd hygiene under arbitrary seeds: whatever the churn did, the end
+    state has no accepted-but-unclosed socket and an empty sockfs."""
+    cfg = ScenarioConfig(seed=seed, events=15, churn=churn,
+                         abort_prob=0.5, backlog=backlog, max_conns=4)
+    result = run_scenario(cfg)
+    assert result.report.leaked_sockets == 0
+    assert result.monitor_counts["leaks"] == 0
+    assert result.sockfs_inodes == 0
+    assert (result.monitor_counts["closes"]
+            >= result.monitor_counts["accepts"])
