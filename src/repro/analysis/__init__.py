@@ -2,13 +2,13 @@
 
 from repro.analysis.report import (Row, ComparisonTable, pct, fmt_bytes,
                                    fmt_seconds, code_cache_report,
-                                   fault_injection_report, metrics_report,
-                                   verifier_report)
+                                   fault_injection_report, lockdep_report,
+                                   metrics_report, verifier_report)
 from repro.analysis.slo import (PERCENTILES, SloReport, TenantSlo,
                                 histogram_percentile, jain_fairness,
                                 latency_summary)
 
 __all__ = ["Row", "ComparisonTable", "pct", "fmt_bytes", "fmt_seconds",
-           "code_cache_report", "fault_injection_report", "metrics_report",
-           "verifier_report", "PERCENTILES", "SloReport", "TenantSlo",
+           "code_cache_report", "fault_injection_report", "lockdep_report",
+           "metrics_report", "verifier_report", "PERCENTILES", "SloReport", "TenantSlo",
            "histogram_percentile", "jain_fairness", "latency_summary"]

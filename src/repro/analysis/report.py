@@ -181,6 +181,19 @@ def fault_injection_report(registry) -> str:
     return "\n".join(lines)
 
 
+def lockdep_report(kernel) -> str:
+    """Render the concurrency sanitizer's findings for one kernel.
+
+    Summary table of lock classes (kind, irq-usage, hit counts) followed
+    by every violation splat; "lockdep: disabled" when the kernel booted
+    without a validator (no ``Kernel(lockdep=True)`` / ``REPRO_LOCKDEP``).
+    """
+    validator = getattr(kernel, "lockdep", None)
+    if validator is None:
+        return "lockdep: disabled"
+    return validator.render()
+
+
 def metrics_report(metrics, prefix: str = "") -> str:
     """Render the kernel-wide metrics registry (``kernel.metrics``).
 

@@ -24,6 +24,8 @@ from repro.cminus.compile import CodeCache
 from repro.kernel.clock import Clock
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
 from repro.kernel.faultinject import FaultRegistry, arm_from_env
+from repro.kernel.interrupts import IrqController
+from repro.kernel.locks import SpinLock
 from repro.kernel.memory.kmalloc import KmallocAllocator
 from repro.kernel.memory.mmu import MMU
 from repro.kernel.memory.paging import PageTable
@@ -36,6 +38,7 @@ from repro.kernel.syscalls.interface import SyscallInterface
 from repro.kernel.syslog import KERN_INFO, Syslog
 from repro.kernel.vfs.namei import VFS
 from repro.kernel.vfs.super import SuperBlock
+from repro.safety.lockdep import ENV_LOCKDEP, LockdepValidator
 from repro.trace import ENV_TRACE, MetricsRegistry, Tracer
 
 #: signature of the event hook: (obj, event_type, site) — see §3.3.
@@ -59,7 +62,8 @@ class Kernel:
     """A booted simulated machine."""
 
     def __init__(self, costs: CostModel | None = None,
-                 ram_bytes: int = 884 * 1024 * 1024):
+                 ram_bytes: int = 884 * 1024 * 1024,
+                 lockdep: bool | None = None):
         self.costs = costs if costs is not None else DEFAULT_COSTS
         self.clock = Clock(hz=self.costs.hz)
         #: kernel-wide metrics registry (repro.trace): the one namespace the
@@ -71,6 +75,20 @@ class Kernel:
         self.syslog = Syslog(clock=self.clock, tracer=self.trace)
         #: kernel-wide failpoint registry; dormant until an injection arms it.
         self.faults = FaultRegistry(self, metrics=self.metrics)
+        #: lock dependency validator (repro.safety.lockdep); None = compiled
+        #: out (every hook site is a getattr-and-None-check, zero cycles).
+        #: ``lockdep=True`` records violations; booting under REPRO_LOCKDEP=1
+        #: is strict — the first violation raises LockdepError.  An explicit
+        #: argument wins over the environment (so self-tests of known-bad
+        #: patterns can record under a strict CI run).
+        if lockdep is None:
+            self.lockdep = LockdepValidator(self, strict=True) \
+                if os.environ.get(ENV_LOCKDEP) else None
+        else:
+            self.lockdep = LockdepValidator(self, strict=False) \
+                if lockdep else None
+        #: CPU interrupt-enable state (local_irq_save/restore nesting).
+        self.irq = IrqController(self)
         self.physmem = PhysicalMemory(ram_bytes)
         self.kernel_pt = PageTable()
         self.mmu = MMU(self.physmem, self.clock, self.costs,
@@ -81,6 +99,10 @@ class Kernel:
         self.vmalloc = VmallocAllocator(self.physmem, self.kernel_pt,
                                         self.clock, self.costs, mmu=self.mmu,
                                         faults=self.faults)
+        # The allocators are built from pieces (no kernel reference), so
+        # their freelist locks are attached here, post-construction.
+        self.kmalloc.lock = SpinLock(self, "kmalloc_lock")
+        self.vmalloc.lock = SpinLock(self, "vmalloc_lock")
         self.gdt = SegmentTable()
         #: kernel-wide cache of closure-compiled C-minus programs, keyed by
         #: (program, instrumentation generation) — see repro.cminus.compile.

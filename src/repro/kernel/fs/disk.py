@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import EIO, raise_errno
 from repro.kernel.clock import Mode
+from repro.kernel.locks import SpinLock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.core import Kernel
@@ -82,12 +83,19 @@ class Disk:
 
 
 class BufferCache:
-    """Write-back LRU block cache in front of a :class:`Disk`."""
+    """Write-back LRU block cache in front of a :class:`Disk`.
+
+    ``bcache_lock`` (one lockdep class across devices) guards the cache
+    index and dirty set only — disk I/O always runs with the lock
+    dropped, so critical sections stay a hash probe long and eviction
+    write-back can never nest inside another cache operation.
+    """
 
     def __init__(self, kernel: "Kernel", disk: Disk, capacity_blocks: int = 8192):
         self.kernel = kernel
         self.disk = disk
         self.capacity = capacity_blocks
+        self.lock = SpinLock(kernel, "bcache_lock")
         self._cache: OrderedDict[int, bytearray] = OrderedDict()
         self._dirty: set[int] = set()
         self.hits = 0
@@ -98,63 +106,98 @@ class BufferCache:
         metrics.gauge(f"disk.{disk.name}.reads", fn=lambda: disk.reads)
         metrics.gauge(f"disk.{disk.name}.writes", fn=lambda: disk.writes)
 
-    def _evict_if_needed(self) -> None:
+    def _pop_victims(self) -> list[tuple[int, bytearray]]:
+        """Detach LRU blocks past capacity; caller holds ``bcache_lock``.
+        Clean victims are simply dropped; dirty ones are returned for
+        write-back after the lock is released."""
+        victims: list[tuple[int, bytearray]] = []
         while len(self._cache) > self.capacity:
             block, data = self._cache.popitem(last=False)
             if block in self._dirty:
-                try:
-                    self.disk.write_block(block, bytes(data))
-                except Exception:
-                    # Failed write-back must not lose the only copy of the
-                    # data: keep the block cached (and dirty) at the LRU
-                    # head so a later flush can retry, then let the error
-                    # reach whoever forced the eviction.
-                    self._cache[block] = data
-                    self._cache.move_to_end(block, last=False)
-                    raise
                 self._dirty.discard(block)
+                victims.append((block, data))
+        return victims
+
+    def _writeback(self, victims: list[tuple[int, bytearray]]) -> None:
+        """Write evicted dirty blocks out; called with the lock dropped."""
+        for i, (block, data) in enumerate(victims):
+            try:
+                self.disk.write_block(block, bytes(data))
+            except Exception:
+                # Failed write-back must not lose the only copy of the
+                # data: put this and every not-yet-written victim back
+                # (dirty, at the LRU head) so a later flush can retry,
+                # then let the error reach whoever forced the eviction.
+                with self.lock.guard("bcache:evict"):
+                    for blk, buf in victims[i:]:
+                        self._cache[blk] = buf
+                        self._cache.move_to_end(blk, last=False)
+                        self._dirty.add(blk)
+                raise
 
     def read(self, block: int) -> bytearray:
         """Return the cached block (read-through on miss)."""
         self.kernel.clock.charge(self.kernel.costs.bcache_lookup, Mode.SYSTEM)
-        buf = self._cache.get(block)
-        if buf is not None:
-            self._cache.move_to_end(block)
-            self.hits += 1
-            return buf
-        self.misses += 1
-        buf = bytearray(self.disk.read_block(block))
-        self._cache[block] = buf
-        self._evict_if_needed()
+        with self.lock.guard("bcache:read"):
+            buf = self._cache.get(block)
+            if buf is not None:
+                self._cache.move_to_end(block)
+                self.hits += 1
+                return buf
+            self.misses += 1
+        data = self.disk.read_block(block)     # I/O with the lock dropped
+        with self.lock.guard("bcache:read"):
+            buf = self._cache.get(block)       # re-check: raced fill wins
+            if buf is None:
+                buf = bytearray(data)
+                self._cache[block] = buf
+            victims = self._pop_victims()
+        self._writeback(victims)
         return buf
 
     def write(self, block: int, data: bytes, offset: int = 0) -> None:
         """Write into the cached block, marking it dirty (write-back)."""
         if offset + len(data) > BLOCK_SIZE:
             raise ValueError("write crosses block boundary")
-        # A full overwrite need not read the old contents from disk.
-        if offset == 0 and len(data) == BLOCK_SIZE and block not in self._cache:
-            self.kernel.clock.charge(self.kernel.costs.bcache_lookup, Mode.SYSTEM)
-            self.misses += 1
-            self._cache[block] = bytearray(data)
-            self._evict_if_needed()
+        if offset == 0 and len(data) == BLOCK_SIZE:
+            # A full overwrite need not read the old contents from disk.
+            self.kernel.clock.charge(self.kernel.costs.bcache_lookup,
+                                     Mode.SYSTEM)
+            with self.lock.guard("bcache:write"):
+                buf = self._cache.get(block)
+                if buf is not None:
+                    self._cache.move_to_end(block)
+                    self.hits += 1
+                    buf[:] = data
+                    self._dirty.add(block)
+                    return
+                self.misses += 1
+                self._cache[block] = bytearray(data)
+                self._dirty.add(block)
+                victims = self._pop_victims()
+            self._writeback(victims)
         else:
-            buf = self.read(block)
-            buf[offset:offset + len(data)] = data
-        self._dirty.add(block)
+            buf = self.read(block)             # takes the lock internally
+            with self.lock.guard("bcache:write"):
+                buf[offset:offset + len(data)] = data
+                self._dirty.add(block)
 
     def adopt_zeroed(self, block: int) -> None:
         """Install a freshly-allocated block as zero-filled, without a disk
         read — the filesystem knows a new block's old contents are dead."""
         self.kernel.clock.charge(self.kernel.costs.bcache_lookup, Mode.SYSTEM)
-        if block not in self._cache:
+        with self.lock.guard("bcache:adopt"):
+            if block in self._cache:
+                return
             self._cache[block] = bytearray(BLOCK_SIZE)
-            self._evict_if_needed()
+            victims = self._pop_victims()
+        self._writeback(victims)
 
     def invalidate(self, block: int) -> None:
         """Drop a block without writeback (after its file was deleted)."""
-        self._cache.pop(block, None)
-        self._dirty.discard(block)
+        with self.lock.guard("bcache:invalidate"):
+            self._cache.pop(block, None)
+            self._dirty.discard(block)
 
     def sync(self) -> None:
         """Flush all dirty blocks, in block order (elevator-style).
@@ -163,6 +206,13 @@ class BufferCache:
         dirty, so the error propagates as errno and a retry after the
         fault clears flushes the remainder — nothing is silently dropped.
         """
-        for block in sorted(self._dirty):
-            self.disk.write_block(block, bytes(self._cache[block]))
-            self._dirty.discard(block)
+        with self.lock.guard("bcache:sync"):
+            pending = sorted(self._dirty)
+        for block in pending:
+            with self.lock.guard("bcache:sync"):
+                buf = self._cache.get(block)
+                data = bytes(buf) if buf is not None else None
+            if data is not None:
+                self.disk.write_block(block, data)
+            with self.lock.guard("bcache:sync"):
+                self._dirty.discard(block)

@@ -16,6 +16,7 @@ from repro.errors import (EEXIST, EISDIR, ENOENT, ENOSPC, ENOTDIR, ENOTEMPTY,
                           raise_errno)
 from repro.kernel.clock import Mode
 from repro.kernel.fs.disk import BLOCK_SIZE, BufferCache, Disk
+from repro.kernel.locks import SpinLock
 from repro.kernel.vfs.inode import DT_DIR, DT_REG, DirEntry, Inode
 from repro.kernel.vfs.stat import S_IFDIR, S_IFREG
 from repro.kernel.vfs.super import SuperBlock
@@ -198,29 +199,37 @@ class Ext2SuperBlock(SuperBlock):
         super().__init__(kernel, name)
         self.disk = disk if disk is not None else Disk(kernel, nblocks=1 << 20)
         self.bcache = BufferCache(kernel, self.disk, capacity_blocks=cache_blocks)
+        #: guards the block free list only; always released before the
+        #: buffer cache is touched (lock order: ext2_balloc -> bcache_lock
+        #: never holds, because the sections do not overlap).
+        self.balloc_lock = SpinLock(kernel, "ext2_balloc")
         self._free_blocks = list(range(self.disk.nblocks - 1, -1, -1))
         root = Ext2Inode(self, self.alloc_ino(), S_IFDIR | 0o755)
         self.register_inode(root)
         self.root_inode = root
 
     def alloc_block(self) -> int:
-        if not self._free_blocks:
-            raise_errno(ENOSPC, "filesystem full")
-        block = self._free_blocks.pop()
+        with self.balloc_lock.guard("ext2:alloc_block"):
+            if not self._free_blocks:
+                raise_errno(ENOSPC, "filesystem full")
+            block = self._free_blocks.pop()
         try:
             # A fresh block's prior contents are dead: no read-modify-write.
+            # The buffer cache is touched with the freelist lock dropped.
             self.bcache.adopt_zeroed(block)
         except BaseException:
             # Adopting can force an eviction whose write-back fails (EIO);
             # return the block to the free list so it isn't leaked.
             self.bcache.invalidate(block)
-            self._free_blocks.append(block)
+            with self.balloc_lock.guard("ext2:alloc_block"):
+                self._free_blocks.append(block)
             raise
         return block
 
     def free_block(self, block: int) -> None:
         self.bcache.invalidate(block)
-        self._free_blocks.append(block)
+        with self.balloc_lock.guard("ext2:free_block"):
+            self._free_blocks.append(block)
 
     def drop_inode(self, inode: Inode) -> None:
         if isinstance(inode, Ext2Inode):

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Protocol
 
 from repro.kernel.clock import Mode
 from repro.kernel.fs.disk import BLOCK_SIZE
+from repro.kernel.locks import Semaphore
 from repro.kernel.vfs.inode import DirEntry, Inode
 from repro.kernel.vfs.stat import Stat
 from repro.kernel.vfs.super import SuperBlock
@@ -204,6 +205,10 @@ class WrapfsSuperBlock(SuperBlock):
         self.lower_sb = lower_sb
         self.allocator = allocator
         self._wrappers: dict[int, WrapfsInode] = {}
+        #: serializes the wrapper registry.  A sleeping lock, not a spin
+        #: lock: creating a wrapper allocates private data with kmalloc,
+        #: which may block under memory pressure.
+        self.wrap_sem = Semaphore(kernel, "wrapfs_wrap")
         if lower_sb.root_inode is None:
             raise ValueError("lower filesystem has no root")
         self.root_inode = self.wrap_inode(lower_sb.root_inode)
@@ -213,21 +218,23 @@ class WrapfsSuperBlock(SuperBlock):
         wrapper identity stable, like real Wrapfs's inode hash)."""
         if lower is None:
             return None
-        wrapper = self._wrappers.get(lower.ino)
-        if wrapper is None:
-            wrapper = WrapfsInode(self, lower)
-            self._wrappers[lower.ino] = wrapper
-            self.register_inode(wrapper)
+        with self.wrap_sem.guard("wrapfs:wrap_inode"):
+            wrapper = self._wrappers.get(lower.ino)
+            if wrapper is None:
+                wrapper = WrapfsInode(self, lower)
+                self._wrappers[lower.ino] = wrapper
+                self.register_inode(wrapper)
         return wrapper
 
     def unwrap_inode(self, lower: Inode) -> None:
         """Drop the wrapper of a deleted lower inode, freeing private data."""
-        wrapper = self._wrappers.pop(lower.ino, None)
-        if wrapper is not None:
-            if wrapper.private is not None:
-                self.allocator.free(wrapper.private)
-                wrapper.private = None
-            super().drop_inode(wrapper)
+        with self.wrap_sem.guard("wrapfs:unwrap_inode"):
+            wrapper = self._wrappers.pop(lower.ino, None)
+            if wrapper is not None:
+                if wrapper.private is not None:
+                    self.allocator.free(wrapper.private)
+                    wrapper.private = None
+                super().drop_inode(wrapper)
 
     def sync(self) -> None:
         self.lower_sb.sync()

@@ -49,6 +49,9 @@ class IrqController:
         self.kernel.clock.charge(IRQ_TOGGLE_COST, Mode.SYSTEM)
         self.disable_depth += 1
         self.toggles += 1
+        ld = getattr(self.kernel, "lockdep", None)
+        if ld is not None:
+            ld.irq_disable()
         if self.instrumented:
             self.kernel.log_event(self, EV_IRQ_DISABLE, site)
 
@@ -59,6 +62,9 @@ class IrqController:
         self.kernel.clock.charge(IRQ_TOGGLE_COST, Mode.SYSTEM)
         self.disable_depth -= 1
         self.toggles += 1
+        ld = getattr(self.kernel, "lockdep", None)
+        if ld is not None:
+            ld.irq_enable()
         if self.instrumented:
             self.kernel.log_event(self, EV_IRQ_ENABLE, site)
 
@@ -125,6 +131,13 @@ class TimerInterrupt:
         """One tick: IRQ entry, handlers with interrupts off, IRQ exit."""
         self.fires += 1
         self.kernel.clock.charge(IRQ_DISPATCH_COST, Mode.SYSTEM)
-        with self.irq.irqs_off("timer:tick"):
-            for handler in self.handlers:
-                handler()
+        ld = getattr(self.kernel, "lockdep", None)
+        if ld is not None:
+            ld.hardirq_enter()
+        try:
+            with self.irq.irqs_off("timer:tick"):
+                for handler in self.handlers:
+                    handler()
+        finally:
+            if ld is not None:
+                ld.hardirq_exit()

@@ -52,6 +52,9 @@ class SpinLock:
                 "spinlock-no-recursion",
                 f"'{self.name}' re-acquired while held (at {site})",
             )
+        ld = getattr(self.kernel, "lockdep", None)
+        if ld is not None:
+            ld.acquire(self, "spin", site)
         if self.kernel.faults.should_fail("lock.acquire", self.name) is not None:
             # Injected contention: another CPU "held" the lock, so this
             # acquisition spins for a schedule-away-and-back round trip.
@@ -76,6 +79,9 @@ class SpinLock:
                 "spinlock-balanced",
                 f"'{self.name}' released while not held (at {site})",
             )
+        ld = getattr(self.kernel, "lockdep", None)
+        if ld is not None:
+            ld.release(self, "spin", site)
         self.kernel.clock.charge(self.kernel.costs.spinlock_pair -
                                  self.kernel.costs.spinlock_pair // 2)
         self.held = False
@@ -104,8 +110,17 @@ class SpinLock:
 
 
 class Semaphore:
-    """A counting semaphore.  Blocking is modelled as a context-switch charge
-    (single-CPU cooperative simulation cannot actually block)."""
+    """A counting semaphore — the kernel's *sleeping* lock.
+
+    The contended ``down()`` slow path blocks on a wait queue through the
+    scheduler, exactly like ``__down()``: the task is marked blocked and
+    charged the schedule-away-and-back round trip, and the holder's
+    ``up()`` wakes the queue.  (Cooperative single-CPU simulation: by the
+    time the sleeper runs again the holder has released, so the semaphore
+    transfers to the woken task.)  Because acquisition may block,
+    semaphores are ``sleep``-kind locks to lockdep — legal to hold across
+    blocking, illegal to take in atomic context.
+    """
 
     def __init__(self, kernel: "Kernel", name: str, count: int = 1,
                  *, instrumented: bool = False):
@@ -117,19 +132,61 @@ class Semaphore:
         self.instrumented = instrumented
         self.downs = 0
         self.contended = 0
+        self._wq = None   # created on first contention (needs the scheduler)
+        #: binary semaphores are mutex-like and get full lockdep order
+        #: tracking; counting semaphores are resource counters (multiple
+        #: downs by one task are legal) and only get the might_sleep check.
+        self._mutex_like = count == 1
 
-    def down(self, site: str = "?") -> None:
+    def _wait_queue(self):
+        if self._wq is None:
+            from repro.kernel.sched import WaitQueue
+            self._wq = WaitQueue(self.kernel, f"sem:{self.name}")
+        return self._wq
+
+    def down(self, site: str = "?", *, subclass: int = 0) -> None:
+        ld = getattr(self.kernel, "lockdep", None)
+        if ld is not None:
+            if self._mutex_like:
+                ld.acquire(self, "sleep", site, subclass=subclass)
+            else:
+                ld.might_sleep(site, what=f"down() on semaphore "
+                                          f"'{self.name}'")
         if self.count == 0:
-            # Would block: charge a schedule-away-and-back round trip.
+            # Contended: sleep on the wait queue until the holder's up().
             self.contended += 1
-            self.kernel.clock.charge(2 * self.kernel.costs.context_switch)
-            self.count = 1  # the (simulated) holder released it meanwhile
+            self.kernel.metrics.counter(
+                "sem.contended",
+                help="semaphore down() slow paths (blocked)").inc()
+            self._wait_queue().sleep(site)
+            self.count = 1  # woken: the holder released it meanwhile
         self.count -= 1
         self.downs += 1
         if self.instrumented:
             self.kernel.log_event(self, EV_SEM_DOWN, site)
 
-    def up(self, site: str = "?") -> None:
+    def up(self, site: str = "?", *, subclass: int = 0) -> None:
+        ld = getattr(self.kernel, "lockdep", None)
+        if ld is not None and self._mutex_like:
+            ld.release(self, "sleep", site, subclass=subclass)
         self.count += 1
+        if self._wq is not None and self._wq.waiters:
+            self._wq.wake_all(site)
         if self.instrumented:
             self.kernel.log_event(self, EV_SEM_UP, site)
+
+    class _Guard:
+        def __init__(self, sem: "Semaphore", site: str, subclass: int):
+            self._sem, self._site, self._sub = sem, site, subclass
+
+        def __enter__(self):
+            self._sem.down(self._site, subclass=self._sub)
+            return self._sem
+
+        def __exit__(self, *exc):
+            self._sem.up(self._site, subclass=self._sub)
+            return False
+
+    def guard(self, site: str = "?", *, subclass: int = 0) -> "_Guard":
+        """``with sem.guard(site):`` — exception-safe down/up pair."""
+        return Semaphore._Guard(self, site, subclass)

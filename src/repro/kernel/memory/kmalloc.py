@@ -14,6 +14,8 @@ kernel.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.errors import AllocatorMisuse, OutOfMemory
 from repro.kernel.clock import Clock, Mode
 from repro.kernel.costs import CostModel
@@ -44,6 +46,9 @@ class KmallocAllocator:
         self.clock = clock
         self.costs = costs
         self.faults = faults  # FaultRegistry, or None when standalone
+        #: freelist spinlock ("kmalloc_lock"), attached by the Kernel after
+        #: construction; None when the allocator is used standalone.
+        self.lock = None
         self._brk = KMALLOC_BASE
         self._freelists: dict[int, list[int]] = {cls: [] for cls in SIZE_CLASSES}
         #: addr -> (requested size, size class)
@@ -86,9 +91,12 @@ class KmallocAllocator:
         if self.faults is not None and \
                 self.faults.should_fail("kmalloc", site) is not None:
             raise OutOfMemory(f"kmalloc({size}) at {site}: fault-injected")
-        freelist = self._freelists[cls]
-        addr = freelist.pop() if freelist else self._grow(cls)
-        self.live[addr] = (size, cls)
+        guard = self.lock.guard("kmalloc") if self.lock is not None \
+            else nullcontext()
+        with guard:
+            freelist = self._freelists[cls]
+            addr = freelist.pop() if freelist else self._grow(cls)
+            self.live[addr] = (size, cls)
         self.total_allocs += 1
         self.bytes_requested += size
         return addr
@@ -96,11 +104,15 @@ class KmallocAllocator:
     def kfree(self, addr: int) -> None:
         """Free a kmalloc'ed address; detects double/invalid frees."""
         self.clock.charge(self.costs.kfree, Mode.SYSTEM)
-        entry = self.live.pop(addr, None)
-        if entry is None:
-            raise AllocatorMisuse(f"kfree of address {addr:#x} not allocated by kmalloc")
-        _, cls = entry
-        self._freelists[cls].append(addr)
+        guard = self.lock.guard("kfree") if self.lock is not None \
+            else nullcontext()
+        with guard:
+            entry = self.live.pop(addr, None)
+            if entry is None:
+                raise AllocatorMisuse(
+                    f"kfree of address {addr:#x} not allocated by kmalloc")
+            _, cls = entry
+            self._freelists[cls].append(addr)
         self.total_frees += 1
 
     def ksize(self, addr: int) -> int:

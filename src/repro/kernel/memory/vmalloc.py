@@ -21,6 +21,7 @@ sides catch overflow *and* underflow, as the paper observes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.errors import AllocatorMisuse, OutOfMemory
@@ -60,6 +61,9 @@ class VmallocAllocator:
         self.costs = costs
         self.mmu = mmu  # for per-page TLB invalidation on vfree
         self.faults = faults  # FaultRegistry, or None when standalone
+        #: area-list spinlock ("vmalloc_lock", Linux's vmlist_lock),
+        #: attached by the Kernel after construction; None standalone.
+        self.lock = None
         self.use_vfree_hash = use_vfree_hash
         self._cursor = VMALLOC_BASE
         #: base address -> area (the Kefence "hash table")
@@ -99,12 +103,16 @@ class VmallocAllocator:
             # otherwise one side is chosen by `align` (§3.2).
             nguard = 2 if size % PAGE_SIZE == 0 else 1
 
-        span_start = self._cursor
-        total_pages = npages + nguard
-        span_end = span_start + total_pages * PAGE_SIZE
-        if span_end > VMALLOC_END:
-            raise OutOfMemory("vmalloc area exhausted")
-        self._cursor = span_end
+        # Address-range reservation under vmalloc_lock (vmlist_lock).
+        guard_ctx = self.lock.guard("vmalloc:reserve") \
+            if self.lock is not None else nullcontext()
+        with guard_ctx:
+            span_start = self._cursor
+            total_pages = npages + nguard
+            span_end = span_start + total_pages * PAGE_SIZE
+            if span_end > VMALLOC_END:
+                raise OutOfMemory("vmalloc area exhausted")
+            self._cursor = span_end
 
         self.clock.charge(
             self.costs.vmalloc_base + self.costs.vmalloc_per_page * npages,
@@ -145,9 +153,14 @@ class VmallocAllocator:
             # Present but permission-less: any access traps, and `guard=True`
             # lets the fault handler distinguish it from a stray unmapped hit.
             self.kernel_pt.map(gv, PTE(frame=-1, perms=0, guard=True))
-            self.guard_index[gv] = area
 
-        self.areas[base] = area
+        # Publish the area descriptor under vmalloc_lock.
+        guard_ctx = self.lock.guard("vmalloc:publish") \
+            if self.lock is not None else nullcontext()
+        with guard_ctx:
+            for gv in guard_vpns:
+                self.guard_index[gv] = area
+            self.areas[base] = area
         self.total_allocs += 1
         self.bytes_requested += size
         self.outstanding_pages += npages
@@ -171,10 +184,16 @@ class VmallocAllocator:
 
     def vfree(self, addr: int) -> None:
         """Free a vmalloc'ed buffer, unmapping data and guardian pages."""
-        area = self._lookup_for_free(addr)
-        if area is None:
-            raise AllocatorMisuse(f"vfree of address {addr:#x} not allocated by vmalloc")
-        del self.areas[addr]
+        guard_ctx = self.lock.guard("vfree") \
+            if self.lock is not None else nullcontext()
+        with guard_ctx:
+            area = self._lookup_for_free(addr)
+            if area is None:
+                raise AllocatorMisuse(
+                    f"vfree of address {addr:#x} not allocated by vmalloc")
+            del self.areas[addr]
+            for gv in area.guard_vpns:
+                self.guard_index.pop(gv, None)
         self.clock.charge(
             self.costs.vfree_base + self.costs.vfree_per_page * area.npages
             + self.costs.vfree_tlb_flush,  # vunmap TLB shootdown
@@ -188,7 +207,6 @@ class VmallocAllocator:
             self.physmem.free_frame(frame)
         for gv in area.guard_vpns:
             self.kernel_pt.unmap(gv)
-            self.guard_index.pop(gv, None)
         self.outstanding_pages -= area.npages
         self.total_frees += 1
 

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 
 from repro.kernel.clock import Mode
 from repro.kernel.interrupts import IRQ_DISPATCH_COST, IrqController
+from repro.kernel.locks import SpinLock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.core import Kernel
@@ -71,6 +72,11 @@ class Nic:
         self.rx_slots = rx_slots
         self.deliver = deliver
         self.irq = IrqController(kernel)
+        #: guards both descriptor rings.  Taken by the hardware interrupt,
+        #: so every acquisition is irqsave (inside ``irq.irqs_off``) — the
+        #: lockdep irq-safety discipline for driver locks.  Never held
+        #: across ``stack.deliver``/``drop_packet``, which can transmit.
+        self.lock = SpinLock(kernel, "nic_lock")
         self.tx_ring: deque[Packet] = deque()
         self.rx_ring: deque[Packet] = deque()
         self.tx_packets = 0
@@ -104,12 +110,16 @@ class Nic:
         if self.kernel.faults.should_fail("net.tx", site) is not None:
             self.stack.drop_packet(pkt, f"net.tx@{site}")
             return False
-        if len(self.tx_ring) >= self.tx_slots:
+        with self.irq.irqs_off("nic:tx"):
+            with self.lock.guard("nic:tx"):
+                overflow = len(self.tx_ring) >= self.tx_slots
+                if not overflow:
+                    self.tx_ring.append(pkt)
+                    self.tx_packets += 1
+                    self.tx_bytes += len(pkt)
+        if overflow:
             self.stack.drop_packet(pkt, "tx-ring-overflow")
             return False
-        self.tx_ring.append(pkt)
-        self.tx_packets += 1
-        self.tx_bytes += len(pkt)
         if self.deliver == "irq":
             self.kick()
         return True
@@ -134,6 +144,7 @@ class Nic:
         clock = self.kernel.clock
         costs = self.kernel.costs
         tracer = self.kernel.trace
+        ld = getattr(self.kernel, "lockdep", None)
         try:
             while self.tx_ring or self.rx_ring:
                 if self.tx_ring:
@@ -145,24 +156,43 @@ class Nic:
                         tracer.complete("net:hardirq", "net",
                                         IRQ_DISPATCH_COST,
                                         packets=len(self.tx_ring))
-                    with self.irq.irqs_off("nic:hardirq"):
-                        while self.tx_ring:
-                            pkt = self.tx_ring.popleft()
-                            if len(self.rx_ring) >= self.rx_slots:
+                    if ld is not None:
+                        ld.hardirq_enter()
+                    try:
+                        overflowed: list[Packet] = []
+                        with self.irq.irqs_off("nic:hardirq"):
+                            with self.lock.guard("nic:hardirq"):
+                                while self.tx_ring:
+                                    pkt = self.tx_ring.popleft()
+                                    if len(self.rx_ring) >= self.rx_slots:
+                                        overflowed.append(pkt)
+                                        continue
+                                    self.rx_ring.append(pkt)
+                            # Still at interrupt time, but the ring lock is
+                            # dropped: drop_packet touches socket state.
+                            for pkt in overflowed:
                                 self.stack.drop_packet(pkt,
                                                        "rx-ring-overflow")
-                                continue
-                            self.rx_ring.append(pkt)
+                    finally:
+                        if ld is not None:
+                            ld.hardirq_exit()
                 # Softirq: drain the RX ring into socket queues.
                 traced = self.rx_ring and tracer.enabled
                 if traced:
                     tracer.begin("net:softirq", "net",
                                  packets=len(self.rx_ring))
+                if ld is not None:
+                    ld.softirq_enter()
                 try:
                     if self.rx_ring:
                         clock.charge(costs.softirq_entry, Mode.SYSTEM)
-                    while self.rx_ring:
-                        pkt = self.rx_ring.popleft()
+                    while True:
+                        with self.irq.irqs_off("nic:softirq"):
+                            with self.lock.guard("nic:softirq"):
+                                pkt = self.rx_ring.popleft() \
+                                    if self.rx_ring else None
+                        if pkt is None:
+                            break
                         clock.charge(costs.nic_rx_per_packet, Mode.SYSTEM)
                         if self.kernel.faults.should_fail(
                                 "net.rx", pkt.kind) is not None:
@@ -170,9 +200,14 @@ class Nic:
                             continue
                         self.rx_packets += 1
                         self.rx_bytes += len(pkt)
+                        # Deliver with no NIC lock held: the stack may
+                        # transmit responses (SYN -> SYN+ACK) re-entering
+                        # this device.
                         self.stack.deliver(pkt)
                         progressed = True
                 finally:
+                    if ld is not None:
+                        ld.softirq_exit()
                     if traced:
                         tracer.end()
         finally:

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ECONNRESET, EINVAL, EPIPE, ENOTCONN, raise_errno
 from repro.kernel.clock import Mode
+from repro.kernel.locks import SpinLock
 from repro.kernel.sched import WaitQueue
 from repro.kernel.vfs.inode import Inode
 from repro.kernel.vfs.super import SuperBlock
@@ -92,6 +93,11 @@ class SocketInode(Inode):
         self.bytes_sent = 0
         self.bytes_received = 0
         self.wq = WaitQueue(sb.kernel, f"sock:{self.ino}")
+        #: guards the receive and accept queues.  Written from softirq
+        #: delivery and read from process context, so every acquisition is
+        #: irqsave (``kernel.irq.irqs_off``) — never held across anything
+        #: that can transmit or sleep.
+        self.rxq_lock = SpinLock(sb.kernel, "sock_rxq")
 
     # ------------------------------------------------------------ plumbing
 
@@ -152,15 +158,18 @@ class SocketInode(Inode):
             if self.reset:
                 raise_errno(ECONNRESET, "connection reset while blocked")
         out = bytearray()
-        while self.rx and len(out) < size:
-            chunk = self.rx[0]
-            take = min(len(chunk), size - len(out))
-            out += chunk[:take]
-            if take == len(chunk):
-                self.rx.popleft()
-            else:
-                self.rx[0] = chunk[take:]
-        self.rx_bytes -= len(out)
+        kernel = self.sb.kernel
+        with kernel.irq.irqs_off("sock:read"):
+            with self.rxq_lock.guard("sock:read"):
+                while self.rx and len(out) < size:
+                    chunk = self.rx[0]
+                    take = min(len(chunk), size - len(out))
+                    out += chunk[:take]
+                    if take == len(chunk):
+                        self.rx.popleft()
+                    else:
+                        self.rx[0] = chunk[take:]
+                self.rx_bytes -= len(out)
         self.bytes_received += len(out)
         self._charge(len(out))
         return bytes(out)
@@ -206,11 +215,16 @@ class SocketInode(Inode):
             return
         if self.port is not None:
             stack.release_port(self.port, self)
-        while self.accept_queue:
+        # Detach the backlog under the queue lock, then tear the children
+        # down with it dropped (teardown transmits FIN/RST packets).
+        with kernel.irq.irqs_off("sock:close"):
+            with self.rxq_lock.guard("sock:close"):
+                pending = list(self.accept_queue)
+                self.accept_queue.clear()
+        for child in pending:
             # connections completed but never accepted are reset AND
             # closed: no fd will ever reference them, so leaving the
             # endpoint open would strand its inode in sockfs forever
-            child = self.accept_queue.popleft()
             stack.reset_connection(child, site="sock:close-backlog")
             child.close_endpoint("sock:close-backlog")
         if self.peer is not None and not self.peer.closed:

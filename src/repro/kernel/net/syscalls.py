@@ -276,7 +276,9 @@ class SocketLayer:
             if not self.nic.kick():
                 raise_errno(EDEADLK,
                             "blocking accept with no connection in flight")
-        child = listener.accept_queue.popleft()
+        with self.kernel.irq.irqs_off("sock:accept"):
+            with listener.rxq_lock.guard("sock:accept"):
+                child = listener.accept_queue.popleft()
         self._charge_op()
         try:
             child_fd = self._alloc_sock_fd(child)
@@ -469,12 +471,19 @@ class SocketLayer:
             if dst is None or dst.closed or dst.rd_closed:
                 self.drop_packet(pkt, "recv-on-closed")
                 return
-            if (dst.rcvbuf is not None
-                    and dst.rx_bytes + len(pkt) > dst.rcvbuf):
+            # Queue under the socket's receive-queue lock (irqsave: this
+            # runs in softirq context); drop_packet transmits an RST, so
+            # it must run with the lock dropped.
+            with self.kernel.irq.irqs_off("net:deliver"):
+                with dst.rxq_lock.guard("net:deliver"):
+                    overflow = (dst.rcvbuf is not None
+                                and dst.rx_bytes + len(pkt) > dst.rcvbuf)
+                    if not overflow:
+                        dst.rx.append(pkt.payload)
+                        dst.rx_bytes += len(pkt.payload)
+            if overflow:
                 self.drop_packet(pkt, "rcvbuf-overflow")
                 return
-            dst.rx.append(pkt.payload)
-            dst.rx_bytes += len(pkt.payload)
             dst.wq.wake_all()
 
     def _deliver_syn(self, pkt: Packet) -> None:
@@ -501,7 +510,9 @@ class SocketLayer:
         child.peer = src
         if src is not None:
             src.peer = child
-        listener.accept_queue.append(child)
+        with self.kernel.irq.irqs_off("net:deliver-syn"):
+            with listener.rxq_lock.guard("net:deliver-syn"):
+                listener.accept_queue.append(child)
         listener.wq.wake_all()
         self.nic.transmit(Packet("syn+ack", child, src), site="syn+ack")
 

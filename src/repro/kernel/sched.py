@@ -47,6 +47,9 @@ class WaitQueue:
         """Block the current task until the next :meth:`wake_all`."""
         kernel = self.kernel
         task = kernel.current
+        ld = getattr(kernel, "lockdep", None)
+        if ld is not None:
+            ld.might_sleep(site, what=f"sleeping on wait queue '{self.name}'")
         tracer = kernel.trace
         traced = tracer.enabled
         if traced:

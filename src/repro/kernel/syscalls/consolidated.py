@@ -60,10 +60,17 @@ class ConsolidatedMixin:
             if used + need > bufsize:
                 break
             # The kernel still resolves each child through the dcache
-            # (lookup_one_len under dcache_lock) before it can stat it.
+            # before it can stat it: probe under dcache_lock, and on a
+            # miss call the filesystem under the directory's i_sem with
+            # no spinlock held (lookup_one_len under i_mutex).
             self.kernel.clock.charge(costs.dcache_lookup, Mode.SYSTEM)
             with vfs.dcache_lock.guard("readdirplus"):
-                child = dentry.inode.lookup(entry.name)
+                cached = dentry.d_lookup(entry.name)
+            if cached is not None:
+                child = cached.inode
+            else:
+                with dentry.inode.i_sem.guard("readdirplus"):
+                    child = dentry.inode.lookup(entry.name)
             if child is None:  # raced with a concurrent unlink
                 continue
             self.kernel.clock.charge(costs.dirent_emit + costs.stat_fill,

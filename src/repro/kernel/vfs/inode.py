@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import EISDIR, ENOTDIR, EPERM, raise_errno
+from repro.kernel.locks import Semaphore
 from repro.kernel.refcount import RefCount
 from repro.kernel.vfs.stat import Stat, is_dir, is_reg
 
@@ -54,6 +55,18 @@ class Inode:
         self.atime = self.mtime = self.ctime = sb.kernel.clock.now
         self.i_count = RefCount(sb.kernel, f"i_count:{sb.name}:{ino}")
         self.private: int | None = None  # kernel address of FS-private data
+        self._i_sem: Semaphore | None = None   # lazy: most inodes never need it
+
+    @property
+    def i_sem(self) -> Semaphore:
+        """Per-inode semaphore serializing directory modifications and the
+        lookup slow path — the *sleeping* lock held across filesystem calls,
+        so ``dcache_lock`` critical sections can stay tiny.  All instances
+        share one lockdep class (``i_sem``); nested acquisitions (rename
+        across directories) annotate a subclass, as Linux does."""
+        if self._i_sem is None:
+            self._i_sem = Semaphore(self.sb.kernel, "i_sem")
+        return self._i_sem
 
     # ------------------------------------------------- namespace operations
 

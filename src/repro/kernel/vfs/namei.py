@@ -3,9 +3,24 @@
 ``VFS.path_walk`` resolves one component at a time: take ``dcache_lock``,
 probe the dcache, and on a miss call the filesystem's ``lookup`` and insert
 the result (positive or negative).  Namespace-changing operations (create,
-unlink, rename, ...) also run under ``dcache_lock``, which is why PostMark —
-a create/delete-heavy workload — hammers this lock at thousands of hits per
-second in the paper's §3.3 measurement.
+unlink, rename, ...) hammer the same structures, which is why PostMark — a
+create/delete-heavy workload — hits ``dcache_lock`` at thousands of
+acquisitions per second in the paper's §3.3 measurement.
+
+Locking (validated by ``repro.safety.lockdep`` ahead of SMP):
+
+* ``dcache_lock`` is a *spinlock* guarding only dcache probes and
+  insert/drop — never held across a filesystem call, which may block
+  (buffer-cache I/O, allocator pressure);
+* the per-directory ``inode.i_sem`` (a sleeping semaphore, one lockdep
+  class for all instances) serializes the lookup slow path and all
+  namespace modifications of that directory, and *is* held across
+  filesystem calls — the Linux split;
+* cross-directory renames take ``s_vfs_rename_sem`` first, then both
+  directory ``i_sem``s (the second with a lockdep subclass annotation,
+  mirroring ``lock_rename``).
+
+Lock order: ``s_vfs_rename_sem`` -> ``i_sem`` -> ``dcache_lock``.
 """
 
 from __future__ import annotations
@@ -15,7 +30,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import EEXIST, EINVAL, ENOENT, ENOTDIR, ENOTEMPTY, raise_errno
 from repro.kernel.clock import Mode
-from repro.kernel.locks import SpinLock
+from repro.kernel.locks import Semaphore, SpinLock
 from repro.kernel.vfs.dentry import Dentry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +58,9 @@ class VFS:
     def __init__(self, kernel: "Kernel"):
         self.kernel = kernel
         self.dcache_lock = SpinLock(kernel, "dcache_lock")
+        #: serializes cross-directory renames so the pairwise i_sem
+        #: acquisition below cannot deadlock (Linux: s_vfs_rename_sem).
+        self.rename_sem = Semaphore(kernel, "s_vfs_rename_sem")
         self.root: Dentry | None = None
         self.root_sb: "SuperBlock | None" = None
         #: mountpoint dentry id -> mounted superblock's root dentry
@@ -144,16 +162,25 @@ class VFS:
             clock.charge(costs.dcache_lookup, Mode.SYSTEM)
             with self.dcache_lock.guard("namei:walk"):
                 child = current.d_lookup(name)
-                if child is None:
-                    self.dcache_misses += 1
-                    inode = current.inode.lookup(name)
-                    child = Dentry(name, current, inode,
-                                   kernel=self.kernel)
-                    current.d_add(child)
-                    if inode is None:
-                        self._cache_negative(child)
-                else:
-                    self.dcache_hits += 1
+            if child is not None:
+                self.dcache_hits += 1
+            else:
+                self.dcache_misses += 1
+                # Slow path: serialize per directory with its i_sem, and
+                # call the filesystem — which may block — with no spinlock
+                # held.  Re-probe under i_sem: a concurrent walker may have
+                # completed the same lookup while we waited.
+                with current.inode.i_sem.guard("namei:walk"):
+                    with self.dcache_lock.guard("namei:walk"):
+                        child = current.d_lookup(name)
+                    if child is None:
+                        inode = current.inode.lookup(name)
+                        child = Dentry(name, current, inode,
+                                       kernel=self.kernel)
+                        with self.dcache_lock.guard("namei:walk"):
+                            current.d_add(child)
+                            if inode is None:
+                                self._cache_negative(child)
             if follow_mount:
                 child = self._cross_mount(child)
             if child.is_negative and i < len(comps) - 1:
@@ -186,44 +213,54 @@ class VFS:
         }
 
     # ------------------------------------------------- namespace operations
-    # All run under dcache_lock, mirroring Linux's name-space serialization.
+    # All serialize on the parent directory's i_sem (held across the
+    # filesystem call); dcache_lock guards only the dcache update.
 
     def create(self, path: str, mode: int, cwd: Dentry | None = None) -> Dentry:
         """Create a regular file; EEXIST if it already exists."""
         parent, name = self.walk_parent(path, cwd)
-        with self.dcache_lock.guard("namei:create"):
-            existing = parent.d_lookup(name)
-            if (existing is not None and not existing.is_negative) or (
-                    existing is None and parent.inode.lookup(name) is not None):
+        with parent.inode.i_sem.guard("namei:create"):
+            with self.dcache_lock.guard("namei:create"):
+                existing = parent.d_lookup(name)
+            if existing is not None:
+                if not existing.is_negative:
+                    raise_errno(EEXIST, path)
+            elif parent.inode.lookup(name) is not None:
                 raise_errno(EEXIST, path)
             inode = parent.inode.create(name, mode)
             dentry = Dentry(name, parent, inode)
-            parent.d_add(dentry)
+            with self.dcache_lock.guard("namei:create"):
+                parent.d_add(dentry)
         return dentry
 
     def mkdir(self, path: str, cwd: Dentry | None = None) -> Dentry:
         parent, name = self.walk_parent(path, cwd)
-        with self.dcache_lock.guard("namei:mkdir"):
-            existing = parent.d_lookup(name)
-            if (existing is not None and not existing.is_negative) or (
-                    existing is None and parent.inode.lookup(name) is not None):
+        with parent.inode.i_sem.guard("namei:mkdir"):
+            with self.dcache_lock.guard("namei:mkdir"):
+                existing = parent.d_lookup(name)
+            if existing is not None:
+                if not existing.is_negative:
+                    raise_errno(EEXIST, path)
+            elif parent.inode.lookup(name) is not None:
                 raise_errno(EEXIST, path)
             inode = parent.inode.mkdir(name)
             dentry = Dentry(name, parent, inode)
-            parent.d_add(dentry)
+            with self.dcache_lock.guard("namei:mkdir"):
+                parent.d_add(dentry)
         return dentry
 
     def unlink(self, path: str, cwd: Dentry | None = None) -> None:
         parent, name = self.walk_parent(path, cwd)
-        with self.dcache_lock.guard("namei:unlink"):
+        with parent.inode.i_sem.guard("namei:unlink"):
             if parent.inode.lookup(name) is None:
                 raise_errno(ENOENT, path)
             parent.inode.unlink(name)
-            parent.d_drop(name)
+            with self.dcache_lock.guard("namei:unlink"):
+                parent.d_drop(name)
 
     def rmdir(self, path: str, cwd: Dentry | None = None) -> None:
         parent, name = self.walk_parent(path, cwd)
-        with self.dcache_lock.guard("namei:rmdir"):
+        with parent.inode.i_sem.guard("namei:rmdir"):
             child = parent.inode.lookup(name)
             if child is None:
                 raise_errno(ENOENT, path)
@@ -232,16 +269,35 @@ class VFS:
             if child.readdir():
                 raise_errno(ENOTEMPTY, path)
             parent.inode.rmdir(name)
-            parent.d_drop(name)
+            with self.dcache_lock.guard("namei:rmdir"):
+                parent.d_drop(name)
 
     def rename(self, old_path: str, new_path: str,
                cwd: Dentry | None = None) -> None:
         old_parent, old_name = self.walk_parent(old_path, cwd)
         new_parent, new_name = self.walk_parent(new_path, cwd)
+        if old_parent.inode is new_parent.inode:
+            with old_parent.inode.i_sem.guard("namei:rename"):
+                self._do_rename(old_parent, old_name,
+                                new_parent, new_name, old_path)
+        else:
+            # Cross-directory: s_vfs_rename_sem makes the pairwise i_sem
+            # acquisition safe; the nested i_sem carries a lockdep
+            # subclass (Linux's lock_rename / I_MUTEX_PARENT2).
+            with self.rename_sem.guard("namei:rename"):
+                with old_parent.inode.i_sem.guard("namei:rename"):
+                    with new_parent.inode.i_sem.guard("namei:rename",
+                                                      subclass=1):
+                        self._do_rename(old_parent, old_name,
+                                        new_parent, new_name, old_path)
+
+    def _do_rename(self, old_parent: Dentry, old_name: str,
+                   new_parent: Dentry, new_name: str, old_path: str) -> None:
+        """Rename body; caller holds the directory i_sem(s)."""
+        if old_parent.inode.lookup(old_name) is None:
+            raise_errno(ENOENT, old_path)
+        old_parent.inode.rename(old_name, new_parent.inode, new_name)
         with self.dcache_lock.guard("namei:rename"):
-            if old_parent.inode.lookup(old_name) is None:
-                raise_errno(ENOENT, old_path)
-            old_parent.inode.rename(old_name, new_parent.inode, new_name)
             moved = old_parent.d_drop(old_name)
             new_parent.d_drop(new_name)
             if moved is not None and not moved.is_negative:

@@ -1,0 +1,120 @@
+"""Lock classes and held-lock records — the validator's vocabulary.
+
+Like Linux lockdep, the validator reasons about lock *classes*, not lock
+instances: every lock with the same name (``dcache_lock``, ``i_sem``,
+``sock_rxq``...) belongs to one class, and dependencies/usage are recorded
+per class.  That is what lets a rule proven on one socket's receive-queue
+lock apply to the other ten thousand sockets.
+
+A class accumulates *usage bits* as its instances are acquired in
+different contexts; the bit names follow Linux's vocabulary:
+
+* ``USED_IN_HARDIRQ`` — acquired while a hardware interrupt is being
+  handled (the class is *hardirq-safe*);
+* ``USED_IN_SOFTIRQ`` — acquired during softirq processing
+  (*softirq-safe*);
+* ``ENABLED_IRQ`` — acquired in process context with interrupts enabled,
+  i.e. an interrupt could arrive while the lock is held (the class is
+  *irq-unsafe*).
+
+A class that is both irq-safe and irq-unsafe is an inversion waiting for
+SMP/preemption to make it real — exactly what the validator reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+#: usage bits (Linux: LOCK_USED_IN_HARDIRQ / LOCK_ENABLED_HARDIRQ ...)
+USED_IN_HARDIRQ = 1
+USED_IN_SOFTIRQ = 2
+ENABLED_IRQ = 4
+
+_USAGE_NAMES = {
+    USED_IN_HARDIRQ: "IN-HARDIRQ",
+    USED_IN_SOFTIRQ: "IN-SOFTIRQ",
+    ENABLED_IRQ: "IRQS-ON",
+}
+
+#: irq context marks carried by held locks (0 = process context)
+CTX_PROCESS = 0
+CTX_SOFTIRQ = 1
+CTX_HARDIRQ = 2
+
+CTX_NAMES = {CTX_PROCESS: "process", CTX_SOFTIRQ: "softirq",
+             CTX_HARDIRQ: "hardirq"}
+
+#: lock kinds: spinning locks may not be held across blocking; sleeping
+#: locks (semaphores/mutexes) may.
+KIND_SPIN = "spin"
+KIND_SLEEP = "sleep"
+
+
+@dataclass
+class LockClass:
+    """One lock class: every instance sharing a name (plus subclass)."""
+
+    name: str
+    kind: str                      # KIND_SPIN | KIND_SLEEP
+    usage: int = 0                 # OR of usage bits
+    #: first acquisition evidence per usage bit: (site, task, cycles)
+    usage_sites: dict = field(default_factory=dict)
+    acquisitions: int = 0
+    instances: set = field(default_factory=set)
+    sites: Counter = field(default_factory=Counter)
+
+    @property
+    def irq_safe(self) -> bool:
+        """Taken inside an interrupt handler at least once."""
+        return bool(self.usage & (USED_IN_HARDIRQ | USED_IN_SOFTIRQ))
+
+    @property
+    def irq_unsafe(self) -> bool:
+        """Held, at least once, while interrupts were enabled."""
+        return self.kind == KIND_SPIN and bool(self.usage & ENABLED_IRQ)
+
+    def usage_str(self) -> str:
+        """Linux-style usage annotation, e.g. ``{IN-SOFTIRQ, IRQS-ON}``."""
+        bits = [label for bit, label in _USAGE_NAMES.items()
+                if self.usage & bit]
+        return "{" + ", ".join(bits) + "}" if bits else "{}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LockClass({self.name!r}, {self.kind}, "
+                f"{self.usage_str()}, hits={self.acquisitions})")
+
+
+@dataclass
+class HeldLock:
+    """One entry on a task's held-lock stack."""
+
+    cls: LockClass
+    obj_id: int
+    site: str
+    cycles: int
+    irq_ctx: int                   # CTX_* at acquisition time
+    task: str                      # "name/pid" of the acquiring task
+
+    def describe(self) -> str:
+        ctx = CTX_NAMES[self.irq_ctx]
+        return (f"({self.cls.name}){'{' + ctx + '}' if self.irq_ctx else ''} "
+                f"at {self.site}, by {self.task}, cycle {self.cycles}")
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """First-witness evidence for a dependency edge ``src -> dst``:
+    ``dst`` was acquired (at ``dst_site``) while ``src`` was held (taken
+    at ``src_site``) by ``task`` at simulated ``cycles``."""
+
+    src: str
+    dst: str
+    src_site: str
+    dst_site: str
+    task: str
+    cycles: int
+
+    def describe(self) -> str:
+        return (f"{self.src} (at {self.src_site}) -> {self.dst} "
+                f"(at {self.dst_site})  [{self.task}, cycle {self.cycles}]")

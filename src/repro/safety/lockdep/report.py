@@ -1,0 +1,85 @@
+"""Lockdep violation reports, rendered in the style of Linux's splats.
+
+Every violation carries enough evidence to act on without re-running:
+the acquisition that tripped the check, the full held-lock chain of the
+current task, and — for dependency cycles — the previously recorded
+chain with the site/task/cycle of each edge's first witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvariantViolation
+
+#: violation kinds
+DEADLOCK = "deadlock"                 # circular lock-order dependency
+RECURSION = "recursion"               # same class acquired twice by one task
+IRQ_INVERSION = "irq-inversion"       # one class both irq-safe and irq-unsafe
+IRQ_UNSAFE_DEP = "irq-unsafe-dependency"  # irq-safe class depends on unsafe
+SLEEP_IN_ATOMIC = "sleep-in-atomic"   # blocking in atomic context
+RELEASE_ORDER = "release-order"       # non-LIFO spinlock release
+RELEASE_NOT_HELD = "release-not-held"  # release by a task that never acquired
+
+_TITLES = {
+    DEADLOCK: "possible circular locking dependency detected",
+    RECURSION: "possible recursive locking detected",
+    IRQ_INVERSION: "inconsistent lock state (irq-safe vs irq-unsafe usage)",
+    IRQ_UNSAFE_DEP: "irq-safe lock depends on an irq-unsafe lock",
+    SLEEP_IN_ATOMIC: "sleeping function called from invalid context",
+    RELEASE_ORDER: "spinlock released out of acquisition order",
+    RELEASE_NOT_HELD: "lock released by a task that does not hold it",
+}
+
+
+class LockdepError(InvariantViolation):
+    """Raised (in strict mode) when the validator finds a violation."""
+
+    def __init__(self, report: "LockdepReport"):
+        super().__init__(f"lockdep-{report.kind}", report.render())
+        self.report = report
+
+
+@dataclass
+class LockdepReport:
+    """One rendered-able violation."""
+
+    kind: str
+    headline: str                  # one-line what-happened
+    cycles: int                    # simulated timestamp of detection
+    task: str                      # "name/pid" of the tripping task
+    #: the acquisition chain of the current task (strings, outermost first)
+    this_chain: list = field(default_factory=list)
+    #: the previously recorded dependency chain (strings), for cycles
+    recorded_chain: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    @property
+    def title(self) -> str:
+        return _TITLES.get(self.kind, self.kind)
+
+    def render(self) -> str:
+        bar = "=" * 60
+        lines = [bar, f"WARNING: {self.title}", "-" * 60,
+                 f"{self.task}, cycle {self.cycles}:", f"  {self.headline}"]
+        if self.this_chain:
+            lines.append("")
+            lines.append("this task's acquisition chain (outermost first):")
+            for i, entry in enumerate(self.this_chain):
+                lines.append(f"  #{i}: {entry}")
+        if self.recorded_chain:
+            lines.append("")
+            lines.append("recorded dependency chain (first witnesses):")
+            for i, entry in enumerate(self.recorded_chain):
+                lines.append(f"  #{i}: {entry}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        lines.append(bar)
+        return "\n".join(lines)
+
+
+def render_reports(reports: list) -> str:
+    """All reports of a run, concatenated (the CI artifact body)."""
+    if not reports:
+        return "lockdep: no violations recorded"
+    return "\n\n".join(r.render() for r in reports)

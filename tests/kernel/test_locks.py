@@ -84,11 +84,16 @@ def test_semaphore_counting(k):
 
 def test_semaphore_contention_charges_switches(k):
     sem = Semaphore(k, "s", count=1)
+    holder = k.spawn("holder")
+    waiter = k.spawn("waiter")
+    k.sched.switch_to(holder)
     sem.down()
+    k.sched.switch_to(waiter)
     before = k.clock.now
-    sem.down()  # would block
+    sem.down()  # blocks on the wait queue until the holder's up()
     assert sem.contended == 1
     assert k.clock.now - before >= 2 * k.costs.context_switch
+    assert k.metrics.counter("sem.contended").value == 1
 
 
 def test_semaphore_negative_count_rejected(k):
