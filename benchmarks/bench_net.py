@@ -16,6 +16,12 @@ responses; Cosy is fastest everywhere and its margin over select *widens*
 with N (select's rescan grows, Cosy stays flat); select and epoll cross —
 select wins small N (fewer traps), epoll wins large N (no rescan).  The
 measured curve and the crossover point land in ``BENCH_NET.json``.
+
+The E13 section reruns the serving story on SMP kernels (docs/SMP.md):
+clients shard across 2 and 4 CPUs with one listener per core and NIC RSS
+steering, the crossover curves are measured *per core count*, and cpus=4
+must sustain 10⁵ concurrent clients at ≥2× the aggregate throughput of
+cpus=1 at 10⁴.
 """
 
 from __future__ import annotations
@@ -28,10 +34,17 @@ from conftest import fresh_kernel
 from repro.analysis import ComparisonTable
 from repro.kernel.net import SocketLayer
 from repro.trace import write_chrome_trace
-from repro.workloads import SERVER_KINDS, HttpBenchConfig, run_http_bench
+from repro.workloads import (SERVER_KINDS, HttpBenchConfig, run_http_bench,
+                             run_http_bench_smp)
 
 SMOKE_CLIENTS = 100
 LEVELS = [100, 1000, 10000]
+
+#: SMP sweep (E13): core counts for the per-CPU serving curves, the
+#: 10⁵-client peak that cpus=4 must sustain, and the CI-smoke shard size
+SMP_CPU_LEVELS = [1, 2, 4]
+SMP_PEAK_CLIENTS = 100_000
+SMP_SMOKE_CLIENTS = 400
 
 _OUT = Path(__file__).parent / "BENCH_NET.json"
 _NET: dict = {}
@@ -76,6 +89,46 @@ def _measure(kind: str, nclients: int, *, traced: bool = False,
             write_chrome_trace(kernel.trace,
                                trace_dir / f"net-{kind}-{nclients}.json")
     return out
+
+
+def _measure_smp(kind: str, nclients: int, cpus: int) -> dict:
+    """One (kind, nclients, cpus) cell of the SMP serving grid.
+
+    ``cpus == 1`` runs the classic single-kernel bench so the SMP curves
+    share an axis with the pre-SMP baseline; ``cpus > 1`` shards the
+    clients across every CPU via :func:`run_http_bench_smp` (one
+    listener + client driver per CPU, NIC RSS keeping each shard's flows
+    on its own RX queue).  ``wall_elapsed`` is the frontier-rule maximum
+    of the per-CPU serving times (docs/SMP.md); aggregate throughput is
+    requests over that wall time.
+    """
+    if cpus == 1:
+        kernel = fresh_kernel("ramfs")
+        SocketLayer(kernel)
+        r = run_http_bench(kernel, kind, HttpBenchConfig(nclients=nclients))
+        return {
+            "kind": kind, "nclients": nclients, "cpus": 1,
+            "requests": r.requests, "bytes_served": r.bytes_served,
+            "per_cpu_elapsed": [r.elapsed],
+            "wall_elapsed": r.elapsed, "total_elapsed": r.elapsed,
+            "throughput": r.requests / max(r.elapsed, 1), "speedup": 1.0,
+            "syscalls": r.syscalls, "digest": r.digest,
+            "ipis": kernel.sched.ipis, "steals": kernel.sched.steals,
+            "nic": r.nic,
+        }
+    kernel = fresh_kernel("ramfs", cpus=cpus)
+    SocketLayer(kernel, queues=cpus)
+    r = run_http_bench_smp(kernel, kind, HttpBenchConfig(nclients=nclients))
+    return {
+        "kind": kind, "nclients": nclients, "cpus": cpus,
+        "requests": r.requests, "bytes_served": r.bytes_served,
+        "per_cpu_elapsed": r.per_cpu_elapsed,
+        "wall_elapsed": r.wall_elapsed, "total_elapsed": r.total_elapsed,
+        "throughput": r.throughput, "speedup": r.speedup,
+        "syscalls": r.syscalls, "digest": r.digest,
+        "ipis": kernel.sched.ipis, "steals": kernel.sched.steals,
+        "nic": r.nic,
+    }
 
 
 def _flush() -> None:
@@ -185,5 +238,162 @@ def test_net_scaling(run_once, trace_out):
     _NET["select_epoll_crossover_clients"] = crossover
     _NET["select_cosy_ratio_by_level"] = {
         str(n): round(r, 3) for n, r in zip(LEVELS, ratios)}
+    _flush()
+    assert table.all_hold
+
+
+# ------------------------------------------------------------------- SMP
+
+
+def test_net_smp_smoke(run_once):
+    """4-CPU sharded serving, CI smoke (E13a): identity, speedup, and the
+    lockprof contended-vs-fast-path split on genuinely cross-CPU locks."""
+    results = run_once(
+        lambda: {kind: _measure_smp(kind, SMP_SMOKE_CLIENTS, 4)
+                 for kind in SERVER_KINDS})
+    table = ComparisonTable(
+        "E13a", f"SMP HTTP serving, {SMP_SMOKE_CLIENTS} clients x 4 CPUs")
+    digests = {r["digest"] for r in results.values()}
+    table.add("responses byte-identical", "one digest across servers",
+              f"{len(digests)} distinct digest(s)", holds=len(digests) == 1)
+    for kind, r in results.items():
+        table.add(f"{kind}: sharding beats one CPU",
+                  "wall elapsed < serialized total (speedup > 1)",
+                  f"speedup {r['speedup']:.2f}x, "
+                  f"wall {r['wall_elapsed']:,} cycles",
+                  holds=r["speedup"] > 1.0)
+    epoll = results["epoll"]
+    table.add("RSS spreads RX across queues", "4 queues, nothing dropped",
+              f"queues={epoll['nic']['rx_queues']} "
+              f"dropped={epoll['nic']['dropped']}",
+              holds=(epoll["nic"]["rx_queues"] == 4
+                     and all(r["nic"]["dropped"] == 0
+                             for r in results.values())))
+    table.add("cross-CPU machinery exercised",
+              "IPIs and nic_lock contention both nonzero",
+              f"ipis={epoll['ipis']} "
+              f"contended={epoll['nic']['lock_contentions']}x "
+              f"({epoll['nic']['lock_contention_cycles']:,} cycles)",
+              holds=(epoll["ipis"] > 0
+                     and epoll["nic"]["lock_contentions"] > 0
+                     and epoll["nic"]["lock_contention_cycles"] > 0))
+
+    # lockprof regression: the profiler must split the uncontended fast
+    # path from genuine cross-CPU contention.  A profiled 4-CPU run shows
+    # both (contended > 0, acquisitions > contended); the same profiled
+    # serving on one CPU shows acquisitions but zero contention.
+    from repro.safety.monitor import EventDispatcher, LockProfiler
+
+    kernel = fresh_kernel("ramfs", cpus=4)
+    stack = SocketLayer(kernel, queues=4)
+    prof = LockProfiler(kernel.metrics)
+    EventDispatcher(kernel).attach().register_callback(prof)
+    stack.nic.lock.instrumented = True
+    run_http_bench_smp(kernel, "epoll",
+                       HttpBenchConfig(nclients=SMP_SMOKE_CLIENTS))
+    smp_stats = prof.stats[id(stack.nic.lock)]
+
+    k1 = fresh_kernel("ramfs")
+    stack1 = SocketLayer(k1)
+    prof1 = LockProfiler(k1.metrics)
+    EventDispatcher(k1).attach().register_callback(prof1)
+    stack1.nic.lock.instrumented = True
+    run_http_bench(k1, "epoll", HttpBenchConfig(nclients=SMOKE_CLIENTS))
+    up_stats = prof1.stats[id(stack1.nic.lock)]
+
+    table.add("lockprof splits contention from fast path",
+              "SMP: 0 < contended < acquisitions; 1-CPU: contended == 0",
+              f"smp {smp_stats.contended}/{smp_stats.acquisitions} contended "
+              f"({smp_stats.contention_cycles:,} cyc), "
+              f"1-cpu {up_stats.contended}/{up_stats.acquisitions}",
+              holds=(0 < smp_stats.contended < smp_stats.acquisitions
+                     and smp_stats.contention_cycles > 0
+                     and up_stats.contended == 0
+                     and up_stats.acquisitions > 0))
+    assert kernel.metrics.counter("lock.contended").value \
+        == smp_stats.contended
+    assert kernel.metrics.counter("lock.contention_cycles").value \
+        == smp_stats.contention_cycles
+    table.print()
+    _NET["smp_smoke"] = results
+    _flush()
+    assert table.all_hold
+
+
+def test_net_smp_scaling(run_once):
+    """Per-core-count crossover curves and the 10⁵-client peak (E13b).
+
+    The acceptance gate for the SMP kernel: at cpus=4 the sharded stack
+    sustains 10⁵ concurrent clients (every request served, nothing
+    dropped) with ≥2× the aggregate simulated throughput of the cpus=1
+    kernel at 10⁴ clients; and the select/epoll crossover moves *right*
+    as cores shard the interest sets (each listener rescans N/cpus fds).
+    """
+    def measure_all():
+        grid = {str(c): {str(n): {kind: _measure_smp(kind, n, c)
+                                  for kind in SERVER_KINDS}
+                         for n in LEVELS}
+                for c in SMP_CPU_LEVELS}
+        peak = {kind: _measure_smp(kind, SMP_PEAK_CLIENTS, 4)
+                for kind in ("epoll", "cosy")}
+        return {"grid": grid, "peak": peak}
+
+    results = run_once(measure_all)
+    grid, peak = results["grid"], results["peak"]
+    table = ComparisonTable(
+        "E13b", "SMP HTTP serving vs core count (sharding the crossings)")
+
+    crossover_by_cpus: dict[str, int | None] = {}
+    for c in SMP_CPU_LEVELS:
+        level = grid[str(c)]
+        for n in LEVELS:
+            digests = {r["digest"] for r in level[str(n)].values()}
+            assert len(digests) == 1, \
+                f"servers diverged at {n} clients on {c} CPUs"
+        crossover = next((n for n in LEVELS
+                          if level[str(n)]["epoll"]["wall_elapsed"]
+                          < level[str(n)]["select"]["wall_elapsed"]), None)
+        crossover_by_cpus[str(c)] = crossover
+        cosy_fastest = all(
+            level[str(n)]["cosy"]["wall_elapsed"]
+            < min(level[str(n)]["select"]["wall_elapsed"],
+                  level[str(n)]["epoll"]["wall_elapsed"])
+            for n in LEVELS)
+        table.add(f"cpus={c}: compounds fastest at every N",
+                  "cosy wall < select/epoll wall for all levels",
+                  f"crossover at N={crossover}", holds=cosy_fastest)
+    base = crossover_by_cpus[str(SMP_CPU_LEVELS[0])]
+    table.add("crossover moves right with cores",
+              "sharded select rescans N/cpus fds",
+              " ".join(f"cpus={c}:N={crossover_by_cpus[str(c)]}"
+                       for c in SMP_CPU_LEVELS),
+              holds=(base is not None
+                     and all(x is None or x >= base
+                             for x in crossover_by_cpus.values())))
+
+    top = LEVELS[-1]
+    for kind in ("epoll", "cosy"):
+        thr = {c: grid[str(c)][str(top)][kind]["throughput"]
+               for c in SMP_CPU_LEVELS}
+        table.add(f"{kind}: throughput scales with cores at N={top}",
+                  "every added core raises aggregate req/cycle",
+                  " -> ".join(f"{thr[c]:.2e}" for c in SMP_CPU_LEVELS),
+                  holds=all(thr[b] > thr[a] for a, b in
+                            zip(SMP_CPU_LEVELS, SMP_CPU_LEVELS[1:])))
+
+    ref = grid["1"][str(top)]["epoll"]["throughput"]
+    for kind, r in peak.items():
+        gain = r["throughput"] / ref
+        table.add(f"{kind}: 4 CPUs sustain 10^5 clients",
+                  "all served, none dropped, >=2x cpus=1@10^4 throughput",
+                  f"{r['requests']:,} served, dropped="
+                  f"{r['nic']['dropped']}, {gain:.2f}x",
+                  holds=(r["requests"] == SMP_PEAK_CLIENTS
+                         and r["nic"]["dropped"] == 0
+                         and gain >= 2.0))
+
+    table.print()
+    _NET["smp"] = {"grid": grid, "peak": peak,
+                   "select_epoll_crossover_by_cpus": crossover_by_cpus}
     _flush()
     assert table.all_hold

@@ -7,7 +7,10 @@ Three scenario mixes run the mixed-trust tenant population from
 * ``churn`` — aggressive connect/close/abort churn against a tiny
   listen backlog (overflow → RST → ECONNREFUSED accounting);
 * ``storm`` — fault-injection storms (``net.tx`` and ``kmalloc``
-  failpoints firing probabilistically) in the middle of the run.
+  failpoints firing probabilistically) in the middle of the run;
+* ``smp`` — the baseline-like mix on a 4-CPU kernel (docs/SMP.md):
+  tenants spread round-robin, the NIC steers RX across 4 queues, and
+  cross-CPU IPIs/steals must actually fire.
 
 Every mix must *survive* — the kernel serves whatever it can, accounts
 every refusal/reset, and leaks nothing — and emits per-tenant SLOs
@@ -44,6 +47,9 @@ MIXES: dict[str, ScenarioConfig] = {
                            stop_frac=0.6),
                 FaultStorm("kmalloc", rate=0.03, start_frac=0.45,
                            stop_frac=0.75))),
+    "smp": ScenarioConfig(seed=2029, events=150, churn=0.2,
+                          abort_prob=0.25, backlog=16, max_conns=12,
+                          cpus=4),
 }
 
 #: keys every per-tenant SLO entry must carry (CI asserts these exist)
@@ -54,10 +60,11 @@ LATENCY_KEYS = ("count", "mean", "min", "max", "p50", "p90", "p99")
 
 def _run_mix(name: str, *, traced: bool = False,
              trace_dir: Path | None = None) -> dict:
-    kernel = fresh_kernel("ramfs")
+    cfg = MIXES[name]
+    kernel = fresh_kernel("ramfs", cpus=cfg.cpus)
     if traced or trace_dir is not None:
         kernel.trace.enable()
-    runner = ScenarioRunner(MIXES[name], kernel=kernel)
+    runner = ScenarioRunner(cfg, kernel=kernel)
     result = runner.run()
     if trace_dir is not None:
         write_chrome_trace(kernel.trace, trace_dir / f"scale-{name}.json")
@@ -66,6 +73,10 @@ def _run_mix(name: str, *, traced: bool = False,
     out["sockfs_inodes"] = result.sockfs_inodes
     out["trust"] = result.trust
     out["fault_signature_len"] = len(result.fault_signature)
+    out["cpus"] = cfg.cpus
+    out["sched"] = {"context_switches": kernel.sched.context_switches,
+                    "ipis": kernel.sched.ipis,
+                    "steals": kernel.sched.steals}
     return out
 
 
@@ -136,6 +147,12 @@ def test_scale_trajectory(run_once, trace_out):
               f"{storm['fault_signature_len']} injections, "
               f"{storm_failures} resets",
               holds=storm["fault_signature_len"] > 0)
+    smp = results["smp"]
+    table.add("smp: 4-CPU mix drives cross-CPU machinery",
+              "IPIs fire between CPUs while the mix survives",
+              f"cpus={smp['cpus']} ipis={smp['sched']['ipis']} "
+              f"steals={smp['sched']['steals']}",
+              holds=smp["cpus"] == 4 and smp["sched"]["ipis"] > 0)
     proven = storm["trust"].get("db-proven", {})
     table.add("trust tiers mix on one kernel",
               "PROVEN tenant statically verified, WARMUP promotes",

@@ -3,11 +3,32 @@
 Every performance number in the paper is a wall-clock ("elapsed"), "system",
 or "user" time.  The simulator reproduces that three-way split: all work is
 charged to the :class:`Clock` in CPU cycles tagged with an execution
-:class:`Mode`, and elapsed time is the sum of all three buckets (the
-simulated machine is single-CPU, like the paper's P4 testbed).
+:class:`Mode`, and elapsed time is the sum of all three buckets (at
+``cpus=1``, the paper's single-CPU P4 testbed).
 
 The clock also drives the scheduler's preemption checks and the Cosy
 kernel-time watchdog: both register *deadlines* and poll :meth:`Clock.now`.
+
+SMP time model (docs/SMP.md)
+----------------------------
+With ``cpus > 1`` the clock keeps one *local* counter triple per CPU next
+to the global totals, and :attr:`cpu` names the CPU currently executing
+(the simulation is cooperative, so exactly one CPU runs Python code at a
+time; the others are "running" work whose cycles were already charged to
+their local counters).  The merge rule:
+
+* every charge lands in the global bucket **and** the executing CPU's
+  local bucket, so ``now`` (the global sum) equals the sum of all local
+  times — the total work done, as if serialized;
+* :meth:`local_now` is one CPU's position on the wall — all CPUs start
+  at 0 and advance independently;
+* :attr:`wall_now` is the *frontier*: ``max(local_now(c))``, the
+  simulated wall-clock time of the whole machine.  Aggregate speedup of
+  a sharded workload is ``now / wall_now``.
+
+At ``cpus=1`` the per-CPU counters are not allocated, ``local_now() ==
+wall_now == now``, and every code path is bit-identical to the pre-SMP
+clock.
 """
 
 from __future__ import annotations
@@ -45,14 +66,32 @@ class Clock:
     hz:
         Simulated CPU frequency, used only to convert cycles to seconds for
         reporting.  Defaults to the paper's 1.7 GHz Pentium 4.
+    cpus:
+        Number of simulated CPUs.  ``1`` (the default) keeps the original
+        single-CPU accounting untouched; ``>1`` additionally shards every
+        charge into the executing CPU's local counters.
     """
 
-    def __init__(self, hz: float = 1.7e9):
+    def __init__(self, hz: float = 1.7e9, cpus: int = 1):
+        if cpus < 1:
+            raise ValueError(f"need at least one CPU, got {cpus}")
         self.hz = float(hz)
+        self.cpus = int(cpus)
+        #: index of the CPU currently executing (the "camera"); charges land
+        #: in this CPU's local counters.  Moved by the scheduler and by
+        #: per-CPU softirq processing.
+        self.cpu = 0
         self.user = 0
         self.system = 0
         self.iowait = 0
         self._mode_stack: list[Mode] = [Mode.USER]
+        if self.cpus > 1:
+            self._pc_user: list[int] | None = [0] * self.cpus
+            self._pc_system: list[int] | None = [0] * self.cpus
+            self._pc_iowait: list[int] | None = [0] * self.cpus
+        else:
+            # Single CPU: no shards, local time degenerates to global time.
+            self._pc_user = self._pc_system = self._pc_iowait = None
 
     # ------------------------------------------------------------- charging
 
@@ -72,10 +111,16 @@ class Clock:
         m = mode or self._mode_stack[-1]
         if m is Mode.USER:
             self.user += cycles
+            if self._pc_user is not None:
+                self._pc_user[self.cpu] += cycles
         elif m is Mode.SYSTEM:
             self.system += cycles
+            if self._pc_system is not None:
+                self._pc_system[self.cpu] += cycles
         else:
             self.iowait += cycles
+            if self._pc_iowait is not None:
+                self._pc_iowait[self.cpu] += cycles
 
     def charge_system(self, cycles: int) -> None:
         """:meth:`charge` with ``Mode.SYSTEM`` pre-resolved — the
@@ -83,6 +128,8 @@ class Clock:
         if cycles < 0:
             raise ValueError(f"negative charge: {cycles}")
         self.system += cycles
+        if self._pc_system is not None:
+            self._pc_system[self.cpu] += cycles
 
     def push_mode(self, mode: Mode) -> None:
         """Enter an execution mode (e.g. USER→SYSTEM on a trap)."""
@@ -110,12 +157,70 @@ class Clock:
         """Context manager form of push/pop for exception safety."""
         return Clock._ModeCtx(self, mode)
 
+    # --------------------------------------------------------- CPU identity
+
+    def set_cpu(self, cpu: int) -> None:
+        """Move execution (the charge destination) to ``cpu``."""
+        if not 0 <= cpu < self.cpus:
+            raise ValueError(f"cpu {cpu} out of range [0, {self.cpus})")
+        self.cpu = cpu
+
+    class _CpuCtx:
+        def __init__(self, clock: "Clock", cpu: int):
+            self._clock, self._cpu = clock, cpu
+            self._prev = clock.cpu
+
+        def __enter__(self):
+            self._prev = self._clock.cpu
+            self._clock.set_cpu(self._cpu)
+            return self._clock
+
+        def __exit__(self, *exc):
+            self._clock.cpu = self._prev
+            return False
+
+    def on_cpu(self, cpu: int) -> "_CpuCtx":
+        """Temporarily execute on ``cpu`` (per-CPU softirq processing)."""
+        return Clock._CpuCtx(self, cpu)
+
     # ------------------------------------------------------------ reporting
 
     @property
     def now(self) -> int:
-        """Total elapsed cycles."""
+        """Total elapsed cycles (sum over all CPUs: the serialized total)."""
         return self.user + self.system + self.iowait
+
+    def local_now(self, cpu: int | None = None) -> int:
+        """One CPU's local time (default: the executing CPU).
+
+        At ``cpus=1`` this is :attr:`now`; at ``cpus>1`` it is that CPU's
+        position on the simulated wall clock.
+        """
+        if self._pc_user is None:
+            return self.user + self.system + self.iowait
+        c = self.cpu if cpu is None else cpu
+        assert self._pc_system is not None and self._pc_iowait is not None
+        return self._pc_user[c] + self._pc_system[c] + self._pc_iowait[c]
+
+    @property
+    def wall_now(self) -> int:
+        """Simulated wall-clock time: the frontier ``max(local_now(c))``."""
+        if self._pc_user is None:
+            return self.user + self.system + self.iowait
+        return max(self.local_now(c) for c in range(self.cpus))
+
+    def local_snapshot(self, cpu: int | None = None) -> ClockSnapshot:
+        """Immutable copy of one CPU's local counters."""
+        if self._pc_user is None:
+            return ClockSnapshot(self.user, self.system, self.iowait)
+        c = self.cpu if cpu is None else cpu
+        assert self._pc_system is not None and self._pc_iowait is not None
+        return ClockSnapshot(self._pc_user[c], self._pc_system[c],
+                             self._pc_iowait[c])
+
+    def percpu(self) -> list[ClockSnapshot]:
+        """Per-CPU local counter snapshots (length :attr:`cpus`)."""
+        return [self.local_snapshot(c) for c in range(self.cpus)]
 
     def snapshot(self) -> ClockSnapshot:
         return ClockSnapshot(self.user, self.system, self.iowait)

@@ -23,6 +23,7 @@ from typing import Any, Callable
 from repro.cminus.compile import CodeCache
 from repro.kernel.clock import Clock
 from repro.kernel.costs import DEFAULT_COSTS, CostModel
+from repro.kernel.cpu import resolve_cpus
 from repro.kernel.faultinject import FaultRegistry, arm_from_env
 from repro.kernel.interrupts import IrqController
 from repro.kernel.locks import SpinLock
@@ -63,12 +64,19 @@ class Kernel:
 
     def __init__(self, costs: CostModel | None = None,
                  ram_bytes: int = 884 * 1024 * 1024,
-                 lockdep: bool | None = None):
+                 lockdep: bool | None = None,
+                 cpus: int | None = None):
         self.costs = costs if costs is not None else DEFAULT_COSTS
-        self.clock = Clock(hz=self.costs.hz)
+        #: simulated CPU count (docs/SMP.md): explicit argument wins, then
+        #: REPRO_CPUS, then 1.  cpus=1 is bit-identical to the pre-SMP
+        #: machine; cpus>1 adds per-CPU runqueues, local clocks, softirq
+        #: contexts, allocator magazines, and metrics shards.
+        self.ncpus = resolve_cpus(cpus)
+        self.clock = Clock(hz=self.costs.hz, cpus=self.ncpus)
         #: kernel-wide metrics registry (repro.trace): the one namespace the
         #: subsystem counters (TLB, code cache, epoll, failpoints) live in.
-        self.metrics = MetricsRegistry()
+        #: Clock-aware so per-CPU counter shards follow the executing CPU.
+        self.metrics = MetricsRegistry(clock=self.clock)
         #: kernel-wide tracepoint engine (repro.trace); disabled by default,
         #: and free (one attribute check per tracepoint) while disabled.
         self.trace = Tracer(self.clock)
@@ -103,6 +111,9 @@ class Kernel:
         # their freelist locks are attached here, post-construction.
         self.kmalloc.lock = SpinLock(self, "kmalloc_lock")
         self.vmalloc.lock = SpinLock(self, "vmalloc_lock")
+        if self.ncpus > 1:
+            # SMP: per-CPU kmalloc magazines front the shared freelists.
+            self.kmalloc.enable_magazines(self.ncpus)
         self.gdt = SegmentTable()
         #: kernel-wide cache of closure-compiled C-minus programs, keyed by
         #: (program, instrumentation generation) — see repro.cminus.compile.
@@ -132,12 +143,17 @@ class Kernel:
     def current(self) -> Task | None:
         return self.sched.current
 
-    def spawn(self, name: str) -> Task:
-        """Create a task and put it on the runqueue."""
+    def spawn(self, name: str, cpu: int | None = None) -> Task:
+        """Create a task and put it on a runqueue.
+
+        Default placement is the CPU of the spawning context, so a
+        single-flow workload stays on cpu0 exactly as before SMP; pass
+        ``cpu=`` to pin (sharded benchmarks spread their workers).
+        """
         task = Task(self, name)
         task.cwd = self.vfs.root
         self.tasks.append(task)
-        self.sched.add_task(task)
+        self.sched.add_task(task, cpu=cpu)
         return task
 
     def exit_task(self, task: Task) -> None:

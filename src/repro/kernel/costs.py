@@ -102,6 +102,24 @@ class CostModel:
     #: cost of one timer-tick/preemption check.
     sched_tick: int = 300
 
+    # -- SMP (docs/SMP.md; all are dead weight at cpus=1) ---------------------
+    #: one inter-processor interrupt: APIC write on the sender plus the
+    #: dispatch on the target (the target side is charged IRQ_DISPATCH_COST
+    #: to its own local clock).
+    ipi: int = 1500
+    #: migrating a stolen task to another CPU's runqueue (cache-line and
+    #: working-set migration, charged to the thief).
+    task_migration: int = 1800
+    #: upper bound on the cycles one contended spinlock acquisition spins
+    #: before the backoff/fairness model hands the lock over; the actual
+    #: charge is min(remaining hold time, this cap).
+    spinlock_contend_cap: int = 8000
+    #: per-CPU kmalloc magazine hit (lock-free fast path).  Calibrated to
+    #: the uncontended spinlock pair so magazine and shared-freelist paths
+    #: cost the same when nothing contends — the win at cpus>1 is avoided
+    #: *contention*, not a cheaper uncontended path.
+    kmalloc_magazine: int = 48
+
     # -- VFS / FS ------------------------------------------------------------
     #: path-component lookup in the dcache (hash + compare), per component.
     dcache_lookup: int = 220

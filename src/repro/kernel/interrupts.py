@@ -33,13 +33,27 @@ class IrqController:
 
     Mirrors ``local_irq_save``/``local_irq_restore``: disables nest, and
     the §3.3 invariant is that every disable is eventually matched.
+
+    Interrupt state is architecturally *per-CPU* (the eflags IF bit): on
+    an SMP kernel the nesting depth is a per-CPU array indexed by the
+    executing CPU, so cpu1 disabling interrupts leaves cpu0's enabled.
+    Single-CPU kernels keep the original scalar depth.
     """
 
     def __init__(self, kernel: "Kernel", *, instrumented: bool = False):
         self.kernel = kernel
         self.instrumented = instrumented
-        self.disable_depth = 0
         self.toggles = 0
+        ncpus = getattr(kernel, "ncpus", 1)
+        self._depths: list[int] | None = [0] * ncpus if ncpus > 1 else None
+        self._depth = 0
+
+    @property
+    def disable_depth(self) -> int:
+        """Nesting depth on the executing CPU."""
+        if self._depths is None:
+            return self._depth
+        return self._depths[self.kernel.clock.cpu]
 
     @property
     def enabled(self) -> bool:
@@ -47,7 +61,10 @@ class IrqController:
 
     def local_irq_disable(self, site: str = "?") -> None:
         self.kernel.clock.charge(IRQ_TOGGLE_COST, Mode.SYSTEM)
-        self.disable_depth += 1
+        if self._depths is None:
+            self._depth += 1
+        else:
+            self._depths[self.kernel.clock.cpu] += 1
         self.toggles += 1
         ld = getattr(self.kernel, "lockdep", None)
         if ld is not None:
@@ -60,7 +77,10 @@ class IrqController:
             raise InvariantViolation(
                 "irq-balanced", f"enable with interrupts already on (at {site})")
         self.kernel.clock.charge(IRQ_TOGGLE_COST, Mode.SYSTEM)
-        self.disable_depth -= 1
+        if self._depths is None:
+            self._depth -= 1
+        else:
+            self._depths[self.kernel.clock.cpu] -= 1
         self.toggles += 1
         ld = getattr(self.kernel, "lockdep", None)
         if ld is not None:

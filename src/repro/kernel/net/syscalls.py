@@ -47,11 +47,11 @@ class SocketLayer:
     """
 
     def __init__(self, kernel: "Kernel", *, deliver: str = "irq",
-                 default_rcvbuf: int | None = None):
+                 default_rcvbuf: int | None = None, queues: int = 1):
         self.kernel = kernel
         self.sockfs = SockFS(kernel)
         self.sockfs.stack = self
-        self.nic = Nic(kernel, self, deliver=deliver)
+        self.nic = Nic(kernel, self, deliver=deliver, queues=queues)
         #: bound ports: port -> owning socket
         self.ports: dict[int, SocketInode] = {}
         #: rcvbuf cap for stack-created sockets (None = unlimited)
@@ -554,7 +554,7 @@ class SocketLayer:
         """Account a dropped packet and reset the affected connection."""
         from repro.kernel.net.socket import EV_SOCK_DROP
         self.drops += 1
-        self.nic.dropped += 1
+        self.nic.count_drop()
         obj = pkt.dst if pkt.dst is not None else pkt.src
         if obj is not None:
             self.kernel.log_event(obj, EV_SOCK_DROP, f"net:{why}")

@@ -132,6 +132,9 @@ class Task:
         Task._next_pid += 1
         self.name = name
         self.state = TaskState.READY
+        #: CPU whose runqueue holds this task (docs/SMP.md); assigned by
+        #: Scheduler.add_task, updated when work stealing migrates it.
+        self.cpu = 0
         self.aspace = AddressSpace(kernel.kernel_pt)
         self.mem = UserMemory(kernel, self.aspace)
         self.fds: dict[int, "File"] = {}

@@ -31,6 +31,10 @@ class LockStats:
     total_hold_cycles: int = 0
     max_hold_cycles: int = 0
     min_hold_cycles: int | None = None
+    #: acquisitions that spun (injected or genuine cross-CPU contention),
+    #: vs. the uncontended fast path counted only in ``acquisitions``.
+    contended: int = 0
+    contention_cycles: int = 0
     sites: Counter = field(default_factory=Counter)
     first_cycles: int | None = None
     last_cycles: int = 0
@@ -69,10 +73,18 @@ class LockProfiler:
             metrics = MetricsRegistry()
         self.stats: dict[int, LockStats] = defaultdict(LockStats)
         self._held_since: dict[int, tuple[int, str]] = {}
+        #: last seen cumulative contention_cycles per lock (the EV_LOCK
+        #: event's ``value`` payload); a positive delta between two
+        #: acquisitions means this acquisition spun.
+        self._last_value: dict[int, int] = {}
         self._events_seen = metrics.counter(
             "lock.events", help="lock/unlock monitor events profiled")
         self._acquisitions = metrics.counter(
             "lock.acquisitions", help="lock acquisitions profiled")
+        self._contended = metrics.counter(
+            "lock.contended", help="acquisitions that spun (slow path)")
+        self._contention_cycles = metrics.counter(
+            "lock.contention_cycles", help="cycles burned spinning on locks")
         self._hold_hist = metrics.histogram(
             "lock.hold_cycles", help="hold-time distribution, all locks")
 
@@ -93,6 +105,16 @@ class LockProfiler:
             stats.acquisitions += 1
             self._acquisitions.inc()
             stats.sites[event.site] += 1
+            # The lock's event payload is its cumulative contended cycles:
+            # a positive delta since the last acquisition means this one
+            # took the spinning slow path rather than the fast path.
+            spun = event.value - self._last_value.get(event.obj_id, 0)
+            if spun > 0:
+                self._last_value[event.obj_id] = event.value
+                stats.contended += 1
+                stats.contention_cycles += spun
+                self._contended.inc()
+                self._contention_cycles.inc(spun)
         else:
             entry = self._held_since.pop(event.obj_id, None)
             if entry is None:
@@ -120,6 +142,10 @@ class LockProfiler:
                 f"  lock {obj_id:#x}: {s.acquisitions} acquisitions "
                 f"({s.hit_rate(hz):,.0f}/s), hold mean "
                 f"{s.mean_hold_cycles:.0f} / max {s.max_hold_cycles} cycles")
+            if s.contended:
+                lines.append(
+                    f"    contended: {s.contended}x, "
+                    f"{s.contention_cycles} cycles spun")
             for site, count in s.top_sites(3):
                 lines.append(f"    {count:6d}x  {site}")
         return "\n".join(lines)

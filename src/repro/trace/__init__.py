@@ -21,7 +21,7 @@ kernel with tracing enabled.
 
 from repro.trace.attribution import Attribution, SpanStat, render_diff
 from repro.trace.metrics import (Counter, Gauge, Histogram, Metric,
-                                 MetricsRegistry)
+                                 MetricsRegistry, PercpuCounter)
 from repro.trace.perfetto import chrome_trace, write_chrome_trace
 from repro.trace.tracepoints import (DEFAULT_CAPACITY, PH_BEGIN, PH_COMPLETE,
                                      PH_END, PH_INSTANT, TraceEvent, Tracer)
@@ -34,6 +34,7 @@ ENV_TRACE_OUT = "REPRO_TRACE_OUT"
 __all__ = [
     "Attribution", "SpanStat", "render_diff",
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
+    "PercpuCounter",
     "chrome_trace", "write_chrome_trace",
     "Tracer", "TraceEvent", "DEFAULT_CAPACITY",
     "PH_BEGIN", "PH_END", "PH_COMPLETE", "PH_INSTANT",

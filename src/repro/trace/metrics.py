@@ -45,6 +45,48 @@ class Counter:
         return f"Counter({self.name!r}, {self.value})"
 
 
+class PercpuCounter:
+    """A counter sharded per CPU with a summed classic view.
+
+    Hot-path subsystems (scheduler switch counts, NIC per-packet counts)
+    increment the *executing CPU's* shard — no shared object is written
+    from two CPUs — and readers see the summed total through ``value``,
+    indistinguishable from a plain :class:`Counter`.  On a single-CPU
+    kernel there is exactly one shard.
+
+    The shard index comes from the clock's :attr:`~repro.kernel.clock.
+    Clock.cpu`; a registry built without a clock pins everything to
+    shard 0.
+    """
+
+    __slots__ = ("name", "help", "shards", "_clock")
+
+    def __init__(self, name: str, help: str = "", clock=None, cpus: int = 1):
+        self.name = name
+        self.help = help
+        self.shards = [0] * max(int(cpus), 1)
+        self._clock = clock
+
+    def inc(self, n: int = 1) -> None:
+        clock = self._clock
+        self.shards[clock.cpu if clock is not None else 0] += n
+
+    @property
+    def value(self) -> int:
+        return sum(self.shards)
+
+    def per_cpu(self) -> list[int]:
+        """Copy of the per-CPU shard values."""
+        return list(self.shards)
+
+    def reset(self) -> None:
+        self.shards = [0] * len(self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PercpuCounter({self.name!r}, {self.value}, " \
+               f"shards={len(self.shards)})"
+
+
 class Gauge:
     """A point-in-time value: either stored (``set``) or computed by a
     callback over state the owning subsystem already maintains."""
@@ -119,14 +161,20 @@ class Histogram:
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.1f})"
 
 
-Metric = Counter | Gauge | Histogram
+Metric = Counter | PercpuCounter | Gauge | Histogram
 
 
 class MetricsRegistry:
-    """Get-or-create registry of named metrics (one per kernel)."""
+    """Get-or-create registry of named metrics (one per kernel).
 
-    def __init__(self) -> None:
+    Pass the kernel's clock to size :class:`PercpuCounter` shards to the
+    machine's CPU count and route increments to the executing CPU; with
+    no clock every per-CPU counter has a single shard.
+    """
+
+    def __init__(self, clock=None) -> None:
         self._metrics: dict[str, Metric] = {}
+        self._clock = clock
 
     def _get(self, name: str, cls, **kwargs):
         m = self._metrics.get(name)
@@ -139,6 +187,11 @@ class MetricsRegistry:
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get(name, Counter, help=help)
+
+    def percpu_counter(self, name: str, help: str = "") -> PercpuCounter:
+        clock = self._clock
+        return self._get(name, PercpuCounter, help=help, clock=clock,
+                         cpus=getattr(clock, "cpus", 1))
 
     def gauge(self, name: str, fn: Callable[[], float] | None = None,
               help: str = "") -> Gauge:

@@ -3,9 +3,12 @@
 The output follows the Trace Event Format (the JSON flavour Perfetto and
 ``chrome://tracing`` both load): one ``B``/``E``/``X``/``i`` record per
 ring event, timestamps converted from simulated cycles to microseconds at
-the clock's configured frequency.  The simulated machine is single-CPU,
-so all spans live on one track (pid 0 / tid 0, named "cpu0") where their
-strict nesting is guaranteed; task identity travels in ``args``.
+the clock's configured frequency.  Each simulated CPU renders as one
+track (pid 0 / tid *c*, named "cpu*c*"): events carry the CPU index the
+tracer stamped them with, and span nesting is strict per track because
+each CPU keeps its own span stack.  Task identity travels in ``args``.
+Single-CPU kernels produce exactly the pre-SMP document — one "cpu0"
+track, byte for byte.
 
 If the drop-oldest ring overflowed, the oldest events are gone: the
 export notes how many in ``otherData.dropped_oldest_events`` and the
@@ -36,12 +39,13 @@ def chrome_trace(tracer: Tracer, *, process_name: str = "repro-kernel") -> dict:
     events: list[dict] = [
         {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
          "args": {"name": process_name}},
-        {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
-         "args": {"name": "cpu0"}},
     ]
-    for ph, name, cat, ts, dur, args in tracer.events():
+    for c in range(getattr(tracer, "ncpus", 1)):
+        events.append({"ph": "M", "name": "thread_name", "pid": 0, "tid": c,
+                       "args": {"name": f"cpu{c}"}})
+    for ph, name, cat, ts, dur, args, cpu in tracer.events():
         ev: dict = {"ph": ph, "name": name, "cat": cat, "ts": us(ts),
-                    "pid": 0, "tid": 0}
+                    "pid": 0, "tid": cpu}
         if ph == PH_COMPLETE:
             ev["dur"] = us(dur or 0)
         elif ph == PH_INSTANT:

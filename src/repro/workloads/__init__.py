@@ -27,7 +27,8 @@ from repro.workloads.webserver import (ReadWriteServer, SendfileServer,
 from repro.workloads.httpserver import (CosyHttpServer, EpollHttpServer,
                                         HttpBenchConfig, HttpBenchResult,
                                         SelectHttpServer, SERVER_KINDS,
-                                        run_http_bench)
+                                        SmpHttpBenchResult, run_http_bench,
+                                        run_http_bench_smp)
 from repro.workloads.scenario import (FaultStorm, ScenarioConfig,
                                       ScenarioResult, ScenarioRunner,
                                       ScheduleEvent, TenantSpec, TrustTier,
@@ -41,7 +42,8 @@ __all__ = [
     "ReadWriteServer", "SendfileServer", "WebServerConfig",
     "build_docroot", "drain_client",
     "CosyHttpServer", "EpollHttpServer", "SelectHttpServer",
-    "HttpBenchConfig", "HttpBenchResult", "SERVER_KINDS", "run_http_bench",
+    "HttpBenchConfig", "HttpBenchResult", "SERVER_KINDS",
+    "SmpHttpBenchResult", "run_http_bench", "run_http_bench_smp",
     "PostMark", "PostMarkConfig", "PostMarkResult",
     "CompileBench", "CompileBenchConfig",
     "ls_legacy", "ls_readdirplus",

@@ -32,7 +32,7 @@ is what makes select's interest set grow.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from repro.core.cosy.compound import CompoundBuilder
@@ -354,5 +354,137 @@ def run_http_bench(kernel: "Kernel", kind: str,
         "tx_bytes": stack.nic.tx_bytes,
         "interrupts": stack.nic.interrupts,
         "dropped": stack.nic.dropped,
+    }
+    return result
+
+
+@dataclass
+class SmpHttpBenchResult:
+    """Aggregate metrics for one sharded multi-core serving run."""
+
+    kind: str
+    nclients: int
+    cpus: int
+    requests: int = 0
+    bytes_served: int = 0
+    #: serving-phase cycles per CPU; the *wall* elapsed is their max
+    #: (frontier rule, docs/SMP.md) and the serialized equivalent their sum.
+    per_cpu_elapsed: list = field(default_factory=list)
+    wall_elapsed: int = 0
+    total_elapsed: int = 0
+    syscalls: int = 0
+    digest: str = ""          # sha256 over every shard's drained bytes
+    shard_requests: list = field(default_factory=list)
+    nic: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate simulated throughput: requests per wall cycle."""
+        return self.requests / max(self.wall_elapsed, 1)
+
+    @property
+    def speedup(self) -> float:
+        """Parallel speedup over running the same work on one CPU."""
+        return self.total_elapsed / max(self.wall_elapsed, 1)
+
+
+def run_http_bench_smp(kernel: "Kernel", kind: str,
+                       cfg: HttpBenchConfig) -> SmpHttpBenchResult:
+    """Shard ``cfg.nclients`` across every CPU of an SMP kernel.
+
+    CPU *c* gets its own server task and client task (both pinned to
+    *c*) on port ``cfg.port + c``; the NIC's RSS steering keeps each
+    listener's SYNs on its own RX queue.  Shards execute one after
+    another in the cooperative simulation, but their costs land on their
+    own CPUs' local clocks — so the *wall* elapsed of the whole run is
+    the maximum per-CPU serving time (the frontier rule), and aggregate
+    throughput is total requests over that wall time.  The kernel's
+    ``SocketLayer`` should be built with ``queues=kernel.ncpus``.
+    """
+    if kind not in _SERVERS:
+        raise ValueError(f"unknown server kind {kind!r}")
+    ncpus = kernel.ncpus
+    if ncpus < 2:
+        raise ValueError("run_http_bench_smp needs an SMP kernel (cpus>1)")
+    if kernel.current is None:
+        raise RuntimeError("run_http_bench_smp needs a running task")
+    sys = kernel.sys
+    clock = kernel.clock
+    web_cfg = WebServerConfig(nfiles=cfg.nfiles,
+                              avg_file_bytes=cfg.avg_file_bytes,
+                              docroot=cfg.docroot, seed=cfg.seed)
+    paths = build_docroot(kernel, web_cfg)
+    base, rem = divmod(cfg.nclients, ncpus)
+    sizes = [base + (1 if c < rem else 0) for c in range(ncpus)]
+
+    result = SmpHttpBenchResult(kind=kind, nclients=cfg.nclients, cpus=ncpus)
+    serving = [0] * ncpus
+    digest = hashlib.sha256()
+    total_bytes = 0
+    for c in range(ncpus):
+        size = sizes[c]
+        if size == 0:
+            result.shard_requests.append(0)
+            continue
+        shard_cfg = replace(cfg, nclients=size, port=cfg.port + c)
+        httpd = kernel.spawn(f"httpd/{c}", cpu=c)
+        clients = kernel.spawn(f"clients/{c}", cpu=c)
+        httpd.rlimit_nofile = max(httpd.rlimit_nofile, size + 64)
+        clients.rlimit_nofile = max(clients.rlimit_nofile, size + 64)
+        kernel.sched.switch_to(httpd)
+        server = _SERVERS[kind](kernel, shard_cfg)
+        server.setup()
+
+        client_fds: list[int] = []
+        launched = 0
+        while launched < size:
+            wave = min(cfg.wave, size - launched)
+            kernel.sched.switch_to(clients)
+            for i in range(launched, launched + wave):
+                fd = sys.socket(blocking=False)
+                sys.connect(fd, shard_cfg.port)
+                sys.write(fd, _request_for(paths[(i * ncpus + c) % len(paths)]))
+                client_fds.append(fd)
+            launched += wave
+            kernel.sched.switch_to(httpd)
+            # The serving phase may spill onto other CPUs (RSS steers
+            # established flows by socket ino), so measure every CPU's
+            # local delta, not just shard c's.
+            before = [clock.local_now(x) for x in range(ncpus)]
+            sys0 = sys.total_syscalls
+            server.serve_wave(wave)
+            for x in range(ncpus):
+                serving[x] += clock.local_now(x) - before[x]
+            result.syscalls += sys.total_syscalls - sys0
+
+        kernel.sched.switch_to(clients)
+        for fd in client_fds:
+            body = bytearray()
+            while True:
+                chunk = sys.read(fd, 65536)
+                if not chunk:
+                    break
+                body += chunk
+            digest.update(len(body).to_bytes(8, "little"))
+            digest.update(bytes(body))
+            total_bytes += len(body)
+        result.requests += server.requests
+        result.shard_requests.append(server.requests)
+
+    result.bytes_served = total_bytes
+    result.digest = digest.hexdigest()
+    result.per_cpu_elapsed = serving
+    result.wall_elapsed = max(serving)
+    result.total_elapsed = sum(serving)
+    stack = kernel.sys.do_accept.__self__  # the installed SocketLayer
+    result.nic = {
+        "tx_packets": stack.nic.tx_packets,
+        "rx_packets": stack.nic.rx_packets,
+        "tx_bytes": stack.nic.tx_bytes,
+        "interrupts": stack.nic.interrupts,
+        "dropped": stack.nic.dropped,
+        "rx_queues": stack.nic.nqueues,
+        "lock_contentions": stack.nic.lock.contentions,
+        "lock_contention_cycles": stack.nic.lock.contention_cycles,
     }
     return result

@@ -139,6 +139,9 @@ class ScenarioConfig:
     storms: tuple[FaultStorm, ...] = ()
     #: attach the §3.3 event monitors (dispatch cost is deterministic)
     monitor: bool = True
+    #: simulated CPUs to boot (docs/SMP.md): tenants spread round-robin
+    #: and the NIC runs one RX queue per CPU; 1 = the pre-SMP kernel
+    cpus: int = 1
 
     def resolved_tenants(self) -> tuple[TenantSpec, ...]:
         return self.tenants if self.tenants else default_tenants()
@@ -528,12 +531,12 @@ class ScenarioRunner:
     def __init__(self, cfg: ScenarioConfig, kernel: Kernel | None = None):
         self.cfg = cfg
         if kernel is None:
-            kernel = Kernel()
+            kernel = Kernel(cpus=cfg.cpus)
             kernel.mount_root(RamfsSuperBlock(kernel))
             kernel.spawn("driver")
         self.kernel = kernel
         self.driver = kernel.current
-        self.stack = SocketLayer(kernel)
+        self.stack = SocketLayer(kernel, queues=kernel.ncpus)
         self.dispatcher = None
         self.sock_monitor = None
         if cfg.monitor:
@@ -558,7 +561,9 @@ class ScenarioRunner:
         for i, spec in enumerate(specs):
             slo = TenantSlo(spec.name, spec.kind, spec.tier.value)
             slo.latency = metrics.histogram(f"slo.{spec.name}.latency_cycles")
-            task = kernel.spawn(spec.name)
+            # SMP kernels spread tenants round-robin across CPUs; at
+            # cpus=1 the explicit pin is cpu0, same as the default.
+            task = kernel.spawn(spec.name, cpu=i % kernel.ncpus)
             tenant = _Tenant(spec, slo, task)
             self.tenants[spec.name] = tenant
             kernel.sched.switch_to(task)

@@ -6,13 +6,16 @@ from repro.core.cosy import (CosyGCC, CosyKernelExtension, CosyLib,
                              CosyProtection, UnsupportedConstruct)
 from repro.errors import CosyError, Errno, WatchdogExpired
 from repro.kernel import Kernel
+from repro.kernel.costs import CostModel
 from repro.kernel.fs import RamfsSuperBlock
 from repro.kernel.vfs import O_CREAT, O_WRONLY
 
 
 @pytest.fixture
 def setup():
-    k = Kernel()
+    # private cost model: test_watchdog_kills_infinite_loop tweaks
+    # sched_quantum, which must not leak into the shared DEFAULT_COSTS
+    k = Kernel(costs=CostModel())
     k.mount_root(RamfsSuperBlock(k))
     task = k.spawn("app")
     ext = CosyKernelExtension(k)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import InvariantViolation
 from repro.kernel import Kernel
+from repro.kernel.costs import CostModel
 from repro.kernel.fs import RamfsSuperBlock
 from repro.kernel.interrupts import IrqController, TimerInterrupt
 from repro.safety.monitor import EventDispatcher, IrqMonitor
@@ -11,7 +12,9 @@ from repro.safety.monitor import EventDispatcher, IrqMonitor
 
 @pytest.fixture
 def k():
-    kern = Kernel()
+    # private cost model: test_timer_fires_per_period tweaks sched_quantum,
+    # which must not leak into the process-wide DEFAULT_COSTS
+    kern = Kernel(costs=CostModel())
     kern.mount_root(RamfsSuperBlock(kern))
     kern.spawn("t")
     return kern

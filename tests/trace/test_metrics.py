@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.trace import Gauge, Histogram, MetricsRegistry
+from repro.kernel.clock import Clock
+from repro.trace import Gauge, Histogram, MetricsRegistry, PercpuCounter
 
 
 # ----------------------------------------------------------------- registry
@@ -81,6 +82,65 @@ def test_snapshot_render_and_reset():
     assert reg.counter("a").value == 0
     assert reg.histogram("h").count == 0
     assert reg.get("g").value == 9    # callback gauges are views, untouched
+
+
+# --------------------------------------------------------- per-CPU counters
+
+def test_percpu_counter_routes_by_executing_cpu():
+    clock = Clock(cpus=4)
+    reg = MetricsRegistry(clock=clock)
+    c = reg.percpu_counter("net.rx")
+    c.inc()                                     # cpu0
+    clock.set_cpu(2)
+    c.inc(5)                                    # cpu2
+    with clock.on_cpu(1):
+        c.inc(3)                                # cpu1, then back to cpu2
+    assert c.per_cpu() == [1, 3, 5, 0]
+    assert c.value == 9                         # summed classic view
+    assert reg.percpu_counter("net.rx") is c
+    c.reset()
+    assert c.per_cpu() == [0, 0, 0, 0]
+
+
+def test_percpu_counter_without_clock_pins_shard_zero():
+    reg = MetricsRegistry()
+    c = reg.percpu_counter("lonely")
+    c.inc(7)
+    assert c.per_cpu() == [7]
+    assert c.value == 7
+
+
+def test_percpu_counter_snapshot_and_render_like_plain_counter():
+    clock = Clock(cpus=2)
+    reg = MetricsRegistry(clock=clock)
+    c = reg.percpu_counter("sched.x")
+    c.inc(2)
+    with clock.on_cpu(1):
+        c.inc(3)
+    assert reg.snapshot()["sched.x"] == 5       # indistinguishable downstream
+    assert "sched.x" in reg.render()
+
+
+def test_percpu_counter_type_conflict_rejected():
+    clock = Clock(cpus=2)
+    reg = MetricsRegistry(clock=clock)
+    reg.percpu_counter("dual")
+    with pytest.raises(ValueError):
+        reg.counter("dual")
+    reg.counter("plain")
+    with pytest.raises(ValueError):
+        reg.percpu_counter("plain")
+
+
+def test_sched_and_net_counters_are_percpu_on_smp():
+    from repro.kernel.core import Kernel
+    from repro.kernel.net import SocketLayer
+
+    k = Kernel(cpus=4)
+    SocketLayer(k, queues=4)
+    assert isinstance(k.metrics.get("sched.context_switches"), PercpuCounter)
+    assert isinstance(k.metrics.get("net.rx_packets"), PercpuCounter)
+    assert len(k.metrics.get("sched.context_switches").per_cpu()) == 4
 
 
 # --------------------------------------------------------------- migrations

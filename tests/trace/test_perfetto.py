@@ -87,6 +87,56 @@ def test_write_round_trips_as_json(tmp_path):
     assert any(e.get("name") == "a" for e in doc["traceEvents"])
 
 
+def test_smp_one_track_per_cpu():
+    """Events land on the track of the CPU that emitted them, and every
+    CPU gets a named thread_name metadata record."""
+    clock = Clock(cpus=4)
+    tracer = Tracer(clock)
+    tracer.enable()
+    tracer.begin("a", "x")
+    clock.charge(10, Mode.SYSTEM)
+    tracer.end()
+    clock.set_cpu(2)
+    tracer.begin("b", "x")
+    clock.charge(20, Mode.SYSTEM)
+    tracer.end()
+    doc = chrome_trace(tracer, process_name="smp")
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} \
+        == {"smp", "cpu0", "cpu1", "cpu2", "cpu3"}
+    a = next(e for e in doc["traceEvents"]
+             if e["ph"] == "B" and e["name"] == "a")
+    b = next(e for e in doc["traceEvents"]
+             if e["ph"] == "B" and e["name"] == "b")
+    assert a["tid"] == 0 and b["tid"] == 2
+    assert b["ts"] == 0.0                   # cpu2's track starts at its t0
+    # spans balance per track
+    for tid in (0, 2):
+        track = [e for e in doc["traceEvents"]
+                 if e.get("tid") == tid and e["ph"] in "BE"]
+        assert sum(e["ph"] == "B" for e in track) \
+            == sum(e["ph"] == "E" for e in track)
+
+
+def test_single_cpu_export_is_deterministic_and_single_track():
+    """cpus=1 must keep producing the exact pre-SMP document: one cpu0
+    track and byte-identical serialization across identical runs."""
+    def run() -> str:
+        clock, tracer = traced_clock()
+        tracer.begin("syscall:read", "syscall", pid=1)
+        clock.charge(170, Mode.SYSTEM)
+        tracer.end()
+        tracer.instant("mark", "x")
+        return json.dumps(chrome_trace(tracer), sort_keys=True)
+
+    first, second = run(), run()
+    assert first == second
+    doc = json.loads(first)
+    assert all(e["tid"] == 0 for e in doc["traceEvents"])
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} == {"repro-kernel", "cpu0"}
+
+
 def test_kernel_workload_export_loads(tmp_path):
     """End to end: a real kernel workload exports a parseable trace with
     balanced spans."""

@@ -140,9 +140,10 @@ def test_event_phases_and_order():
     tracer.end(errno=0)
     phases = [e[0] for e in tracer.events()]
     assert phases == [PH_BEGIN, PH_INSTANT, PH_COMPLETE, PH_END]
-    ph, name, cat, ts, dur, args = tracer.events()[2]
+    ph, name, cat, ts, dur, args, cpu = tracer.events()[2]
     assert (name, cat, dur) == ("quantum", "x", 4)
     assert ts == 6                           # retroactive: ends at now=10
+    assert cpu == 0                          # single-CPU clock: always cpu0
 
 
 def test_ring_overflow_drops_oldest_but_attribution_survives():
