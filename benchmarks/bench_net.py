@@ -17,11 +17,23 @@ with N (select's rescan grows, Cosy stays flat); select and epoll cross —
 select wins small N (fewer traps), epoll wins large N (no rescan).  The
 measured curve and the crossover point land in ``BENCH_NET.json``.
 
+* ``uring`` — per-request work submitted as linked SQE chains on async
+  syscall rings (docs/URING.md): one ``uring_enter`` per wave at cpus=1,
+  zero crossings in sqpoll mode on SMP.
+
 The E13 section reruns the serving story on SMP kernels (docs/SMP.md):
 clients shard across 2 and 4 CPUs with one listener per core and NIC RSS
 steering, the crossover curves are measured *per core count*, and cpus=4
 must sustain 10⁵ concurrent clients at ≥2× the aggregate throughput of
 cpus=1 at 10⁴.
+
+The E14 section is the uring-vs-cosy head-to-head (docs/URING.md): the
+two zero-parse pipelines sweep client counts per core count on small
+files, and the *crossover map* is the headline — batched enter mode
+still pays ~3 traps per wave, so compounds win every level at cpus=1,
+while sqpoll's zero steady-state crossings flip the regime at every
+cpus≥2 level.  The sqpoll cells must measure **zero** serving-phase
+syscalls.
 """
 
 from __future__ import annotations
@@ -45,6 +57,12 @@ LEVELS = [100, 1000, 10000]
 SMP_CPU_LEVELS = [1, 2, 4]
 SMP_PEAK_CLIENTS = 100_000
 SMP_SMOKE_CLIENTS = 400
+
+#: uring-vs-cosy head-to-head (E14): small files keep the per-request
+#: copy work low so the submission mechanisms themselves are what's
+#: being compared; the peak re-asserts the 10⁵-client gate on rings
+URING_FILE_BYTES = 512
+URING_PEAK_CLIENTS = 100_000
 
 _OUT = Path(__file__).parent / "BENCH_NET.json"
 _NET: dict = {}
@@ -91,7 +109,8 @@ def _measure(kind: str, nclients: int, *, traced: bool = False,
     return out
 
 
-def _measure_smp(kind: str, nclients: int, cpus: int) -> dict:
+def _measure_smp(kind: str, nclients: int, cpus: int,
+                 avg_file_bytes: int | None = None) -> dict:
     """One (kind, nclients, cpus) cell of the SMP serving grid.
 
     ``cpus == 1`` runs the classic single-kernel bench so the SMP curves
@@ -102,10 +121,13 @@ def _measure_smp(kind: str, nclients: int, cpus: int) -> dict:
     of the per-CPU serving times (docs/SMP.md); aggregate throughput is
     requests over that wall time.
     """
+    cfg_kwargs: dict = {"nclients": nclients}
+    if avg_file_bytes is not None:
+        cfg_kwargs["avg_file_bytes"] = avg_file_bytes
     if cpus == 1:
         kernel = fresh_kernel("ramfs")
         SocketLayer(kernel)
-        r = run_http_bench(kernel, kind, HttpBenchConfig(nclients=nclients))
+        r = run_http_bench(kernel, kind, HttpBenchConfig(**cfg_kwargs))
         return {
             "kind": kind, "nclients": nclients, "cpus": 1,
             "requests": r.requests, "bytes_served": r.bytes_served,
@@ -118,7 +140,7 @@ def _measure_smp(kind: str, nclients: int, cpus: int) -> dict:
         }
     kernel = fresh_kernel("ramfs", cpus=cpus)
     SocketLayer(kernel, queues=cpus)
-    r = run_http_bench_smp(kernel, kind, HttpBenchConfig(nclients=nclients))
+    r = run_http_bench_smp(kernel, kind, HttpBenchConfig(**cfg_kwargs))
     return {
         "kind": kind, "nclients": nclients, "cpus": cpus,
         "requests": r.requests, "bytes_served": r.bytes_served,
@@ -395,5 +417,136 @@ def test_net_smp_scaling(run_once):
     table.print()
     _NET["smp"] = {"grid": grid, "peak": peak,
                    "select_epoll_crossover_by_cpus": crossover_by_cpus}
+    _flush()
+    assert table.all_hold
+
+
+# ---------------------------------------------------------- uring (E14)
+
+
+def _uring_cell(kind: str, nclients: int, cpus: int) -> dict:
+    return _measure_smp(kind, nclients, cpus,
+                        avg_file_bytes=URING_FILE_BYTES)
+
+
+def test_net_uring_smp_smoke(run_once):
+    """Rings vs compounds on 4 CPUs, CI smoke (E14a): identity, the
+    sqpoll zero-crossing invariant, and the regime flip."""
+    results = run_once(
+        lambda: {kind: _uring_cell(kind, SMP_SMOKE_CLIENTS, 4)
+                 for kind in ("cosy", "uring")})
+    table = ComparisonTable(
+        "E14a", f"uring vs cosy, {SMP_SMOKE_CLIENTS} clients x 4 CPUs")
+    digests = {r["digest"] for r in results.values()}
+    table.add("responses byte-identical", "one digest across pipelines",
+              f"{len(digests)} distinct digest(s)", holds=len(digests) == 1)
+    uring = results["uring"]
+    table.add("sqpoll steady state crosses zero boundaries",
+              "0 serving-phase syscalls on every shard",
+              f"syscalls={uring['syscalls']}",
+              holds=uring["syscalls"] == 0)
+    table.add("rings beat compounds on SMP",
+              "sqpoll submission wins when enter traps are gone",
+              f"uring wall {uring['wall_elapsed']:,} vs cosy "
+              f"{results['cosy']['wall_elapsed']:,} cycles",
+              holds=uring["wall_elapsed"] < results["cosy"]["wall_elapsed"])
+    table.add("rings shard like compounds",
+              "speedup > 1 across 4 CPUs",
+              f"speedup {uring['speedup']:.2f}x",
+              holds=uring["speedup"] > 1.0)
+    table.print()
+    _NET["uring_smoke"] = results
+    _flush()
+    assert table.all_hold
+
+
+def test_net_uring_scaling(run_once):
+    """The uring-vs-cosy crossover map per core count (E14b).
+
+    The headline table of this experiment: at cpus=1 batched enter mode
+    still pays ~3 traps per 128-client wave, so compounds win every
+    client level; at cpus≥2 the server auto-selects sqpoll, the enter
+    traps vanish, and rings win every level.  The crossover is therefore
+    a function of *core count*, not client count — recorded per cpus in
+    BENCH_NET.json.  The 10⁵-client peak re-runs the E13 gate on rings.
+    """
+    def measure_all():
+        grid = {str(c): {str(n): {kind: _uring_cell(kind, n, c)
+                                  for kind in ("cosy", "uring")}
+                         for n in LEVELS}
+                for c in SMP_CPU_LEVELS}
+        peak = {kind: _uring_cell(kind, URING_PEAK_CLIENTS, 4)
+                for kind in ("cosy", "uring")}
+        return {"grid": grid, "peak": peak}
+
+    results = run_once(measure_all)
+    grid, peak = results["grid"], results["peak"]
+    table = ComparisonTable(
+        "E14b", "uring vs cosy per core count (the crossover map)")
+
+    crossover_by_cpus: dict[str, int | None] = {}
+    for c in SMP_CPU_LEVELS:
+        level = grid[str(c)]
+        for n in LEVELS:
+            digests = {r["digest"] for r in level[str(n)].values()}
+            assert len(digests) == 1, \
+                f"pipelines diverged at {n} clients on {c} CPUs"
+        crossover_by_cpus[str(c)] = next(
+            (n for n in LEVELS
+             if level[str(n)]["uring"]["wall_elapsed"]
+             < level[str(n)]["cosy"]["wall_elapsed"]), None)
+
+    cosy_regime = all(
+        grid["1"][str(n)]["cosy"]["wall_elapsed"]
+        < grid["1"][str(n)]["uring"]["wall_elapsed"] for n in LEVELS)
+    table.add("cpus=1: compounds win every level",
+              "enter mode still pays traps per wave",
+              " ".join(
+                  f"N={n}:+{grid['1'][str(n)]['uring']['wall_elapsed'] - grid['1'][str(n)]['cosy']['wall_elapsed']:,}"
+                  for n in LEVELS) + " cycles (uring-cosy)",
+              holds=cosy_regime)
+    for c in SMP_CPU_LEVELS[1:]:
+        level = grid[str(c)]
+        uring_regime = all(
+            level[str(n)]["uring"]["wall_elapsed"]
+            < level[str(n)]["cosy"]["wall_elapsed"] for n in LEVELS)
+        table.add(f"cpus={c}: rings win every level",
+                  "sqpoll removes the per-wave traps",
+                  f"crossover at N={crossover_by_cpus[str(c)]}",
+                  holds=uring_regime
+                  and crossover_by_cpus[str(c)] == LEVELS[0])
+        zero = all(level[str(n)]["uring"]["syscalls"] == 0 for n in LEVELS)
+        table.add(f"cpus={c}: sqpoll serving is trap-free",
+                  "0 syscalls in the measured phase at every N",
+                  "syscalls=" + " ".join(
+                      str(level[str(n)]["uring"]["syscalls"])
+                      for n in LEVELS),
+                  holds=zero)
+    spr = grid["1"][str(LEVELS[-1])]["uring"]["syscalls"] \
+        / max(grid["1"][str(LEVELS[-1])]["uring"]["requests"], 1)
+    table.add("cpus=1: enter mode batches crossings",
+              "≤0.1 syscalls/request through one trap per wave",
+              f"{spr:.3f} syscalls/request",
+              holds=spr < 0.1)
+
+    uring_peak, cosy_peak = peak["uring"], peak["cosy"]
+    table.add("rings sustain 10^5 clients on 4 CPUs",
+              "all served, none dropped, faster than compounds",
+              f"{uring_peak['requests']:,} served, dropped="
+              f"{uring_peak['nic']['dropped']}, wall "
+              f"{uring_peak['wall_elapsed']:,} vs cosy "
+              f"{cosy_peak['wall_elapsed']:,}",
+              holds=(uring_peak["requests"] == URING_PEAK_CLIENTS
+                     and uring_peak["nic"]["dropped"] == 0
+                     and uring_peak["syscalls"] == 0
+                     and uring_peak["wall_elapsed"]
+                     < cosy_peak["wall_elapsed"]))
+
+    table.note("crossover map: " + " ".join(
+        f"cpus={c}:{'N=%d' % crossover_by_cpus[str(c)] if crossover_by_cpus[str(c)] is not None else 'cosy'}"
+        for c in SMP_CPU_LEVELS))
+    table.print()
+    _NET["uring"] = {"grid": grid, "peak": peak,
+                     "uring_cosy_crossover_by_cpus": crossover_by_cpus}
     _flush()
     assert table.all_hold

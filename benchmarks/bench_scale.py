@@ -10,7 +10,11 @@ Three scenario mixes run the mixed-trust tenant population from
   failpoints firing probabilistically) in the middle of the run;
 * ``smp`` — the baseline-like mix on a 4-CPU kernel (docs/SMP.md):
   tenants spread round-robin, the NIC steers RX across 4 queues, and
-  cross-CPU IPIs/steals must actually fire.
+  cross-CPU IPIs/steals must actually fire;
+* ``uring`` — async-ring web tenants (docs/URING.md) under churn with a
+  ``uring.dispatch`` fault storm: injected per-CQE errors and chain
+  cancellations must surface as accounted resets, never as crashes or
+  leaks, while epoll/cosy/batch tenants share the same kernel.
 
 Every mix must *survive* — the kernel serves whatever it can, accounts
 every refusal/reset, and leaks nothing — and emits per-tenant SLOs
@@ -30,7 +34,8 @@ from conftest import fresh_kernel
 
 from repro.analysis import ComparisonTable
 from repro.trace import write_chrome_trace
-from repro.workloads import FaultStorm, ScenarioConfig, ScenarioRunner
+from repro.workloads import (FaultStorm, ScenarioConfig, ScenarioRunner,
+                             TenantSpec, TrustTier)
 
 _OUT = Path(__file__).parent / "BENCH_SCALE.json"
 _SCALE: dict = {}
@@ -50,6 +55,23 @@ MIXES: dict[str, ScenarioConfig] = {
     "smp": ScenarioConfig(seed=2029, events=150, churn=0.2,
                           abort_prob=0.25, backlog=16, max_conns=12,
                           cpus=4),
+    "uring": ScenarioConfig(
+        seed=2030, events=150, churn=0.25, abort_prob=0.25, backlog=16,
+        max_conns=12,
+        tenants=(
+            TenantSpec("web-uring", "http-uring", TrustTier.UNTRUSTED,
+                       weight=2.0),
+            TenantSpec("web-uring-2", "http-uring", TrustTier.UNTRUSTED,
+                       weight=1.5),
+            TenantSpec("web-epoll", "http-epoll", TrustTier.UNTRUSTED,
+                       weight=1.5),
+            TenantSpec("web-cosy", "http-cosy", TrustTier.WARMUP,
+                       weight=1.5),
+            TenantSpec("mail-postmark", "postmark", weight=0.7),
+            TenantSpec("db-warmup", "dbapp", TrustTier.WARMUP, weight=0.7),
+        ),
+        storms=(FaultStorm("uring.dispatch", rate=0.05,
+                           start_frac=0.35, stop_frac=0.65),)),
 }
 
 #: keys every per-tenant SLO entry must carry (CI asserts these exist)
@@ -77,6 +99,8 @@ def _run_mix(name: str, *, traced: bool = False,
     out["sched"] = {"context_switches": kernel.sched.context_switches,
                     "ipis": kernel.sched.ipis,
                     "steals": kernel.sched.steals}
+    out["uring"] = {k: v for k, v in result.metrics.items()
+                    if k.startswith("uring.") and isinstance(v, int)}
     return out
 
 
@@ -153,6 +177,15 @@ def test_scale_trajectory(run_once, trace_out):
               f"cpus={smp['cpus']} ipis={smp['sched']['ipis']} "
               f"steals={smp['sched']['steals']}",
               holds=smp["cpus"] == 4 and smp["sched"]["ipis"] > 0)
+    uring = results["uring"]["uring"]
+    table.add("uring: rings serve through a dispatch storm",
+              "SQEs flow, injected errors cancel chains, no crash",
+              f"sqes={uring.get('uring.sqes', 0)} "
+              f"inject={uring.get('uring.dispatch_errors', 0)} "
+              f"cancelled={uring.get('uring.cancelled', 0)}",
+              holds=(uring.get("uring.sqes", 0) > 0
+                     and uring.get("uring.dispatch_errors", 0) > 0
+                     and uring.get("uring.cancelled", 0) > 0))
     proven = storm["trust"].get("db-proven", {})
     table.add("trust tiers mix on one kernel",
               "PROVEN tenant statically verified, WARMUP promotes",

@@ -78,6 +78,7 @@ ENOTEMPTY, ETIME = 39, 62
 # networking errnos (asm-generic/errno.h)
 EOPNOTSUPP, EADDRINUSE = 95, 98
 ECONNRESET, EISCONN, ENOTCONN, ECONNREFUSED = 104, 106, 107, 111
+ECANCELED = 125
 
 _ERRNO_NAMES = {
     EPERM: "EPERM", ENOENT: "ENOENT", EINTR: "EINTR", EIO: "EIO",
@@ -89,7 +90,7 @@ _ERRNO_NAMES = {
     ENOTEMPTY: "ENOTEMPTY", ETIME: "ETIME",
     EOPNOTSUPP: "EOPNOTSUPP", EADDRINUSE: "EADDRINUSE",
     ECONNRESET: "ECONNRESET", EISCONN: "EISCONN", ENOTCONN: "ENOTCONN",
-    ECONNREFUSED: "ECONNREFUSED",
+    ECONNREFUSED: "ECONNREFUSED", ECANCELED: "ECANCELED",
 }
 
 

@@ -160,6 +160,24 @@ class CostModel:
     #: epoll_wait cost per *ready* event reported — O(ready), not O(interest).
     epoll_per_event: int = 60
 
+    # -- uring (docs/URING.md) ------------------------------------------------
+    #: fetching, validating, and demuxing one SQE from the submission ring.
+    #: Cheaper than ``cosy_decode_op``×args + ``cosy_dispatch``: the entry is
+    #: a fixed 64-byte struct demuxed by a one-byte opcode — no interpreter,
+    #: no operand slots, no jump table walk.
+    uring_sqe: int = 65
+    #: formatting and publishing one CQE on the completion ring (slot fill +
+    #: tail store with release ordering).
+    uring_cqe: int = 30
+    #: in-kernel cost of one ``io_uring_enter`` call beyond the generic trap
+    #: + dispatch: ring head/tail synchronization, the armed-op flush scan,
+    #: and min_complete wait bookkeeping.  A heavyweight syscall — what
+    #: sqpoll mode exists to avoid.
+    uring_enter: int = 1500
+    #: one sqpoll iteration over a ring (fetch head/tail, check for work);
+    #: charged to the poller's CPU whether or not SQEs were found.
+    sqpoll_poll: int = 60
+
     # -- user-level application modelling ------------------------------------
     #: user-space overhead wrapped around each syscall invocation (libc stub,
     #: errno handling, loop bookkeeping in the calling program).

@@ -49,6 +49,10 @@ failpoint             effect when it fires
                       connection is reset (later ops see ECONNRESET)
 ``net.rx``            the packet is dropped during softirq RX delivery,
                       with the same connection-reset effect
+``uring.dispatch``    the SQE being dispatched completes with an error CQE
+                      (EIO), linked SQEs complete with ECANCELED, and the
+                      rest of the batch stays queued — the ring analogue
+                      of Cosy partial-failure semantics (``CompoundFault``)
 ====================  =====================================================
 
 Injected faults still charge their normal cost-model cycles up to the
@@ -84,6 +88,7 @@ FAILPOINTS = (
     "sched.preempt",
     "net.tx",
     "net.rx",
+    "uring.dispatch",
 )
 
 #: errno delivered when ``inject()`` is not given one explicitly.
@@ -100,6 +105,8 @@ DEFAULT_ERRNOS = {
     # Dropped packets reset the connection (there is no retransmit layer).
     "net.tx": ECONNRESET,
     "net.rx": ECONNRESET,
+    # Delivered as a per-CQE error code, never as a syscall failure.
+    "uring.dispatch": EIO,
 }
 
 #: Environment knobs for the global low-rate schedule (the CI smoke mode).

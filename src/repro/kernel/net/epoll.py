@@ -126,7 +126,9 @@ class EpollInode(Inode):
 
     def collect(self, resolve, maxevents: int) -> list[tuple[int, int]]:
         """Scan from the fairness cursor; returns up to ``maxevents``
-        (fd, ready_mask) pairs.  ``resolve(fd)`` maps fd -> SocketInode."""
+        (fd, ready_mask) pairs.  ``resolve(fd)`` maps fd to a pollable
+        inode: a :class:`SocketInode`, or any inode exposing an
+        ``epoll_events()`` readiness mask (uring fds — docs/URING.md)."""
         order = self._order
         n = len(order)
         if n == 0:
@@ -149,7 +151,11 @@ class EpollInode(Inode):
                 # must not report that stranger's readiness
                 self.stale_skipped += 1
                 continue
-            ready = socket_events(sock) & (want | EPOLLERR | EPOLLHUP)
+            if isinstance(sock, SocketInode):
+                mask = socket_events(sock)
+            else:
+                mask = sock.epoll_events()
+            ready = mask & (want | EPOLLERR | EPOLLHUP)
             if ready:
                 found.append((fd, ready))
                 last_idx = idx

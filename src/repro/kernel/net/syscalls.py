@@ -314,32 +314,52 @@ class SocketLayer:
 
     def do_sendfile(self, out_fd: int, in_fd: int, offset: int,
                     count: int) -> int:
-        """file → socket entirely in kernel mode (one trap, no uaccess).
-
-        Every chunk is a preemption point, so a peer that disappears
-        mid-transfer is observed: the next chunk's socket write raises
-        EPIPE instead of silently short-writing.
-        """
-        if count < 0 or offset < 0:
-            raise_errno(EINVAL, "negative sendfile offset/count")
+        """file → socket entirely in kernel mode (one trap, no uaccess)."""
         sys = self.kernel.sys
         src = sys._file_for(in_fd)
         dst = sys._file_for(out_fd)
+        return self.sendfile_files(dst, src, offset, count)
+
+    def sendfile_files(self, dst: File, src: File, offset: int,
+                       count: int) -> int:
+        """The sendfile body, on resolved files (shared with the uring
+        SENDFILE opcode, whose input file may live in a fixed-file slot
+        rather than the fd table).
+
+        Every chunk is a preemption point, so a peer that disappears
+        mid-transfer is observed: the next chunk's socket write raises
+        EPIPE instead of silently short-writing.  On a *non-blocking*
+        socket a full TX ring yields a short write (or EAGAIN when
+        nothing was sent yet) instead of overrunning the ring — which
+        would drop the packet and reset the connection.
+        """
+        if count < 0 or offset < 0:
+            raise_errno(EINVAL, "negative sendfile offset/count")
         src.check_readable()
         dst.check_writable()
         if isinstance(src.inode, SocketInode):
             raise_errno(EINVAL, "sendfile source must be a regular file")
+        dst_inode = dst.inode
+        nonblock_sock = (isinstance(dst_inode, SocketInode)
+                         and not dst_inode.blocking)
         sent = 0
         pos = offset
         while sent < count:
             chunk = src.inode.read(pos, min(65536, count - sent))
             if not chunk:
                 break
+            if nonblock_sock:
+                need = (len(chunk) + MTU - 1) // MTU
+                if len(self.nic.tx_ring) + need > self.nic.tx_slots:
+                    if sent:
+                        break
+                    raise_errno(EAGAIN,
+                                "TX ring full on non-blocking socket")
             self.kernel.sched.maybe_preempt()
             # in-kernel handoff: page-cache pages feed the socket directly
             self.kernel.clock.charge(
                 self.kernel.costs.memcpy_cost(len(chunk)), Mode.SYSTEM)
-            dst.inode.write(0, chunk)
+            dst_inode.write(0, chunk)
             pos += len(chunk)
             sent += len(chunk)
         return sent
@@ -389,12 +409,18 @@ class SocketLayer:
     def do_epoll_ctl(self, epfd: int, op: int, fd: int,
                      mask: int = EPOLLIN) -> int:
         ep = self._epoll_for(epfd)
-        sock = self._sock_for(fd)  # target must be an open socket
+        # The target must be pollable: a socket, or any inode exposing the
+        # epoll_events() readiness protocol (uring fds — docs/URING.md).
+        file = self.kernel.sys._file_for(fd)
+        inode = file.inode
+        if not isinstance(inode, SocketInode) \
+                and not hasattr(inode, "epoll_events"):
+            raise_errno(EOPNOTSUPP, f"fd {fd} is not pollable")
         self.kernel.clock.charge(self.kernel.costs.epoll_op, Mode.SYSTEM)
         if op == EPOLL_CTL_ADD:
-            ep.ctl_add(fd, mask, ino=sock.ino)
+            ep.ctl_add(fd, mask, ino=inode.ino)
         elif op == EPOLL_CTL_MOD:
-            ep.ctl_mod(fd, mask, ino=sock.ino)
+            ep.ctl_mod(fd, mask, ino=inode.ino)
         elif op == EPOLL_CTL_DEL:
             ep.ctl_del(fd)
         else:
@@ -416,11 +442,15 @@ class SocketLayer:
         self.nic.kick()
         task = self.kernel.current
 
-        def resolve(fd: int) -> SocketInode | None:
+        def resolve(fd: int):
             file = task.get_file(fd)
-            if file is None or not isinstance(file.inode, SocketInode):
+            if file is None:
                 return None
-            return file.inode
+            inode = file.inode
+            if isinstance(inode, SocketInode) \
+                    or hasattr(inode, "epoll_events"):
+                return inode
+            return None
 
         events = ep.collect(resolve, maxevents)
         while not events and timeout != 0:

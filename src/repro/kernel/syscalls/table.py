@@ -38,6 +38,9 @@ SYSCALL_NRS: dict[str, int] = {
     "listen": 363,
     "accept": 364,
     "shutdown": 373,
+    # --- async syscall rings (io_uring family numbers) ---
+    "uring_setup": 425,
+    "uring_enter": 426,
     # --- the paper's consolidated syscalls (§2.2) ---
     "readdirplus": 440,
     "open_read_close": 441,

@@ -1,0 +1,27 @@
+"""io_uring-style async syscall rings (docs/URING.md).
+
+Submission/completion rings in user/kernel shared memory: the user
+library (:class:`UringQueue`) queues fixed-size SQEs and harvests CQEs
+without trapping; the kernel side (:class:`UringLayer`) consumes whole
+batches per ``uring_enter`` — or, with sqpoll, from a kernel-side poller
+with *zero* boundary crossings in the steady state.
+"""
+
+from repro.kernel.uring.layer import UringLayer
+from repro.kernel.uring.queue import UringQueue
+from repro.kernel.uring.ring import (RING_NEED_WAKEUP, URING_INO_BASE, Uring,
+                                     UringFS, UringInode)
+from repro.kernel.uring.sqe import (CQE_F_MORE, CQE_SIZE, F_FIXED_FILE,
+                                    F_LINK, F_MULTISHOT, OP_ACCEPT, OP_CLOSE,
+                                    OP_NOP, OP_OPENAT, OP_READ, OP_RECV,
+                                    OP_SEND, OP_SENDFILE, OP_WRITE, SQE_SIZE,
+                                    Cqe, Sqe, decode_cqe, decode_sqe)
+
+__all__ = [
+    "UringLayer", "UringQueue", "Uring", "UringFS", "UringInode",
+    "RING_NEED_WAKEUP", "URING_INO_BASE",
+    "Sqe", "Cqe", "decode_sqe", "decode_cqe", "SQE_SIZE", "CQE_SIZE",
+    "OP_NOP", "OP_ACCEPT", "OP_RECV", "OP_SEND", "OP_SENDFILE", "OP_READ",
+    "OP_WRITE", "OP_CLOSE", "OP_OPENAT",
+    "F_LINK", "F_MULTISHOT", "F_FIXED_FILE", "CQE_F_MORE",
+]

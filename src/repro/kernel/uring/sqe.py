@@ -1,0 +1,132 @@
+"""SQE/CQE wire format: fixed-size entries in the shared rings.
+
+Submission-queue entries are 64 bytes and completion-queue entries 16
+bytes — the io_uring sizes — packed little-endian like everything else in
+the simulated machine.  Both sides of the boundary decode the same bytes
+from the same frames (the ring area is a :class:`~repro.core.cosy
+.shared_buffer.SharedBuffer`), so submitting an operation costs the user
+one 64-byte store into shared memory and the kernel one 64-byte fetch out
+of it — never a ``copy_from_user``.
+
+Field use per opcode (offsets into the owning ring's data area unless
+said otherwise):
+
+=============  =========================================================
+opcode         fd / off / addr / len
+=============  =========================================================
+``NOP``        all ignored; completes immediately with ``res=0``
+``ACCEPT``     fd = listening socket.  Completes with the accepted fd.
+``RECV``       fd = connected socket, addr = destination buffer offset,
+               len = max bytes.  Completes with bytes received (0 = EOF).
+``SEND``       fd = connected socket, addr = source offset, len = count.
+``SENDFILE``   fd = destination socket fd, addr = source fd (or fixed
+               slot with ``F_FIXED_FILE``), off = file offset, len =
+               count.  Completes with bytes sent.
+``READ``       fd = file (or fixed slot), addr = destination offset,
+               off = file offset, len = count (pread-style, no f_pos).
+``WRITE``      fd = file (or fixed slot), addr = source offset,
+               off = file offset, len = count.
+``CLOSE``      fd = fd to close (or fixed slot with ``F_FIXED_FILE``).
+``OPENAT``     addr = offset of a NUL-terminated path in the data area,
+               len = max path bytes, off = open flags, fd = fixed-file
+               slot to install the result into (-1 = ordinary fd).
+=============  =========================================================
+
+Flags: ``F_LINK`` chains this SQE to the next one (failure cancels the
+rest of the chain with ECANCELED); ``F_MULTISHOT`` keeps ACCEPT/RECV
+armed, posting one CQE per connection/burst with ``CQE_F_MORE`` set;
+``F_FIXED_FILE`` makes the opcode's file reference index the ring's
+fixed-file table instead of the task's fd table.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: opcodes
+OP_NOP = 0
+OP_ACCEPT = 1
+OP_RECV = 2
+OP_SEND = 3
+OP_SENDFILE = 4
+OP_READ = 5
+OP_WRITE = 6
+OP_CLOSE = 7
+OP_OPENAT = 8
+
+OP_NAMES = {
+    OP_NOP: "nop", OP_ACCEPT: "accept", OP_RECV: "recv", OP_SEND: "send",
+    OP_SENDFILE: "sendfile", OP_READ: "read", OP_WRITE: "write",
+    OP_CLOSE: "close", OP_OPENAT: "openat",
+}
+
+#: SQE flags
+F_LINK = 0x01
+F_MULTISHOT = 0x02
+F_FIXED_FILE = 0x04
+
+#: CQE flags
+CQE_F_MORE = 0x01
+
+#: opcode(B) flags(B) pad(H) fd(i) off(q) addr(q) len(i) user_data(Q),
+#: padded to the io_uring entry size.
+_SQE_FMT = "<BBHiqqiQ28x"
+_CQE_FMT = "<Qii"
+
+SQE_SIZE = struct.calcsize(_SQE_FMT)       # 64
+CQE_SIZE = struct.calcsize(_CQE_FMT)       # 16
+assert SQE_SIZE == 64 and CQE_SIZE == 16
+
+
+@dataclass(frozen=True)
+class Sqe:
+    """One decoded submission-queue entry."""
+
+    opcode: int
+    flags: int = 0
+    fd: int = 0
+    off: int = 0
+    addr: int = 0
+    len: int = 0
+    user_data: int = 0
+
+    def encode(self) -> bytes:
+        return struct.pack(_SQE_FMT, self.opcode, self.flags, 0, self.fd,
+                           self.off, self.addr, self.len, self.user_data)
+
+    @property
+    def opname(self) -> str:
+        return OP_NAMES.get(self.opcode, f"op{self.opcode}")
+
+
+def decode_sqe(raw: bytes) -> Sqe:
+    opcode, flags, _, fd, off, addr, length, user_data = struct.unpack(
+        _SQE_FMT, raw)
+    return Sqe(opcode, flags, fd, off, addr, length, user_data)
+
+
+@dataclass(frozen=True)
+class Cqe:
+    """One decoded completion-queue entry.
+
+    ``res`` is the operation result: >= 0 on success, ``-errno`` on
+    failure — exactly one CQE per submitted SQE (multishot parents post
+    one per completion, each carrying ``CQE_F_MORE`` until the last).
+    """
+
+    user_data: int
+    res: int
+    flags: int = 0
+
+    def encode(self) -> bytes:
+        return struct.pack(_CQE_FMT, self.user_data, self.res, self.flags)
+
+    @property
+    def more(self) -> bool:
+        return bool(self.flags & CQE_F_MORE)
+
+
+def decode_cqe(raw: bytes) -> Cqe:
+    user_data, res, flags = struct.unpack(_CQE_FMT, raw)
+    return Cqe(user_data, res, flags)

@@ -18,9 +18,20 @@ user/kernel boundary they cross to do it:
   ``accept → read → open → sendfile → close`` for a wave of clients runs
   in a single ``cosy_exec`` trap, with the request bytes landing in the
   shared buffer (no uaccess).  Crossings per request approach zero.
+* :class:`UringHttpServer` — async syscall rings (docs/URING.md).  Each
+  request is a linked SQE chain ``recv → openat → sendfile → close``
+  submitted through shared rings; a multishot accept feeds new
+  connections without rearming.  In enter mode one ``uring_enter`` trap
+  moves a whole batch; with sqpoll (the default on SMP kernels) a
+  kernel-side poller consumes submissions and the serving phase makes
+  *zero* boundary crossings.  Like Cosy it is a zero-copy pipeline
+  server: request bytes land in the shared data area and the kernel reads
+  the path straight out of them, so user space never parses the request
+  (no ``REQUEST_PARSE_CYCLES``) — but unlike Cosy there is no program to
+  encode or interpret, just fixed-size entries.
 
 ``benchmarks/bench_net.py`` sweeps the client count to reproduce the
-crossings-dominate curve; the differential test asserts all three serve
+crossings-dominate curve; the differential test asserts all four serve
 byte-identical responses.
 
 Protocol: one request per connection, ``b"GET <path>\\0"`` (NUL-terminated
@@ -42,6 +53,9 @@ from repro.core.cosy.shared_buffer import SharedBuffer
 from repro.errors import EAGAIN, Errno
 from repro.kernel.clock import Mode
 from repro.kernel.net import EPOLL_CTL_ADD, EPOLLIN
+from repro.kernel.uring import (F_FIXED_FILE, F_LINK, F_MULTISHOT, OP_ACCEPT,
+                                OP_CLOSE, OP_OPENAT, OP_RECV, OP_SENDFILE,
+                                Sqe, UringLayer, UringQueue)
 from repro.kernel.vfs.file import O_RDONLY
 from repro.workloads.webserver import (REQUEST_PARSE_CYCLES, WebServerConfig,
                                        build_docroot)
@@ -49,7 +63,7 @@ from repro.workloads.webserver import (REQUEST_PARSE_CYCLES, WebServerConfig,
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.core import Kernel
 
-SERVER_KINDS = ("select", "epoll", "cosy")
+SERVER_KINDS = ("select", "epoll", "cosy", "uring")
 
 #: size of the fixed request region ("GET " + path + NUL must fit)
 REQUEST_BYTES = 64
@@ -68,6 +82,11 @@ class HttpBenchConfig:
     port: int = 80
     docroot: str = "/www"
     seed: int = 4242
+    #: uring server: kernel-side submission poller.  None = auto (sqpoll
+    #: on SMP kernels, where the poller has its own runqueue to live on;
+    #: enter mode on uniprocessors, where polling would steal the very
+    #: CPU the server needs).
+    uring_sqpoll: bool | None = None
 
 
 @dataclass
@@ -275,10 +294,111 @@ class CosyHttpServer(_HttpServerBase):
         self.requests += n
 
 
+class UringHttpServer(_HttpServerBase):
+    """The request loop as linked SQE chains on async syscall rings.
+
+    Per connection (fed by one armed multishot accept) the server
+    submits ``RECV → OPENAT → SENDFILE → CLOSE`` as an ``F_LINK`` chain:
+    the request lands in the connection's slot of the shared data area,
+    OPENAT reads the path straight out of it (kernel-side, zero copies,
+    no user-space parse), SENDFILE streams the file into the connection
+    through the fixed-file slot the OPENAT filled, and CLOSE drops it.
+    The chain tail runs synchronously once the RECV fires, so a single
+    fixed-file slot serves every in-flight request.
+    """
+
+    #: user_data low bits tag the op; high bits carry the connection fd
+    TAG_ACCEPT, TAG_RECV, TAG_OPEN, TAG_SENDFILE, TAG_CLOSE = range(5)
+
+    def __init__(self, kernel: "Kernel", cfg: HttpBenchConfig):
+        super().__init__(kernel, cfg)
+        self.sqpoll = (cfg.uring_sqpoll if cfg.uring_sqpoll is not None
+                       else kernel.ncpus > 1)
+        self.ring_fd = -1
+        self.q: UringQueue | None = None
+        #: recycled request buffers: a chain's buffer is live only from
+        #: prep until its CLOSE completes, so the working set is bounded
+        #: by in-flight chains (≤ SQ size), not by client count — the
+        #: same few hot pages per wave no matter how many clients, like
+        #: Cosy's single request region.
+        self._pool: list[int] = []
+        self._bufs: dict[int, int] = {}       # conn fd -> data-area offset
+
+    def setup(self) -> None:
+        super().setup()
+        sys = self.kernel.sys
+        if not hasattr(sys, "uring_setup"):
+            UringLayer(self.kernel)
+        sq = 4 * self.cfg.wave + 8
+        data = (2 * self.cfg.wave + 16) * REQUEST_BYTES
+        self.ring_fd = sys.uring_setup(sq, cq_entries=2 * sq, files=4,
+                                       data_bytes=data, sqpoll=self.sqpoll,
+                                       sq_idle=64)
+        self.q = UringQueue(self.kernel, self.ring_fd)
+        # one armed multishot accept feeds connections for the whole run;
+        # this setup-time enter is the last *required* trap in sqpoll mode
+        self.q.prep(Sqe(OP_ACCEPT, fd=self.listen_fd, flags=F_MULTISHOT,
+                        user_data=self.TAG_ACCEPT))
+        self.q.enter()
+
+    def _chain(self, conn: int) -> None:
+        """Queue one request chain for an accepted connection."""
+        q = self.q
+        while q.sq_space() < 4:       # whole chains only: never split one
+            q.submit()
+        buf = self._bufs.get(conn)
+        if buf is None:
+            buf = self._pool.pop() if self._pool else q.alloc(REQUEST_BYTES)
+            self._bufs[conn] = buf
+        ud = conn << 3
+        q.prep(Sqe(OP_RECV, flags=F_LINK, fd=conn, addr=buf,
+                   len=REQUEST_BYTES, user_data=ud | self.TAG_RECV))
+        q.prep(Sqe(OP_OPENAT, flags=F_LINK, fd=0, off=O_RDONLY,
+                   addr=buf + 4, len=REQUEST_BYTES - 4,
+                   user_data=ud | self.TAG_OPEN))
+        q.prep(Sqe(OP_SENDFILE, flags=F_LINK | F_FIXED_FILE, fd=conn,
+                   addr=0, off=0, len=1 << 30,
+                   user_data=ud | self.TAG_SENDFILE))
+        q.prep(Sqe(OP_CLOSE, flags=F_FIXED_FILE, fd=0,
+                   user_data=ud | self.TAG_CLOSE))
+
+    def serve_wave(self, n: int) -> None:
+        q = self.q
+        served = 0
+        while served < n:
+            cqes = q.harvest(maxevents=64)
+            if not cqes:
+                # nothing harvestable without kernel help: flush armed
+                # ops / pump the NIC in one trap (sqpoll steady state
+                # never gets here — harvest runs the poller inline)
+                q.enter(min_complete=1)
+                continue
+            prepped = False
+            for cqe in cqes:
+                tag = cqe.user_data & 7
+                if cqe.res < 0:
+                    raise RuntimeError(
+                        f"uring op tag={tag} failed with res={cqe.res}")
+                if tag == self.TAG_ACCEPT:
+                    self._chain(cqe.res)
+                    prepped = True
+                elif tag == self.TAG_SENDFILE:
+                    self.bytes_served += cqe.res
+                    self.requests += 1
+                    served += 1
+                elif tag == self.TAG_CLOSE:
+                    buf = self._bufs.pop(cqe.user_data >> 3, None)
+                    if buf is not None:
+                        self._pool.append(buf)
+            if prepped:
+                q.submit()
+
+
 _SERVERS = {
     "select": SelectHttpServer,
     "epoll": EpollHttpServer,
     "cosy": CosyHttpServer,
+    "uring": UringHttpServer,
 }
 
 

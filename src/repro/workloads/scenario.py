@@ -40,7 +40,7 @@ import numpy as np
 from repro.analysis.slo import SloReport, TenantSlo
 from repro.core.cosy import (CompoundFault, CosyGCC, CosyKernelExtension,
                              CosyLib, CosyProtection, TrustManager)
-from repro.errors import EAGAIN, ECONNREFUSED, EMFILE, Errno
+from repro.errors import EAGAIN, ECANCELED, ECONNREFUSED, EMFILE, Errno
 from repro.kernel.clock import Mode
 from repro.kernel.core import Kernel
 from repro.kernel.fs import RamfsSuperBlock
@@ -53,7 +53,8 @@ from repro.workloads.dbapp import (RECORD_SIZE, CosyRecordStore,
                                    DBWorkloadConfig, build_database)
 from repro.workloads.httpserver import (REQUEST_BYTES, CosyHttpServer,
                                         EpollHttpServer, HttpBenchConfig,
-                                        SelectHttpServer, _request_for)
+                                        SelectHttpServer, UringHttpServer,
+                                        _request_for)
 from repro.workloads.postmark import PostMark, PostMarkConfig
 from repro.workloads.webserver import (REQUEST_PARSE_CYCLES, WebServerConfig,
                                        build_docroot)
@@ -68,8 +69,12 @@ __all__ = [
 ]
 
 #: tenant kinds the generator knows how to schedule
-HTTP_KINDS = ("http-select", "http-epoll", "http-cosy")
+HTTP_KINDS = ("http-select", "http-epoll", "http-cosy", "http-uring")
 BATCH_KINDS = ("postmark", "compile", "dbapp")
+#: the keep-alive serving strategies ``ScenarioConfig.io_model`` can
+#: force (cosy is excluded: its connection-per-request flow changes the
+#: *schedule*, not just the serving loop)
+_KEEPALIVE_KINDS = ("http-select", "http-epoll", "http-uring")
 
 
 class TrustTier(enum.Enum):
@@ -142,9 +147,25 @@ class ScenarioConfig:
     #: simulated CPUs to boot (docs/SMP.md): tenants spread round-robin
     #: and the NIC runs one RX queue per CPU; 1 = the pre-SMP kernel
     cpus: int = 1
+    #: serve every keep-alive HTTP tenant with this I/O model —
+    #: "select" | "epoll" | "uring" — regardless of its spec kind.  The
+    #: *schedule* still follows the spec (same opens/requests/churn), so
+    #: two runs differing only in ``io_model`` face identical clients and
+    #: the SLO deltas isolate the serving strategy.  None = per-spec.
+    io_model: str | None = None
+
+    def __post_init__(self):
+        if self.io_model not in (None, "select", "epoll", "uring"):
+            raise ValueError(f"unknown io_model {self.io_model!r}")
 
     def resolved_tenants(self) -> tuple[TenantSpec, ...]:
         return self.tenants if self.tenants else default_tenants()
+
+    def serving_kind(self, spec: TenantSpec) -> str:
+        """The server strategy actually booted for ``spec``."""
+        if self.io_model is None or spec.kind not in _KEEPALIVE_KINDS:
+            return spec.kind
+        return f"http-{self.io_model}"
 
 
 def default_tenants() -> tuple[TenantSpec, ...]:
@@ -155,6 +176,8 @@ def default_tenants() -> tuple[TenantSpec, ...]:
         TenantSpec("web-epoll", "http-epoll", TrustTier.UNTRUSTED,
                    weight=2.0),
         TenantSpec("web-cosy", "http-cosy", TrustTier.WARMUP, weight=2.0),
+        TenantSpec("web-uring", "http-uring", TrustTier.UNTRUSTED,
+                   weight=2.0),
         TenantSpec("mail-postmark", "postmark", TrustTier.UNTRUSTED,
                    weight=0.7),
         TenantSpec("build-farm", "compile", TrustTier.UNTRUSTED, weight=0.4),
@@ -199,8 +222,7 @@ def generate_schedule(cfg: ScenarioConfig) -> list[ScheduleEvent]:
     weights = np.array([t.weight for t in tenants], dtype=float)
     weights /= weights.sum()
     # cosy tenants serve one connection per request (the compound accepts)
-    keepalive = {t.name for t in tenants
-                 if t.kind in ("http-select", "http-epoll")}
+    keepalive = {t.name for t in tenants if t.kind in _KEEPALIVE_KINDS}
     byname = {t.name: t for t in tenants}
 
     events: list[ScheduleEvent] = []
@@ -400,6 +422,98 @@ class ScenarioEpollServer(_RobustServing, EpollHttpServer):
         return sorted(self._conns)
 
 
+class ScenarioUringServer(UringHttpServer):
+    """Async-ring strategy with churn-tolerant serving (docs/URING.md).
+
+    The bench server treats any negative CQE as a harness bug; under
+    churn they are routine: RECV completes 0 / ``-ECONNRESET`` when the
+    peer hung up, OPENAT fails on a garbled request line, SENDFILE dies
+    mid-transfer, and each failed link cancels the rest of its chain
+    with ``-ECANCELED``.  Every failure reaps the connection and
+    recycles its request buffer; a completed chain re-arms the next
+    request's chain on the same connection (keep-alive).
+    """
+
+    errors = 0
+
+    def __init__(self, kernel, cfg):
+        super().__init__(kernel, cfg)
+        self._conns: set[int] = set()
+
+    def _track(self, conn: int) -> None:
+        self._conns.add(conn)
+        self._chain(conn)
+
+    def _reap(self, conn: int) -> None:
+        if conn not in self._conns:
+            return
+        self._conns.discard(conn)
+        buf = self._bufs.pop(conn, None)
+        if buf is not None:
+            self._pool.append(buf)
+        try:
+            self.kernel.sys.close(conn)
+        except Errno:  # pragma: no cover - double close is a server bug
+            pass
+
+    def _handle(self, cqe) -> int:
+        tag = cqe.user_data & 7
+        conn = cqe.user_data >> 3
+        if tag == self.TAG_ACCEPT:
+            if cqe.res < 0:
+                # EMFILE: the kernel tore the child down (accept-emfile
+                # path); the multishot accept stays armed
+                self.errors += 1
+            else:
+                self._track(cqe.res)
+            return 0
+        if tag == self.TAG_RECV:
+            if cqe.res <= 0:
+                # EOF, reset, or an injected fault; the chain's rest
+                # arrives as -ECANCELED CQEs right behind this one
+                self._reap(conn)
+            return 0
+        if tag == self.TAG_OPEN:
+            if cqe.res < 0 and cqe.res != -ECANCELED:
+                self.errors += 1      # truncated/garbled request line
+                self._reap(conn)
+            return 0
+        if tag == self.TAG_SENDFILE:
+            if cqe.res == -ECANCELED:
+                return 0
+            if cqe.res < 0:
+                self.errors += 1      # peer hung up (or fault) mid-send
+                self._reap(conn)
+                return 0
+            self.bytes_served += cqe.res
+            self.requests += 1
+            return 1
+        # TAG_CLOSE: the chain completed (or was cancelled after a reap);
+        # a surviving connection gets the next request's chain armed
+        if cqe.res != -ECANCELED and conn in self._conns:
+            self._chain(conn)
+        return 0
+
+    def pump(self) -> int:
+        q = self.q
+        served = 0
+        while True:
+            try:
+                # one trap flushes armed accepts/recvs, the CQ-overflow
+                # backlog, and any chains _handle re-armed last round
+                q.enter()
+            except Errno:
+                self.errors += 1
+            cqes = q.harvest(maxevents=64)
+            if not cqes:
+                return served
+            for cqe in cqes:
+                served += self._handle(cqe)
+
+    def live_conns(self) -> list[int]:
+        return sorted(self._conns)
+
+
 class ScenarioCosyServer(CosyHttpServer):
     """Compound strategy, one connection per request, with cleanup.
 
@@ -483,6 +597,7 @@ _HTTP_SERVERS = {
     "http-select": ScenarioSelectServer,
     "http-epoll": ScenarioEpollServer,
     "http-cosy": ScenarioCosyServer,
+    "http-uring": ScenarioUringServer,
 }
 
 #: the PROVEN tier's extension: constant-bound loops the load-time
@@ -577,7 +692,8 @@ class ScenarioRunner:
                     nfiles=spec.nfiles, avg_file_bytes=spec.avg_file_bytes,
                     backlog=self.cfg.backlog, port=port,
                     docroot=f"/{spec.name}", seed=self.cfg.seed + 31 * i)
-                server = _HTTP_SERVERS[spec.kind](kernel, http_cfg)
+                server = _HTTP_SERVERS[self.cfg.serving_kind(spec)](
+                    kernel, http_cfg)
                 server.setup()
                 task.rlimit_nofile = max(task.rlimit_nofile,
                                          4 * self.cfg.max_conns + 64)
@@ -875,6 +991,8 @@ class ScenarioRunner:
                         pass
             if getattr(server, "epfd", -1) >= 0:
                 sys.close(server.epfd)
+            if getattr(server, "ring_fd", -1) >= 0:
+                sys.close(server.ring_fd)
             sys.close(server.listen_fd)
             self.kernel.sched.switch_to(self.driver)
 

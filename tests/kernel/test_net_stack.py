@@ -216,6 +216,60 @@ def test_tx_ring_overflow_drops_and_resets(k):
     assert stack.nic.dropped >= 1
 
 
+def test_sendfile_nonblocking_eagain_when_tx_ring_full(k):
+    """Regression: sendfile on a *non-blocking* socket whose TX ring
+    cannot take the next chunk must return EAGAIN — not reset the
+    connection or drop packets like the blocking overflow path does."""
+    stack = SocketLayer(k, deliver="tick")   # no kick between transmits
+    stack.nic.tx_slots = 2
+    lfd, cfd, conn = _connected_pair(k)
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, b"e" * (MTU * 3))        # 3 packets into 2 slots
+    k.sys.close(fd)
+    src = k.sys.open("/f", 0)
+    with pytest.raises(Errno) as ei:
+        k.sys.sendfile(cfd, src, 0, MTU * 3)
+    assert ei.value.errno == EAGAIN
+    assert stack.nic.dropped == 0            # refused up front, not dropped
+    k.sys.write(cfd, b"still alive")         # connection untouched
+    timer = TimerInterrupt(k, stack.nic.irq)
+    stack.attach_timer(timer)
+    timer.fire()
+    assert k.sys.read(conn, 64) == b"still alive"
+
+
+def test_sendfile_nonblocking_short_write_when_ring_fills_mid_file(k):
+    """Same regression, partial-progress flavour: once at least one chunk
+    is in flight a full TX ring ends the sendfile with a short count."""
+    stack = SocketLayer(k, deliver="tick")
+    lfd, cfd, conn = _connected_pair(k)
+    chunk = 65536                            # sendfile's internal chunking
+    stack.nic.tx_slots = (chunk + MTU - 1) // MTU + 5   # 1 chunk + slack
+    payload = b"s" * (chunk * 2)
+    fd = k.sys.open("/f", O_CREAT | O_WRONLY)
+    k.sys.write(fd, payload)
+    k.sys.close(fd)
+    src = k.sys.open("/f", 0)
+    sent = k.sys.sendfile(cfd, src, 0, len(payload))
+    assert sent == chunk                     # second chunk refused cleanly
+    assert stack.nic.dropped == 0
+    timer = TimerInterrupt(k, stack.nic.irq)
+    stack.attach_timer(timer)
+    timer.fire()
+    drained = b""
+    while True:
+        try:
+            got = k.sys.read(conn, chunk)
+        except Errno as e:
+            assert e.errno == EAGAIN
+            break
+        if not got:
+            break
+        drained += got
+        timer.fire()
+    assert drained == payload[:sent]         # exactly the short count
+
+
 def test_sendfile_epipe_when_peer_closes_mid_transfer(k, stack):
     """Regression: a peer that disappears mid-sendfile must raise EPIPE,
     not silently short-write the remainder."""

@@ -47,7 +47,7 @@ configs = st.builds(
 def test_schedule_well_formed(cfg: ScenarioConfig):
     sched = generate_schedule(cfg)
     keepalive = {t.name for t in cfg.resolved_tenants()
-                 if t.kind in ("http-select", "http-epoll")}
+                 if t.kind in ("http-select", "http-epoll", "http-uring")}
     last_at = 0
     open_now: set[tuple[str, int]] = set()
     ever_opened: set[tuple[str, int]] = set()

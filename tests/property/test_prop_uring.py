@@ -1,0 +1,176 @@
+"""Property tests: the uring completion contract under random schedules.
+
+The docs/URING.md invariants, checked against arbitrary workloads:
+every submitted SQE yields *exactly one* terminal CQE carrying its
+``user_data``; CQEs land in submission order within a flow; an injected
+dispatch fault errors the faulted SQE, cancels the rest of its chain
+with ``-ECANCELED``, and never drops or duplicates a completion —
+including when the fault is detected behind an armed RECV that
+completes much later.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ECANCELED, EIO, Errno
+from repro.kernel import Kernel
+from repro.kernel.fs import RamfsSuperBlock
+from repro.kernel.net import SocketLayer
+from repro.kernel.uring import (F_LINK, OP_NOP, OP_RECV, Sqe, UringLayer,
+                                UringQueue)
+
+
+def make_kernel(*, net=False):
+    k = Kernel()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("app")
+    if net:
+        SocketLayer(k)
+    UringLayer(k)
+    return k
+
+
+def _drain(k, q):
+    """Enter + harvest until the ring goes quiet; return all CQEs."""
+    cqes = list(q.harvest())
+    for _ in range(64):
+        try:
+            q.enter()
+        except Errno:
+            break
+        got = q.harvest()
+        if not got:
+            break
+        cqes += got
+    return cqes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chains=st.lists(st.integers(min_value=1, max_value=4),
+                    min_size=1, max_size=12),
+    fault_every=st.integers(min_value=1, max_value=7),
+    fault_times=st.integers(min_value=0, max_value=5),
+)
+def test_every_sqe_completes_exactly_once(chains, fault_every, fault_times):
+    """NOP chains of random lengths under a deterministic fault schedule:
+    one terminal CQE per SQE, in exact submission order, and each chain
+    is either clean, or errored-then-cancelled with no holes."""
+    k = make_kernel()
+    fd = k.sys.uring_setup(8)
+    q = UringQueue(k, fd)
+    ud = 0
+    submitted = []              # (user_data, chain_id, pos_in_chain)
+    inj = (k.faults.inject("uring.dispatch", errno=EIO, every=fault_every,
+                           times=fault_times) if fault_times else None)
+    try:
+        for cid, length in enumerate(chains):
+            while q.sq_space() < length:    # never split a chain in the SQ
+                q.submit()
+            for pos in range(length):
+                flags = F_LINK if pos < length - 1 else 0
+                q.prep(Sqe(OP_NOP, flags=flags, user_data=ud))
+                submitted.append((ud, cid, pos))
+                ud += 1
+        q.submit()
+        cqes = _drain(k, q)
+    finally:
+        if inj is not None:
+            inj.remove()
+    cqes += _drain(k, q)        # flush whatever the fault window stalled
+
+    assert [c.user_data for c in cqes] == [s[0] for s in submitted]
+    by_ud = {c.user_data: c.res for c in cqes}
+    assert len(by_ud) == len(submitted)     # no duplicates either
+    # per-chain shape: zero or more 0s, then at most one -EIO, then
+    # only -ECANCELED to the end of the chain
+    for cid in range(len(chains)):
+        results = [by_ud[u] for (u, c, _) in submitted if c == cid]
+        state = "ok"
+        for res in results:
+            if state == "ok":
+                assert res in (0, -EIO)
+                if res == -EIO:
+                    state = "cancelled"
+            else:
+                assert res == -ECANCELED
+    total_errors = sum(1 for r in by_ud.values() if r == -EIO)
+    assert total_errors <= fault_times
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_flows_complete_in_order_under_interleaving(data):
+    """Several connections each submit RECV(F_LINK)->NOP chains; payloads
+    arrive in a random interleaving relative to submissions and enters.
+    Per flow, CQEs must appear in submission order with the NOP cancelled
+    iff its RECV saw EOF."""
+    k = make_kernel(net=True)
+    nflows = data.draw(st.integers(min_value=1, max_value=3), label="nflows")
+    lfd = k.sys.socket(blocking=False)
+    k.sys.bind(lfd, 80)
+    k.sys.listen(lfd, 8)
+    flows = []
+    for _ in range(nflows):
+        cfd = k.sys.socket(blocking=False)
+        k.sys.connect(cfd, 80)
+        conn = k.sys.accept(lfd)
+        flows.append((cfd, conn))
+    fd = k.sys.uring_setup(16)
+    q = UringQueue(k, fd)
+
+    pending = {i: [] for i in range(nflows)}    # expected user_data order
+    harvested = {i: [] for i in range(nflows)}
+    eof = set()
+    ud = 0
+    nops = data.draw(st.integers(min_value=3, max_value=10), label="ops")
+    for _ in range(nops):
+        action = data.draw(st.sampled_from(["submit", "write", "eof",
+                                            "enter"]), label="action")
+        flow = data.draw(st.integers(min_value=0, max_value=nflows - 1),
+                         label="flow")
+        cfd, conn = flows[flow]
+        if action == "submit" and q.sq_space() >= 2:
+            buf = q.alloc(8)
+            q.prep(Sqe(OP_RECV, flags=F_LINK, fd=conn, addr=buf, len=8,
+                       user_data=ud))
+            q.prep(Sqe(OP_NOP, user_data=ud + 1))
+            pending[flow] += [ud, ud + 1]
+            ud += 2
+            q.submit()
+        elif action == "write" and flow not in eof:
+            k.sys.write(cfd, b"x" * data.draw(
+                st.integers(min_value=1, max_value=8), label="nbytes"))
+        elif action == "eof" and flow not in eof:
+            eof.add(flow)
+            k.sys.close(cfd)
+        elif action == "enter":
+            q.enter()
+        for c in q.harvest():
+            # route by user_data back to its flow
+            for f, uds in pending.items():
+                if c.user_data in uds:
+                    harvested[f].append(c)
+                    break
+
+    # close every remaining writer so armed RECVs resolve, then drain
+    for i, (cfd, conn) in enumerate(flows):
+        if i not in eof:
+            k.sys.close(cfd)
+    cqes = _drain(k, q)
+    for c in cqes:
+        for f, uds in pending.items():
+            if c.user_data in uds:
+                harvested[f].append(c)
+                break
+
+    for f in range(nflows):
+        got = harvested[f]
+        assert [c.user_data for c in got] == pending[f]     # order + 1:1
+        # chain contract: NOP runs iff its RECV got bytes, else cancelled
+        for recv, nop in zip(got[::2], got[1::2]):
+            if recv.res > 0:
+                assert nop.res == 0
+            else:
+                assert recv.res == 0            # EOF, never an error here
+                assert nop.res == -ECANCELED
