@@ -45,12 +45,18 @@ from conftest import fresh_kernel
 
 from repro.analysis import ComparisonTable
 from repro.kernel.net import SocketLayer
-from repro.trace import write_chrome_trace
+from repro.trace import write_chrome_trace, write_flamegraph
 from repro.workloads import (SERVER_KINDS, HttpBenchConfig, run_http_bench,
                              run_http_bench_smp)
 
 SMOKE_CLIENTS = 100
 LEVELS = [100, 1000, 10000]
+
+#: sample period for the profiled E11 smoke — dense enough that 100
+#: clients of serving yield thousands of weighted samples, so per-
+#: category sample shares are statistically comparable to the exact
+#: cycle attribution (the ±10-point acceptance gate below)
+PROF_PERIOD = 2_000
 
 #: SMP sweep (E13): core counts for the per-CPU serving curves, the
 #: 10⁵-client peak that cpus=4 must sustain, and the CI-smoke shard size
@@ -214,6 +220,78 @@ def test_net_smoke(run_once, trace_out):
     _flush()
     assert table.all_hold
     assert slowest_user > cosy
+
+
+def test_net_profiled_smoke(run_once, trace_out):
+    """E11 select under the sampling profiler (docs/PROFILING.md).
+
+    The same 100-client serving run with ``Kernel(profile=True)`` and a
+    dense sample period must (a) land on the *bit-identical* simulated
+    clock as the unprofiled run — profiling reads the clock, never
+    charges it; (b) attribute ≥95% of weighted samples to named spans;
+    and (c) agree with the exact cycle attribution: every category's
+    sample share within 10 points of its self-cycle share.  The folded
+    stacks and the self-contained flamegraph SVG land in ``--trace-out``
+    (the CI ``prof`` job uploads them as artifacts).
+    """
+    def measure():
+        kernel = fresh_kernel("ramfs", profile=True)
+        SocketLayer(kernel)
+        # re-arm with the dense bench period (boot used the env default)
+        kernel.prof.period = PROF_PERIOD
+        kernel.prof.enable()
+        start = kernel.clock.now
+        r = run_http_bench(kernel, "select",
+                           HttpBenchConfig(nclients=SMOKE_CLIENTS))
+        att = kernel.trace.attribution()
+        assert att.window_cycles == kernel.clock.now - start
+        return {"kernel": kernel, "elapsed": r.elapsed, "att": att}
+
+    out = run_once(measure)
+    kernel, prof, att = out["kernel"], out["kernel"].prof, out["att"]
+
+    untraced = _measure("select", SMOKE_CLIENTS)
+    table = ComparisonTable(
+        "E11c", f"profiled HTTP serving, {SMOKE_CLIENTS} clients (smoke)")
+    table.add("profiling costs zero simulated cycles",
+              "profiled clock == unprofiled clock, bit-identical",
+              f"{out['elapsed']:,} == {untraced['elapsed_cycles']:,}",
+              holds=out["elapsed"] == untraced["elapsed_cycles"])
+    named = prof.named_fraction()
+    table.add("samples land in named spans", ">=95% of weighted samples",
+              f"{100.0 * named:.2f}% of {prof.samples_taken:,} samples",
+              holds=named >= 0.95)
+
+    # per-category sample shares vs the exact self-cycle attribution
+    window = att.window_cycles or 1
+    cycle_shares = {cat: cyc / window
+                    for cat, cyc in att.by_category().items()}
+    sample_shares = prof.category_shares()
+    worst_cat, worst_gap = "-", 0.0
+    for cat in set(cycle_shares) | set(sample_shares):
+        gap = abs(cycle_shares.get(cat, 0.0) - sample_shares.get(cat, 0.0))
+        if gap > worst_gap:
+            worst_cat, worst_gap = cat, gap
+    table.add("sampling agrees with attribution",
+              "every category share within 10 points of cycle truth",
+              f"worst gap {100.0 * worst_gap:.2f} points ({worst_cat})",
+              holds=worst_gap <= 0.10)
+
+    if trace_out is not None:
+        prof.write_folded(trace_out / "net-select-profile.folded")
+        write_flamegraph(
+            prof.folded(), trace_out / "net-select-profile.svg",
+            title=f"E11 select, {SMOKE_CLIENTS} clients "
+                  f"({prof.samples_taken:,} samples)")
+        write_chrome_trace(kernel.trace,
+                           trace_out / "net-select-profiled.json",
+                           profiler=prof)
+    table.print()
+    _NET["profile"] = dict(prof.to_dict(),
+                           cycle_shares={k: round(v, 6) for k, v
+                                         in cycle_shares.items()})
+    _flush()
+    assert table.all_hold
 
 
 def test_net_scaling(run_once, trace_out):

@@ -76,8 +76,17 @@ MIXES: dict[str, ScenarioConfig] = {
 
 #: keys every per-tenant SLO entry must carry (CI asserts these exist)
 SLO_KEYS = ("requests", "completed", "refused", "resets", "aborted",
-            "goodput_bytes", "latency_cycles")
+            "goodput_bytes", "latency_cycles", "sched_delay_cycles")
 LATENCY_KEYS = ("count", "mean", "min", "max", "p50", "p90", "p99")
+
+#: minimum cold-tenant / hot-tenant *median* sched-delay ratio that must
+#: show up in at least one overload mix — the scheduler-starvation SLO:
+#: under weighted overload, a low-weight tenant's typical READY→RUN wait
+#: must visibly dwarf the hot tenant's (docs/PROFILING.md).  The median
+#: is the robust witness; p99 ≈ max for cold tenants (n≈5-10) and even
+#: hot tenants hit one long outlier wait per run, so the tail ratio
+#: understates the gap the medians show at 50-80x.
+STARVATION_GAP_MIN = 10.0
 
 
 def _run_mix(name: str, *, traced: bool = False,
@@ -126,7 +135,27 @@ def _check_slo_shape(mix: str, report: dict) -> None:
         for key in LATENCY_KEYS:
             assert key in slo["latency_cycles"], \
                 f"{mix}/{tenant}: missing latency key {key!r}"
+            assert key in slo["sched_delay_cycles"], \
+                f"{mix}/{tenant}: missing sched-delay key {key!r}"
     assert "fairness_jain" in report and "goodput_total_bytes" in report
+
+
+def _starvation_gap(report: dict) -> dict:
+    """Cold-vs-hot sched-delay gap for one mix.
+
+    Hot = tenant with the most issued requests, cold = fewest; the gap
+    ratio is cold p50 / hot p50 — how much longer the coldest tenant
+    *typically* sat runnable than the tenant monopolizing the scheduler.
+    The p99 ratio rides along for the record.
+    """
+    ranked = sorted(report["tenants"].items(),
+                    key=lambda kv: kv[1]["requests"])
+    cold_name, cold = ranked[0]
+    hot_name, hot = ranked[-1]
+    cold_d, hot_d = cold["sched_delay_cycles"], hot["sched_delay_cycles"]
+    return {"ratio": round(cold_d["p50"] / (hot_d["p50"] or 1.0), 3),
+            "p99_ratio": round(cold_d["p99"] / (hot_d["p99"] or 1.0), 3),
+            "hot": hot_name, "cold": cold_name}
 
 
 def test_scale_trajectory(run_once, trace_out):
@@ -193,12 +222,25 @@ def test_scale_trajectory(run_once, trace_out):
               f"warmup_promoted="
               f"{storm['trust'].get('db-warmup', {}).get('promoted', 0)}",
               holds=proven.get("statically_proven", 0) > 0)
+    gaps = {name: _starvation_gap(report)
+            for name, report in results.items()}
+    worst_mix = max(gaps, key=lambda n: gaps[n]["ratio"])
+    worst = gaps[worst_mix]
+    table.add("starvation gap is measurable",
+              f"cold tenant sched p50 >= {STARVATION_GAP_MIN:.0f}x hot's "
+              "in some mix",
+              f"{worst_mix}: {worst['cold']} waits {worst['ratio']:.0f}x "
+              f"longer than {worst['hot']}",
+              holds=worst["ratio"] >= STARVATION_GAP_MIN)
     fairness = {name: report["fairness_jain"]
                 for name, report in results.items()}
     table.note("Jain fairness by mix: "
                + " ".join(f"{k}={v:.3f}" for k, v in fairness.items()))
+    table.note("starvation gap (cold p50 / hot p50) by mix: "
+               + " ".join(f"{k}={v['ratio']:.1f}x" for k, v in gaps.items()))
     table.print()
     _SCALE["mixes"] = results
     _SCALE["fairness_by_mix"] = fairness
+    _SCALE["starvation_gap_by_mix"] = gaps
     _flush()
     assert table.all_hold

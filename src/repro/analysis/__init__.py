@@ -1,14 +1,18 @@
 """Result formatting and comparison against the paper's published numbers."""
 
-from repro.analysis.report import (Row, ComparisonTable, pct, fmt_bytes,
+from repro.analysis.report import (DEFAULT_METRIC_FAMILIES, Row,
+                                   ComparisonTable, pct, fmt_bytes,
                                    fmt_seconds, code_cache_report,
                                    fault_injection_report, lockdep_report,
-                                   metrics_report, verifier_report)
+                                   metric_families_report, metrics_report,
+                                   prof_report, verifier_report)
 from repro.analysis.slo import (PERCENTILES, SloReport, TenantSlo,
                                 histogram_percentile, jain_fairness,
                                 latency_summary)
 
 __all__ = ["Row", "ComparisonTable", "pct", "fmt_bytes", "fmt_seconds",
            "code_cache_report", "fault_injection_report", "lockdep_report",
-           "metrics_report", "verifier_report", "PERCENTILES", "SloReport", "TenantSlo",
+           "metrics_report", "metric_families_report", "prof_report",
+           "DEFAULT_METRIC_FAMILIES",
+           "verifier_report", "PERCENTILES", "SloReport", "TenantSlo",
            "histogram_percentile", "jain_fairness", "latency_summary"]

@@ -202,3 +202,100 @@ def metrics_report(metrics, prefix: str = "") -> str:
     (``"mmu."``, ``"fault."``, ``"lock."``, ...).
     """
     return metrics.render(prefix)
+
+
+#: metric families the grouped report renders by default: the PR 7-9
+#: namespaces that previously only existed as raw registry dumps.
+DEFAULT_METRIC_FAMILIES = ("lockdep.", "sched.", "uring.")
+
+
+def metric_families_report(metrics,
+                           families: tuple[str, ...] = DEFAULT_METRIC_FAMILIES
+                           ) -> str:
+    """Render the registry grouped into subsystem families, expanding
+    per-CPU counter shards.
+
+    Where :func:`metrics_report` prints one flat value per metric, this
+    report sections the namespace by family prefix and shows each
+    :class:`~repro.trace.metrics.PercpuCounter` as its summed total
+    *plus* the per-CPU shard split (``PercpuCounter.per_cpu()``) — on an
+    SMP kernel, whether the switches happened on one CPU or four is the
+    whole story.  Families with no registered metrics render as absent
+    rather than failing, so the report is safe on any kernel.
+    """
+    from repro.trace.metrics import Histogram, PercpuCounter
+
+    lines = ["== metric families =="]
+    for family in families:
+        rows = [name for name in metrics.names() if name.startswith(family)]
+        lines.append(f"-- {family.rstrip('.')} --")
+        if not rows:
+            lines.append("  (none registered)")
+            continue
+        for name in rows:
+            m = metrics.get(name)
+            if isinstance(m, PercpuCounter):
+                shards = m.per_cpu()
+                split = " ".join(f"cpu{i}={v}" for i, v in enumerate(shards))
+                lines.append(f"  {name:<40} {m.value} [{split}]")
+            elif isinstance(m, Histogram):
+                lines.append(f"  {name:<40} n={m.count} sum={m.sum} "
+                             f"mean={m.mean:.1f} max={m.max}")
+            else:
+                value = m.value
+                shown = f"{value:.3f}" if isinstance(value, float) \
+                    and not float(value).is_integer() else f"{int(value)}"
+                lines.append(f"  {name:<40} {shown}")
+    return "\n".join(lines)
+
+
+def prof_report(prof, top: int = 15) -> str:
+    """Render one profiler's findings: hottest folded stacks, category
+    sample shares, the latency-tracer histograms with their max-latency
+    witnesses, and the per-syscall latency table.
+
+    ``prof`` is a :class:`repro.trace.prof.Profiler` (enabled now or
+    previously — disabled profilers keep their samples readable).
+    """
+    from repro.analysis.slo import latency_summary
+
+    lines = [f"== profile: {prof.samples_taken} weighted samples "
+             f"(period {prof.period} cyc) =="]
+    if not prof.samples_taken:
+        lines.append("  (no samples; was the profiler enabled?)")
+        return "\n".join(lines)
+    lines.append(f"  named-span fraction: {prof.named_fraction():.4f}")
+    lines.append("  category shares:")
+    for cat, share in sorted(prof.category_shares().items(),
+                             key=lambda kv: -kv[1]):
+        lines.append(f"    {cat:<12} {100.0 * share:6.2f}%")
+    folded = prof.folded()
+    total = sum(folded.values()) or 1
+    lines.append(f"  hottest stacks (top {top}):")
+    for stack, n in sorted(folded.items(), key=lambda kv: -kv[1])[:top]:
+        lines.append(f"    {n:>7} ({100.0 * n / total:5.2f}%)  {stack}")
+
+    def tracer_block(title: str, hist, witness) -> None:
+        if not hist.count:
+            lines.append(f"  {title}: (no events)")
+            return
+        s = latency_summary(hist)
+        lines.append(f"  {title}: n={s['count']} p50={s['p50']:.0f} "
+                     f"p99={s['p99']:.0f} max={s['max']}")
+        stack = ";".join(witness.stack) or "(no open span)"
+        lines.append(f"    worst: {witness.cycles} cyc on cpu{witness.cpu} "
+                     f"task={witness.task} at {stack}")
+
+    tracer_block("wakeup latency", prof.wakeup_delay, prof.wakeup_max)
+    tracer_block("irqsoff", prof.irqsoff, prof.irqsoff_max)
+    tracer_block("preemptoff", prof.preemptoff, prof.preemptoff_max)
+    if prof.syscall_lat:
+        lines.append("  syscall latency (cycles):")
+        for name in sorted(prof.syscall_lat,
+                           key=lambda n: -prof.syscall_lat[n].sum):
+            h = prof.syscall_lat[name]
+            s = latency_summary(h)
+            lines.append(f"    {name:<12} nr={prof.syscall_nrs[name]:<4} "
+                         f"n={s['count']:<6} p50={s['p50']:.0f} "
+                         f"p99={s['p99']:.0f} max={s['max']}")
+    return "\n".join(lines)

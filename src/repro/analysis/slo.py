@@ -104,6 +104,12 @@ class TenantSlo:
     #: per-request simulated latency (cycles submit→response)
     latency: Histogram = field(
         default_factory=lambda: Histogram("slo.latency"))
+    #: READY→RUNNING scheduling delay of the tenant's task (cycles on the
+    #: global clock), fed by the scheduler — the starvation SLO: a cold
+    #: tenant's p99 here is how long it sat runnable while hotter
+    #: tenants monopolized the CPU.
+    sched_delay: Histogram = field(
+        default_factory=lambda: Histogram("slo.sched_delay"))
 
     def to_dict(self) -> dict:
         return {
@@ -116,6 +122,7 @@ class TenantSlo:
             "aborted": self.aborted,
             "goodput_bytes": self.goodput_bytes,
             "latency_cycles": latency_summary(self.latency),
+            "sched_delay_cycles": latency_summary(self.sched_delay),
         }
 
 
@@ -166,9 +173,11 @@ class SloReport:
         for name in sorted(self.tenants):
             t = self.tenants[name]
             s = latency_summary(t.latency)
+            d = latency_summary(t.sched_delay)
             lines.append(
                 f"  {name:<18} [{t.tier:>9}] req={t.requests:<5} "
                 f"ok={t.completed:<5} refused={t.refused} resets={t.resets} "
                 f"p50={s['p50']:.0f} p99={s['p99']:.0f} "
+                f"sched_p99={d['p99']:.0f} "
                 f"goodput={t.goodput_bytes}B")
         return "\n".join(lines)

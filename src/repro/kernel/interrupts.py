@@ -63,8 +63,17 @@ class IrqController:
         self.kernel.clock.charge(IRQ_TOGGLE_COST, Mode.SYSTEM)
         if self._depths is None:
             self._depth += 1
+            depth = self._depth
         else:
-            self._depths[self.kernel.clock.cpu] += 1
+            cpu = self.kernel.clock.cpu
+            self._depths[cpu] += 1
+            depth = self._depths[cpu]
+        if depth == 1:
+            # irqsoff tracer: the section starts at the 0->1 transition.
+            prof = getattr(self.kernel, "prof", None)
+            if prof is not None and prof.enabled:
+                clock = self.kernel.clock
+                prof.irq_disabled(clock.cpu, clock.local_now())
         self.toggles += 1
         ld = getattr(self.kernel, "lockdep", None)
         if ld is not None:
@@ -79,8 +88,17 @@ class IrqController:
         self.kernel.clock.charge(IRQ_TOGGLE_COST, Mode.SYSTEM)
         if self._depths is None:
             self._depth -= 1
+            depth = self._depth
         else:
-            self._depths[self.kernel.clock.cpu] -= 1
+            cpu = self.kernel.clock.cpu
+            self._depths[cpu] -= 1
+            depth = self._depths[cpu]
+        if depth == 0:
+            # irqsoff tracer: the section ends at the 1->0 transition.
+            prof = getattr(self.kernel, "prof", None)
+            if prof is not None and prof.enabled:
+                clock = self.kernel.clock
+                prof.irq_enabled(clock.cpu, clock.local_now())
         self.toggles += 1
         ld = getattr(self.kernel, "lockdep", None)
         if ld is not None:

@@ -150,6 +150,15 @@ class Task:
         # Per-task time attribution (getrusage-style), filled by dispatch.
         self.utime = 0
         self.stime = 0
+        #: scenario tenant tag ("" = untagged); the scenario runner sets
+        #: it so profiler samples and scheduling-delay SLOs group by tenant.
+        self.tenant = ""
+        #: global-clock stamp of the last READY transition (None = not
+        #: waiting); consumed by Scheduler._note_scheduled.
+        self.last_ready: int | None = None
+        #: optional scheduling-delay histogram shared with the tenant's
+        #: SLO record (repro.analysis.slo.TenantSlo.sched_delay).
+        self.sched_delay = None
 
     # ------------------------------------------------------ fd management
 

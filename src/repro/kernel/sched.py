@@ -119,6 +119,15 @@ class Scheduler:
             "sched.steals", help="tasks pulled from another CPU's runqueue")
         self._ipis = metrics.percpu_counter(
             "sched.ipis", help="resched IPIs sent between CPUs")
+        #: kernel-wide READY->RUNNING scheduling delay.  Always-on: the
+        #: observations are pure clock arithmetic (zero simulated cost)
+        #: and must be identical traced or untraced so same-seed scenario
+        #: runs stay bit-identical.  Delays are measured on the *global*
+        #: clock (total work done machine-wide between ready and run),
+        #: which is monotonic across CPUs where local clocks are not —
+        #: at cpus=1 it equals the literal wall delay.
+        self._delay_hist = metrics.histogram(
+            "sched.delay", help="READY->RUNNING scheduling delay (cycles)")
 
     # ---------------------------------------------------------- classic view
 
@@ -178,6 +187,10 @@ class Scheduler:
         if st.current is None:
             st.current = task
             task.state = TaskState.RUNNING
+        else:
+            # Enqueued behind a running task: the wakeup-latency clock
+            # starts now and stops when switch_to makes it current.
+            task.last_ready = clock.now
         if self.ncpus > 1 and c != clock.cpu:
             # Remote enqueue: kick the target CPU to notice the new task.
             self.send_ipi(c, reason="enqueue")
@@ -215,6 +228,7 @@ class Scheduler:
         prev = st.current
         if prev is not None:
             prev.state = TaskState.READY
+            prev.last_ready = clock.now
         kernel.clock.charge(kernel.costs.context_switch)
         kernel.mmu.flush_tlb()
         self._switches.inc()
@@ -227,6 +241,24 @@ class Scheduler:
         st.current = task
         task.state = TaskState.RUNNING
         st.last_switch = clock.local_now()
+        self._note_scheduled(task, clock)
+
+    def _note_scheduled(self, task: Task, clock) -> None:
+        """Record ``task``'s READY->RUNNING delay: into the kernel-wide
+        ``sched.delay`` histogram, the task's own (tenant SLO) histogram
+        if one is attached, and the profiler's wakeup tracer when armed."""
+        t0 = task.last_ready
+        if t0 is None:
+            return
+        task.last_ready = None
+        delay = clock.now - t0
+        self._delay_hist.observe(delay)
+        h = task.sched_delay
+        if h is not None:
+            h.observe(delay)
+        prof = getattr(self.kernel, "prof", None)
+        if prof is not None and prof.enabled:
+            prof.sched_wakeup(task, delay)
 
     # ----------------------------------------------------------------- SMP
 
@@ -325,6 +357,12 @@ class Scheduler:
         clock = kernel.clock
         st = self.cpus[clock.cpu]
         now = clock.local_now()
+        prof = getattr(kernel, "prof", None)
+        if prof is not None and prof.enabled:
+            # preemptoff tracer: each visit here is a preemption
+            # opportunity; the gap since the previous one is how long
+            # this CPU could not reschedule.
+            prof.preempt_point(clock.cpu, now)
         # Injected "preemption": the quantum is treated as already expired.
         forced = kernel.faults.should_fail("sched.preempt", "tick") is not None
         if not forced and now - st.last_switch < kernel.costs.sched_quantum:

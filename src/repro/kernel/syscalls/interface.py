@@ -112,6 +112,11 @@ class SyscallInterface(FileOpsMixin, DirOpsMixin, ConsolidatedMixin):
         finally:
             clock.pop_mode()
             task.stime += clock.system - start_system
+            prof = getattr(kernel, "prof", None)
+            if prof is not None and prof.enabled:
+                # per-syscall-number latency histogram: trap to return
+                prof.observe_syscall(name, syscall_nr(name),
+                                     clock.now - start)
             if self.tracers:
                 delta = self.ucopy.stats.since(copy_snap)
                 self._seq += 1

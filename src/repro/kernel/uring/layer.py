@@ -84,6 +84,9 @@ class UringLayer:
         sys.uring_enter = self._enter_entry
         sys.do_uring_setup = self.do_uring_setup
         sys.do_uring_enter = self.do_uring_enter
+        # Register on the kernel so observers (the profiler's CQ-backlog
+        # counter track) can find the live rings without importing uring.
+        self.kernel.uring = self
 
     # ----------------------------------------------------- syscall entries
 

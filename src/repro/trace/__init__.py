@@ -20,11 +20,15 @@ kernel with tracing enabled.
 """
 
 from repro.trace.attribution import Attribution, SpanStat, render_diff
+from repro.trace.flamegraph import flamegraph_svg, write_flamegraph
 from repro.trace.metrics import (Counter, Gauge, Histogram, Metric,
                                  MetricsRegistry, PercpuCounter)
 from repro.trace.perfetto import chrome_trace, write_chrome_trace
+from repro.trace.prof import (DEFAULT_PERIOD, ENV_PROF, ENV_PROF_PERIOD,
+                              MaxWitness, Profiler)
 from repro.trace.tracepoints import (DEFAULT_CAPACITY, PH_BEGIN, PH_COMPLETE,
-                                     PH_END, PH_INSTANT, TraceEvent, Tracer)
+                                     PH_COUNTER, PH_END, PH_INSTANT,
+                                     TraceEvent, Tracer)
 
 #: environment knob: boot kernels with tracing enabled (CI identity job).
 ENV_TRACE = "REPRO_TRACE"
@@ -36,7 +40,9 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
     "PercpuCounter",
     "chrome_trace", "write_chrome_trace",
+    "flamegraph_svg", "write_flamegraph",
+    "Profiler", "MaxWitness", "DEFAULT_PERIOD",
     "Tracer", "TraceEvent", "DEFAULT_CAPACITY",
-    "PH_BEGIN", "PH_END", "PH_COMPLETE", "PH_INSTANT",
-    "ENV_TRACE", "ENV_TRACE_OUT",
+    "PH_BEGIN", "PH_END", "PH_COMPLETE", "PH_INSTANT", "PH_COUNTER",
+    "ENV_TRACE", "ENV_TRACE_OUT", "ENV_PROF", "ENV_PROF_PERIOD",
 ]

@@ -55,6 +55,8 @@ DEFAULT_CAPACITY = 1 << 16
 
 #: event phases, following the Chrome trace-event vocabulary.
 PH_BEGIN, PH_END, PH_COMPLETE, PH_INSTANT = "B", "E", "X", "i"
+#: counter-track phase: a (name, value) time-series point.
+PH_COUNTER = "C"
 
 #: one ring entry:
 #: (phase, name, category, ts_cycles, dur_cycles|None, args|None, cpu)
@@ -78,6 +80,10 @@ class Tracer:
             {} for _ in range(self.ncpus)]
         self._t0s: list[int] = [0] * self.ncpus
         self._t_ends: list[int | None] = [None] * self.ncpus
+        #: attached sampling profiler (repro.trace.prof); notified on
+        #: every complete event so retroactive quanta relabel the samples
+        #: that landed inside them.  None = no profiler armed.
+        self._prof = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -157,6 +163,18 @@ class Tracer:
         self._stacks[cpu][-1][3] += dur
         self.ring.try_push((PH_COMPLETE, name, cat, now - dur, dur,
                             args or None, cpu))
+        prof = self._prof
+        if prof is not None:
+            prof.on_complete(cpu, name, cat, now, dur)
+
+    def counter(self, name: str, value: int, cat: str = "counter") -> None:
+        """Record one point of a counter track (Perfetto ``C`` event):
+        the named time series takes ``value`` at the current local time."""
+        if not self.enabled:
+            return
+        cpu = self.clock.cpu
+        self.ring.try_push((PH_COUNTER, name, cat, self.clock.local_now(),
+                            None, {"value": value}, cpu))
 
     def instant(self, name: str, cat: str = "kernel", **args) -> None:
         """Mark a point on the executing CPU's timeline."""

@@ -676,9 +676,15 @@ class ScenarioRunner:
         for i, spec in enumerate(specs):
             slo = TenantSlo(spec.name, spec.kind, spec.tier.value)
             slo.latency = metrics.histogram(f"slo.{spec.name}.latency_cycles")
+            slo.sched_delay = metrics.histogram(
+                f"slo.{spec.name}.sched_delay_cycles")
             # SMP kernels spread tenants round-robin across CPUs; at
             # cpus=1 the explicit pin is cpu0, same as the default.
             task = kernel.spawn(spec.name, cpu=i % kernel.ncpus)
+            # Tenant-tag the task: profiler samples group by it, and the
+            # scheduler feeds this tenant's starvation SLO directly.
+            task.tenant = spec.name
+            task.sched_delay = slo.sched_delay
             tenant = _Tenant(spec, slo, task)
             self.tenants[spec.name] = tenant
             kernel.sched.switch_to(task)

@@ -1,6 +1,7 @@
 """The analysis/report helpers."""
 
-from repro.analysis import ComparisonTable, fmt_bytes, fmt_seconds, pct
+from repro.analysis import (ComparisonTable, fmt_bytes, fmt_seconds,
+                            metric_families_report, pct, prof_report)
 
 
 def test_pct_semantics():
@@ -47,3 +48,51 @@ def test_informational_rows_do_not_affect_verdict():
     t = ComparisonTable("EX", "demo")
     t.add("context only", "-", "-")
     assert t.all_hold  # vacuously true
+
+
+def test_metric_families_report_groups_and_expands_shards():
+    from repro.kernel.core import Kernel
+    from repro.kernel.fs import RamfsSuperBlock
+
+    k = Kernel(cpus=2)
+    k.mount_root(RamfsSuperBlock(k))
+    a, b = k.spawn("a"), k.spawn("b")
+    k.sched.switch_to(b)
+    k.sched.switch_to(a)
+    out = metric_families_report(k.metrics)
+    assert "== metric families ==" in out
+    assert "-- sched --" in out and "-- lockdep --" in out
+    # per-CPU shard split rendered for the context-switch PercpuCounter
+    assert "cpu0=" in out and "cpu1=" in out
+    # a family with nothing registered renders as absent, not an error
+    empty = metric_families_report(k.metrics, families=("nosuch.",))
+    assert "(none registered)" in empty
+
+
+def test_prof_report_renders_tracers_and_stacks():
+    from repro.kernel.core import Kernel
+    from repro.kernel.fs import RamfsSuperBlock
+    from repro.kernel.vfs.file import O_CREAT, O_RDWR
+
+    k = Kernel(profile=True)
+    k.prof.period = 1_000
+    k.prof.enable()
+    k.mount_root(RamfsSuperBlock(k))
+    k.spawn("t0")
+    fd = k.sys.open("/f", O_CREAT | O_RDWR)
+    for _ in range(10):
+        k.sys.write(fd, b"x" * 500)
+    k.sys.close(fd)
+    out = prof_report(k.prof)
+    assert "== profile:" in out
+    assert "named-span fraction" in out
+    assert "hottest stacks" in out and "syscall:" in out
+    assert "wakeup latency" in out and "preemptoff" in out
+    assert "syscall latency (cycles):" in out and "write" in out
+
+
+def test_prof_report_on_empty_profiler():
+    from repro.kernel.core import Kernel
+
+    out = prof_report(Kernel().prof)
+    assert "no samples" in out
